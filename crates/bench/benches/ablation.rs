@@ -1,0 +1,67 @@
+//! Ablation bench: the design-choice studies DESIGN.md calls out.
+//!
+//! Prints the ablation table (each ingredient of the SIMT-aware design in
+//! isolation, plus the PWC-pinning and memory-scheduler ablations) and
+//! times each scheduler variant on the same workload so their *simulation*
+//! costs are also visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptw_core::sched::SchedulerKind;
+use ptw_sim::config::SystemConfig;
+use ptw_sim::figures;
+use ptw_sim::runner::{ConfigVariant, Lab};
+use ptw_sim::system::System;
+use ptw_workloads::{build, BenchmarkId, Scale};
+
+fn ablation_scheduler_parts(c: &mut Criterion) {
+    let mut lab = Lab::new(Scale::Small, 0xC0FFEE);
+    eprintln!("{}", figures::ablation(&mut lab));
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for kind in SchedulerKind::ALL {
+        group.bench_function(format!("mvt_{}", kind.label()), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::paper_baseline().with_scheduler(kind);
+                System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run().metrics.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_memory_scheduler(c: &mut Criterion) {
+    // FR-FCFS vs strict FCFS at the memory controller: the paper argues
+    // walk scheduling is orthogonal to DRAM scheduling; this ablation
+    // quantifies the interaction in our model.
+    let mut lab = Lab::new(Scale::Small, 0xC0FFEE);
+    let frfcfs = lab
+        .result(BenchmarkId::Mvt, SchedulerKind::SimtAware)
+        .metrics
+        .cycles;
+    let fcfs_mem = lab
+        .result_with(BenchmarkId::Mvt, SchedulerKind::SimtAware, ConfigVariant::MemFcfs)
+        .metrics
+        .cycles;
+    eprintln!(
+        "## Ablation: memory-controller policy under SIMT-aware walks (MVT)\n\
+         | DRAM policy | cycles |\n|---|---|\n| FR-FCFS | {frfcfs} |\n| FCFS | {fcfs_mem} |\n"
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("mvt_mem_fcfs", |b| {
+        b.iter(|| {
+            let cfg = ConfigVariant::MemFcfs.config().with_scheduler(SchedulerKind::SimtAware);
+            System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run().metrics.cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(ablation, ablation_scheduler_parts, ablation_memory_scheduler);
+criterion_main!(ablation);

@@ -1,0 +1,183 @@
+//! Component micro-benchmarks: the hot structures of the simulator.
+//!
+//! These do not correspond to paper figures; they keep the substrate's own
+//! performance visible (a cycle-level simulator is only useful if runs
+//! stay cheap) and exercise each crate's hot path in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ptw_core::iommu::{Iommu, IommuConfig};
+use ptw_core::request::WalkRequest;
+use ptw_core::sched::{Scheduler, SchedulerKind};
+use ptw_gpu::coalesce;
+use ptw_mem::cache::{Cache, CacheConfig};
+use ptw_mem::controller::{MemSchedPolicy, MemSource, MemoryController};
+use ptw_mem::dram::DramConfig;
+use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
+use ptw_pagetable::pwc::{PageWalkCache, PwcConfig};
+use ptw_pagetable::table::PageTable;
+use ptw_tlb::{Tlb, TlbConfig};
+use ptw_types::addr::{LineAddr, VirtAddr, VirtPage};
+use ptw_types::ids::InstrId;
+use ptw_types::rng::SplitMix64;
+use ptw_types::time::Cycle;
+
+fn bench_tlb_lookup(c: &mut Criterion) {
+    let mut tlb = Tlb::new(TlbConfig::paper_gpu_l2());
+    for i in 0..512u64 {
+        tlb.fill(VirtPage::new(i), ptw_types::addr::PhysFrame::new(i));
+    }
+    let mut i = 0u64;
+    c.bench_function("micro/tlb_lookup_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(tlb.lookup(VirtPage::new(i)))
+        })
+    });
+}
+
+fn bench_pwc_estimate(c: &mut Criterion) {
+    let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+    let mut table = PageTable::new(&mut alloc);
+    let mut pwc = PageWalkCache::new(PwcConfig::paper_baseline());
+    for i in 0..64u64 {
+        let page = VirtPage::new(i << 9);
+        let f = alloc.alloc();
+        table.map(page, f, &mut alloc).unwrap();
+        let plan = pwc.begin_walk(&table, page).unwrap();
+        pwc.complete_walk(&plan);
+    }
+    let mut i = 0u64;
+    c.bench_function("micro/pwc_estimate_probe", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(pwc.estimate(VirtPage::new(i << 9)))
+        })
+    });
+}
+
+fn bench_scheduler_select(c: &mut Criterion) {
+    // A full 256-entry window, the paper's baseline lookahead.
+    let mut rng = SplitMix64::new(1);
+    let window: Vec<WalkRequest<u32>> = (0..256)
+        .map(|i| WalkRequest {
+            page: VirtPage::new(i),
+            instr: InstrId::new((i % 24) as u32),
+            seq: i,
+            enqueued_at: Cycle::new(i),
+            own_estimate: (rng.next_below(4) + 1) as u8,
+            score: rng.next_below(256) as u32 + 1,
+            bypassed: 0,
+            waiter: i as u32,
+        })
+        .collect();
+    for kind in [SchedulerKind::Fcfs, SchedulerKind::SimtAware] {
+        let mut sched = Scheduler::new(kind, 2_000_000, 7);
+        let mut w = window.clone();
+        c.bench_function(&format!("micro/select_256_{}", kind.label()), |b| {
+            b.iter(|| black_box(sched.select(&mut w, |_| true)))
+        });
+    }
+}
+
+fn bench_dram_controller(c: &mut Criterion) {
+    c.bench_function("micro/dram_256_requests", |b| {
+        b.iter(|| {
+            let mut mc =
+                MemoryController::new(DramConfig::paper_baseline(), MemSchedPolicy::FrFcfs);
+            let mut rng = SplitMix64::new(3);
+            for i in 0..256u64 {
+                mc.submit(
+                    LineAddr::new(rng.next_below(1 << 26)),
+                    MemSource::Data,
+                    Cycle::new(i),
+                );
+            }
+            let mut served = 0;
+            while let Some(t) = mc.next_event_time() {
+                served += mc.advance(t).len();
+            }
+            black_box(served)
+        })
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(9);
+    let divergent: Vec<VirtAddr> =
+        (0..64).map(|_| VirtAddr::new(rng.next_below(1 << 30))).collect();
+    let coalesced: Vec<VirtAddr> = (0..64).map(|i| VirtAddr::new(0x1000 + i * 8)).collect();
+    c.bench_function("micro/coalesce_divergent_64", |b| {
+        b.iter(|| black_box(coalesce(&divergent)))
+    });
+    c.bench_function("micro/coalesce_unit_stride_64", |b| {
+        b.iter(|| black_box(coalesce(&coalesced)))
+    });
+}
+
+fn bench_page_table_walk_path(c: &mut Criterion) {
+    let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+    let mut table = PageTable::new(&mut alloc);
+    for i in 0..4096u64 {
+        let f = alloc.alloc();
+        table.map(VirtPage::new(0x7f_0000 + i), f, &mut alloc).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("micro/page_table_walk_path", |b| {
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(table.walk_path(VirtPage::new(0x7f_0000 + i)))
+        })
+    });
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig::paper_l2());
+    let mut rng = SplitMix64::new(5);
+    c.bench_function("micro/l2_cache_access_fill", |b| {
+        b.iter(|| {
+            let line = LineAddr::new(rng.next_below(1 << 24));
+            if !cache.access(line) {
+                cache.fill(line);
+            }
+        })
+    });
+}
+
+fn bench_iommu_translate(c: &mut Criterion) {
+    let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+    let mut table = PageTable::new(&mut alloc);
+    for i in 0..1024u64 {
+        let f = alloc.alloc();
+        table.map(VirtPage::new(i), f, &mut alloc).unwrap();
+    }
+    let mut iommu: Iommu<u64> = Iommu::new(IommuConfig::paper_baseline());
+    let mut i = 0u64;
+    let mut t = Cycle::ZERO;
+    c.bench_function("micro/iommu_translate_and_start", |b| {
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            t = t + 1;
+            black_box(iommu.translate(VirtPage::new(i), InstrId::new(i as u32), i, t));
+            // Drain walkers instantly so the buffer cannot grow unbounded.
+            for read in iommu.start_walkers(&table, t) {
+                let mut step = iommu.memory_done(read.walker, t + 100);
+                while let ptw_core::iommu::WalkerStep::Read(r) = step {
+                    step = iommu.memory_done(r.walker, t + 100);
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_tlb_lookup,
+    bench_pwc_estimate,
+    bench_scheduler_select,
+    bench_dram_controller,
+    bench_coalescer,
+    bench_page_table_walk_path,
+    bench_cache_access,
+    bench_iommu_translate,
+);
+criterion_main!(micro);

@@ -1,0 +1,1 @@
+//! Criterion benchmark harness for the ptw-sched reproduction; see benches/.

@@ -1,0 +1,573 @@
+//! Page-table-walk scheduling policies.
+//!
+//! The paper's central claim is that *which pending walk the freed walker
+//! services next* matters. This module implements the policies the paper
+//! evaluates plus the two single-idea ablations of the SIMT-aware design:
+//!
+//! * [`SchedulerKind::Fcfs`] — the baseline: oldest request first;
+//! * [`SchedulerKind::Random`] — the naive straw-man (slows apps by ~26%);
+//! * [`SchedulerKind::SjfOnly`] — key idea 1 alone: lowest score first;
+//! * [`SchedulerKind::BatchOnly`] — key idea 2 alone: batch same-instruction
+//!   walks, otherwise FCFS;
+//! * [`SchedulerKind::SimtAware`] — the paper's scheduler: batch first,
+//!   then lowest score, oldest on ties, with starvation aging.
+//!
+//! Selection operates on a *window* of the pending queue (the IOMMU buffer
+//! capacity — "the size of the lookahead for the scheduler", Section V-B2).
+
+use ptw_types::ids::InstrId;
+use ptw_types::rng::SplitMix64;
+
+use crate::request::WalkRequest;
+
+/// Which scheduling policy the IOMMU uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// First-come-first-serve (the paper's baseline).
+    #[default]
+    Fcfs,
+    /// Uniformly random among pending requests.
+    Random,
+    /// Shortest-job-first on the per-instruction score only (ablation).
+    SjfOnly,
+    /// Same-instruction batching only, FCFS otherwise (ablation).
+    BatchOnly,
+    /// The paper's SIMT-aware scheduler (batching + SJF + aging).
+    SimtAware,
+    /// Follow-on probe: *longest*-job-first with batching — the exact
+    /// inverse of the paper's key idea 1. Included to demonstrate that the
+    /// SJF *direction* (not merely reordering) is what produces the gains;
+    /// Section III anticipates such policy exploration by analogy to
+    /// memory-controller scheduling.
+    HeaviestFirst,
+    /// Follow-on policy: round-robin one request per distinct instruction
+    /// present in the window — an equal-share/QoS-flavoured policy.
+    RoundRobin,
+}
+
+impl SchedulerKind {
+    /// The policies the paper evaluates or ablates, for sweeps.
+    pub const ALL: [SchedulerKind; 5] = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Random,
+        SchedulerKind::SjfOnly,
+        SchedulerKind::BatchOnly,
+        SchedulerKind::SimtAware,
+    ];
+
+    /// Every policy including the follow-on explorations.
+    pub const EXTENDED: [SchedulerKind; 7] = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Random,
+        SchedulerKind::SjfOnly,
+        SchedulerKind::BatchOnly,
+        SchedulerKind::SimtAware,
+        SchedulerKind::HeaviestFirst,
+        SchedulerKind::RoundRobin,
+    ];
+
+    /// Short label used in reports ("FCFS", "Random", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::Random => "Random",
+            SchedulerKind::SjfOnly => "SJF-only",
+            SchedulerKind::BatchOnly => "Batch-only",
+            SchedulerKind::SimtAware => "SIMT-aware",
+            SchedulerKind::HeaviestFirst => "Heaviest-first",
+            SchedulerKind::RoundRobin => "Round-robin",
+        }
+    }
+
+    /// Whether this policy uses per-instruction scores (and therefore needs
+    /// the arrival-time PWC estimate probe, action 1-a).
+    pub fn uses_scores(self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::SjfOnly | SchedulerKind::SimtAware | SchedulerKind::HeaviestFirst
+        )
+    }
+
+    /// Whether this policy batches same-instruction requests.
+    pub fn batches(self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::BatchOnly | SchedulerKind::SimtAware | SchedulerKind::HeaviestFirst
+        )
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stateful selector implementing the policies above.
+#[derive(Debug)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    /// Instruction of the most recently dispatched walk (batching state).
+    last_instr: Option<InstrId>,
+    /// Bypass count threshold above which a request is force-prioritized.
+    aging_threshold: u64,
+    /// Round-robin state: the last instruction granted a turn.
+    rr_last: Option<InstrId>,
+    rng: SplitMix64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler. `aging_threshold` is the paper's two-million-
+    /// requests starvation bound; `seed` feeds the Random policy.
+    pub fn new(kind: SchedulerKind, aging_threshold: u64, seed: u64) -> Self {
+        Scheduler {
+            kind,
+            last_instr: None,
+            aging_threshold,
+            rr_last: None,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The policy in use.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// The instruction of the most recently dispatched walk, if any.
+    pub fn last_instr(&self) -> Option<InstrId> {
+        self.last_instr
+    }
+
+    /// Selects the index (into `window`) of the next request to service.
+    ///
+    /// `eligible` filters out requests that cannot start (e.g. their page
+    /// is already being walked). Returns `None` when nothing is eligible.
+    ///
+    /// On success the batching state is updated and the bypass counters of
+    /// all *older* eligible requests that were passed over are incremented
+    /// (aging bookkeeping).
+    pub fn select<W>(
+        &mut self,
+        window: &mut [WalkRequest<W>],
+        eligible: impl Fn(&WalkRequest<W>) -> bool,
+    ) -> Option<usize> {
+        let candidates: Vec<usize> = window
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| eligible(r))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+
+        // Starved requests pre-empt every policy except the (already
+        // starvation-free) FCFS baseline; Random is left pure to match the
+        // paper's "naive random" straw-man.
+        let starved = candidates
+            .iter()
+            .copied()
+            .filter(|&i| window[i].is_starved(self.aging_threshold))
+            .min_by_key(|&i| window[i].seq);
+        let choice = if self.kind != SchedulerKind::Fcfs
+            && self.kind != SchedulerKind::Random
+            && starved.is_some()
+        {
+            starved.expect("checked")
+        } else {
+            match self.kind {
+                SchedulerKind::Fcfs => oldest(window, &candidates),
+                SchedulerKind::Random => candidates[self.rng.index(candidates.len())],
+                SchedulerKind::SjfOnly => lowest_score(window, &candidates),
+                SchedulerKind::BatchOnly => self
+                    .same_instr(window, &candidates)
+                    .unwrap_or_else(|| oldest(window, &candidates)),
+                SchedulerKind::SimtAware => self
+                    .same_instr(window, &candidates)
+                    .unwrap_or_else(|| lowest_score(window, &candidates)),
+                SchedulerKind::HeaviestFirst => self
+                    .same_instr(window, &candidates)
+                    .unwrap_or_else(|| highest_score(window, &candidates)),
+                SchedulerKind::RoundRobin => {
+                    // One request per distinct instruction in rotation:
+                    // pick the eligible instruction with the smallest ID
+                    // strictly greater than the last-served one, wrapping.
+                    let mut instrs: Vec<u32> =
+                        candidates.iter().map(|&i| window[i].instr.raw()).collect();
+                    instrs.sort_unstable();
+                    instrs.dedup();
+                    let next = match self.rr_last {
+                        Some(last) => instrs
+                            .iter()
+                            .copied()
+                            .find(|&x| x > last.raw())
+                            .unwrap_or(instrs[0]),
+                        None => instrs[0],
+                    };
+                    self.rr_last = Some(InstrId::new(next));
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&i| window[i].instr.raw() == next)
+                        .min_by_key(|&i| window[i].seq)
+                        .expect("chosen instruction has a candidate")
+                }
+            }
+        };
+
+        // Aging: every eligible request older than the choice was bypassed.
+        let chosen_seq = window[choice].seq;
+        for &i in &candidates {
+            if window[i].seq < chosen_seq {
+                window[i].bypassed += 1;
+            }
+        }
+        self.last_instr = Some(window[choice].instr);
+        Some(choice)
+    }
+
+    /// Oldest eligible request from the same instruction as the last
+    /// dispatched walk (action 2-a).
+    fn same_instr<W>(&self, window: &[WalkRequest<W>], candidates: &[usize]) -> Option<usize> {
+        let last = self.last_instr?;
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| window[i].instr == last)
+            .min_by_key(|&i| window[i].seq)
+    }
+}
+
+fn oldest<W>(window: &[WalkRequest<W>], candidates: &[usize]) -> usize {
+    candidates
+        .iter()
+        .copied()
+        .min_by_key(|&i| window[i].seq)
+        .expect("candidates nonempty")
+}
+
+fn lowest_score<W>(window: &[WalkRequest<W>], candidates: &[usize]) -> usize {
+    candidates
+        .iter()
+        .copied()
+        .min_by_key(|&i| (window[i].score, window[i].seq))
+        .expect("candidates nonempty")
+}
+
+fn highest_score<W>(window: &[WalkRequest<W>], candidates: &[usize]) -> usize {
+    candidates
+        .iter()
+        .copied()
+        .max_by_key(|&i| (window[i].score, u64::MAX - window[i].seq))
+        .expect("candidates nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptw_types::addr::VirtPage;
+    use ptw_types::time::Cycle;
+
+    fn req(seq: u64, instr: u32, score: u32) -> WalkRequest<()> {
+        WalkRequest {
+            page: VirtPage::new(seq),
+            instr: InstrId::new(instr),
+            seq,
+            enqueued_at: Cycle::ZERO,
+            own_estimate: 1,
+            score,
+            bypassed: 0,
+            waiter: (),
+        }
+    }
+
+    fn sched(kind: SchedulerKind) -> Scheduler {
+        Scheduler::new(kind, 2_000_000, 42)
+    }
+
+    #[test]
+    fn fcfs_picks_oldest() {
+        let mut s = sched(SchedulerKind::Fcfs);
+        let mut w = vec![req(5, 0, 1), req(2, 1, 9), req(7, 2, 1)];
+        assert_eq!(s.select(&mut w, |_| true), Some(1));
+    }
+
+    #[test]
+    fn sjf_picks_lowest_score_with_seq_tiebreak() {
+        let mut s = sched(SchedulerKind::SjfOnly);
+        let mut w = vec![req(1, 0, 8), req(2, 1, 3), req(3, 2, 3)];
+        assert_eq!(s.select(&mut w, |_| true), Some(1));
+    }
+
+    #[test]
+    fn simt_aware_batches_before_sjf() {
+        let mut s = sched(SchedulerKind::SimtAware);
+        // First pick: no batching state, lowest score wins (instr 7).
+        let mut w = vec![req(1, 3, 10), req(2, 7, 2), req(3, 3, 10), req(4, 7, 2)];
+        assert_eq!(s.select(&mut w, |_| true), Some(1));
+        w.remove(1);
+        // Now instr 7 is the batching target: its remaining request (seq 4)
+        // is chosen even though scores tie structure is unchanged.
+        assert_eq!(s.select(&mut w, |_| true), Some(2));
+        w.remove(2);
+        // No instr-7 requests left: falls back to lowest score among rest.
+        let pick = s.select(&mut w, |_| true).unwrap();
+        assert_eq!(w[pick].instr, InstrId::new(3));
+    }
+
+    #[test]
+    fn batch_only_falls_back_to_fcfs() {
+        let mut s = sched(SchedulerKind::BatchOnly);
+        let mut w = vec![req(2, 1, 9), req(5, 0, 1)];
+        // No batching state yet → oldest (seq 2).
+        assert_eq!(s.select(&mut w, |_| true), Some(0));
+        w.remove(0);
+        // instr 1 gone → fallback oldest again, ignoring scores.
+        assert_eq!(s.select(&mut w, |_| true), Some(0));
+    }
+
+    #[test]
+    fn batching_prefers_oldest_within_instruction() {
+        let mut s = sched(SchedulerKind::SimtAware);
+        let mut w = vec![req(1, 5, 1)];
+        s.select(&mut w, |_| true);
+        w.clear();
+        w.push(req(9, 5, 50));
+        w.push(req(3, 5, 50));
+        assert_eq!(s.select(&mut w, |_| true), Some(1)); // seq 3 first
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let mut s1 = Scheduler::new(SchedulerKind::Random, 0, 9);
+        let mut s2 = Scheduler::new(SchedulerKind::Random, 0, 9);
+        let mut w = vec![req(1, 0, 1), req(2, 1, 1), req(3, 2, 1)];
+        for _ in 0..10 {
+            let a = s1.select(&mut w, |_| true);
+            let b = s2.select(&mut w, |_| true);
+            assert_eq!(a, b);
+            assert!(a.unwrap() < w.len());
+        }
+    }
+
+    #[test]
+    fn eligibility_filter_respected() {
+        let mut s = sched(SchedulerKind::Fcfs);
+        let mut w = vec![req(1, 0, 1), req(2, 1, 1)];
+        let pick = s.select(&mut w, |r| r.seq != 1);
+        assert_eq!(pick, Some(1));
+        let none = s.select(&mut w, |_| false);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn aging_counts_bypasses_and_preempts() {
+        let mut s = Scheduler::new(SchedulerKind::SjfOnly, 3, 1);
+        let mut w = vec![req(1, 0, 100), req(2, 1, 1), req(3, 2, 1), req(4, 3, 1)];
+        // Three selections pick cheap younger requests, bypassing seq 1.
+        for _ in 0..3 {
+            let i = s.select(&mut w, |_| true).unwrap();
+            assert_ne!(w[i].seq, 1);
+            w.remove(i);
+            w.push(req(10 + w.len() as u64, 9, 1));
+        }
+        // seq 1 has now been bypassed 3 times (= threshold): forced next.
+        let i = s.select(&mut w, |_| true).unwrap();
+        assert_eq!(w[i].seq, 1);
+    }
+
+    #[test]
+    fn fcfs_never_needs_aging() {
+        let mut s = Scheduler::new(SchedulerKind::Fcfs, 1, 1);
+        let mut w = vec![req(1, 0, 1), req(2, 1, 1)];
+        w[1].bypassed = 100; // pretend it starved
+        // FCFS still picks the oldest.
+        assert_eq!(s.select(&mut w, |_| true), Some(0));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            SchedulerKind::EXTENDED.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), SchedulerKind::EXTENDED.len());
+    }
+
+    #[test]
+    fn heaviest_first_is_the_mirror_of_simt_aware() {
+        let mut s = sched(SchedulerKind::HeaviestFirst);
+        // Heaviest instruction (score 9) goes first, batched to completion.
+        let mut w = vec![req(1, 0, 2), req(2, 1, 9), req(3, 0, 2), req(4, 1, 9)];
+        let mut order = Vec::new();
+        while !w.is_empty() {
+            let i = s.select(&mut w, |_| true).unwrap();
+            order.push(w[i].instr.raw());
+            w.remove(i);
+        }
+        assert_eq!(order, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn round_robin_alternates_instructions() {
+        let mut s = sched(SchedulerKind::RoundRobin);
+        let mut w = vec![req(1, 0, 1), req(2, 1, 1), req(3, 0, 1), req(4, 1, 1)];
+        let mut order = Vec::new();
+        while !w.is_empty() {
+            let i = s.select(&mut w, |_| true).unwrap();
+            order.push(w[i].instr.raw());
+            w.remove(i);
+        }
+        assert_eq!(order, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn round_robin_wraps_around() {
+        let mut s = sched(SchedulerKind::RoundRobin);
+        let mut w = vec![req(1, 5, 1), req(2, 9, 1), req(3, 5, 1)];
+        let first = s.select(&mut w, |_| true).unwrap();
+        assert_eq!(w[first].instr.raw(), 5);
+        let i = s.select(&mut w, |_| true).unwrap();
+        assert_eq!(w[i].instr.raw(), 9);
+        w.remove(i);
+        // Only instr 5 remains; rotation wraps back to it.
+        let i = s.select(&mut w, |_| true).unwrap();
+        assert_eq!(w[i].instr.raw(), 5);
+    }
+
+    #[test]
+    fn extended_policies_have_flags() {
+        assert!(SchedulerKind::HeaviestFirst.uses_scores());
+        assert!(SchedulerKind::HeaviestFirst.batches());
+        assert!(!SchedulerKind::RoundRobin.uses_scores());
+        assert!(!SchedulerKind::RoundRobin.batches());
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(SchedulerKind::SimtAware.uses_scores());
+        assert!(SchedulerKind::SimtAware.batches());
+        assert!(SchedulerKind::SjfOnly.uses_scores());
+        assert!(!SchedulerKind::SjfOnly.batches());
+        assert!(!SchedulerKind::Fcfs.uses_scores());
+        assert!(SchedulerKind::BatchOnly.batches());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use ptw_types::addr::VirtPage;
+    use ptw_types::time::Cycle;
+
+    fn req(seq: u64, instr: u32, score: u32) -> WalkRequest<()> {
+        WalkRequest {
+            page: VirtPage::new(seq),
+            instr: InstrId::new(instr),
+            seq,
+            enqueued_at: Cycle::ZERO,
+            own_estimate: 1,
+            score,
+            bypassed: 0,
+            waiter: (),
+        }
+    }
+
+    fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
+        proptest::sample::select(SchedulerKind::EXTENDED.to_vec())
+    }
+
+    proptest! {
+        /// Every policy always returns an eligible in-bounds index (or
+        /// None when nothing is eligible), for arbitrary windows.
+        #[test]
+        fn select_returns_valid_eligible_index(
+            kind in kind_strategy(),
+            entries in proptest::collection::vec((0u32..8, 1u32..300), 1..64),
+            mask in proptest::collection::vec(any::<bool>(), 64),
+        ) {
+            let mut sched = Scheduler::new(kind, 1_000, 42);
+            let mut window: Vec<WalkRequest<()>> = entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(instr, score))| req(i as u64, instr, score))
+                .collect();
+            let eligible_set: Vec<bool> =
+                window.iter().enumerate().map(|(i, _)| mask[i % mask.len()]).collect();
+            let pick = sched.select(&mut window, |r| eligible_set[r.seq as usize]);
+            match pick {
+                Some(i) => {
+                    prop_assert!(i < window.len());
+                    prop_assert!(eligible_set[window[i].seq as usize]);
+                }
+                None => prop_assert!(eligible_set.iter().take(window.len()).all(|&e| !e)),
+            }
+        }
+
+        /// Starvation freedom: draining a continuously refilled window,
+        /// every policy (except pure Random) serves the very first request
+        /// within a bounded number of selections once aging kicks in.
+        #[test]
+        fn aging_bounds_starvation(
+            kind in kind_strategy(),
+            churn in 1u32..6,
+        ) {
+            prop_assume!(kind != SchedulerKind::Random);
+            let threshold = 20u64;
+            let mut sched = Scheduler::new(kind, threshold, 7);
+            // Victim: an expensive old request; competitors: endless cheap ones.
+            let mut window = vec![req(0, 0, 250)];
+            let mut next_seq = 1u64;
+            let mut selections = 0u64;
+            loop {
+                // Top up with cheap young requests from other instructions.
+                while window.len() < 8 {
+                    window.push(req(next_seq, 1 + (next_seq % churn as u64) as u32, 1));
+                    next_seq += 1;
+                }
+                let i = sched.select(&mut window, |_| true).expect("non-empty");
+                let served = window.remove(i);
+                selections += 1;
+                if served.seq == 0 {
+                    break;
+                }
+                prop_assert!(
+                    selections <= threshold + 64,
+                    "{kind:?}: victim starved past the aging bound"
+                );
+            }
+        }
+
+        /// Batching policies keep servicing the same instruction while it
+        /// has eligible requests.
+        #[test]
+        fn batching_is_sticky(
+            kind in proptest::sample::select(vec![
+                SchedulerKind::BatchOnly,
+                SchedulerKind::SimtAware,
+                SchedulerKind::HeaviestFirst,
+            ]),
+            instrs in proptest::collection::vec(0u32..4, 8..32),
+        ) {
+            let mut sched = Scheduler::new(kind, 1_000_000, 3);
+            let mut window: Vec<WalkRequest<()>> = instrs
+                .iter()
+                .enumerate()
+                .map(|(i, &instr)| req(i as u64, instr, 1 + instr))
+                .collect();
+            let mut last: Option<u32> = None;
+            while !window.is_empty() {
+                let i = sched.select(&mut window, |_| true).expect("non-empty");
+                let picked = window.remove(i).instr.raw();
+                if let Some(prev) = last {
+                    // If the previous instruction still has requests, the
+                    // batching policy must stay with it.
+                    if window.iter().any(|r| r.instr.raw() == prev) {
+                        prop_assert_eq!(picked, prev, "batch broken under {:?}", kind);
+                    }
+                }
+                last = Some(picked);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The hardware memory-access coalescer.
+//!
+//! When a wavefront executes a SIMD memory instruction, each active lane
+//! produces a virtual address. The coalescer merges lanes that fall on the
+//! same cache line into one cache access, and lanes that fall on the same
+//! 4 KiB page into one address-translation request (Section II: "a hardware
+//! coalescer combines these requests into single cache access"; "This is
+//! exploited by a hardware coalescer to lookup the TLB only once for such
+//! same page accesses").
+//!
+//! For a regular (unit-stride) instruction the 64 lanes collapse to a
+//! handful of lines on one page; for a fully divergent instruction nothing
+//! collapses and the instruction needs up to 64 translations — the memory
+//! access divergence that drives the whole paper.
+
+use ptw_types::addr::{VirtAddr, VirtPage, LINE_SIZE};
+
+/// The coalesced form of one SIMD memory instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoalesceResult {
+    /// Unique pages touched, in order of first appearance — one address
+    /// translation request each.
+    pub pages: Vec<VirtPage>,
+    /// Unique cache lines touched (line-aligned virtual addresses), in
+    /// order of first appearance — one cache access each.
+    pub lines: Vec<VirtAddr>,
+}
+
+impl CoalesceResult {
+    /// Degree of translation divergence: unique pages per instruction.
+    pub fn page_divergence(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Degree of cache-access divergence: unique lines per instruction.
+    pub fn line_divergence(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// Coalesces the per-lane addresses of one SIMD instruction.
+///
+/// # Panics
+///
+/// Panics if `addrs` is empty — an instruction with no active lanes never
+/// reaches the memory pipeline.
+pub fn coalesce(addrs: &[VirtAddr]) -> CoalesceResult {
+    assert!(!addrs.is_empty(), "memory instruction with no active lanes");
+    let mut pages: Vec<VirtPage> = Vec::new();
+    let mut lines: Vec<VirtAddr> = Vec::new();
+    for &a in addrs {
+        let page = a.page();
+        if !pages.contains(&page) {
+            pages.push(page);
+        }
+        let line = VirtAddr::new(a.raw() & !(LINE_SIZE as u64 - 1));
+        if !lines.contains(&line) {
+            lines.push(line);
+        }
+    }
+    CoalesceResult { pages, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptw_types::addr::PAGE_SIZE;
+
+    #[test]
+    fn unit_stride_collapses_to_one_page() {
+        // 64 lanes × 8-byte elements, consecutive: 512 bytes = 8 lines,
+        // 1 page.
+        let addrs: Vec<VirtAddr> = (0..64).map(|l| VirtAddr::new(0x10_0000 + l * 8)).collect();
+        let r = coalesce(&addrs);
+        assert_eq!(r.page_divergence(), 1);
+        assert_eq!(r.line_divergence(), 8);
+    }
+
+    #[test]
+    fn page_strided_lanes_fully_diverge() {
+        // Lane l accesses base + l * 32 KiB: 64 pages, 64 lines.
+        let addrs: Vec<VirtAddr> =
+            (0..64).map(|l| VirtAddr::new(0x10_0000 + l * 32 * 1024)).collect();
+        let r = coalesce(&addrs);
+        assert_eq!(r.page_divergence(), 64);
+        assert_eq!(r.line_divergence(), 64);
+    }
+
+    #[test]
+    fn duplicate_addresses_coalesce_fully() {
+        let addrs = vec![VirtAddr::new(64); 16];
+        let r = coalesce(&addrs);
+        assert_eq!(r.page_divergence(), 1);
+        assert_eq!(r.line_divergence(), 1);
+    }
+
+    #[test]
+    fn same_page_different_lines() {
+        let addrs: Vec<VirtAddr> = (0..4).map(|l| VirtAddr::new(l * 1024)).collect();
+        let r = coalesce(&addrs);
+        assert_eq!(r.page_divergence(), 1);
+        assert_eq!(r.line_divergence(), 4);
+    }
+
+    #[test]
+    fn order_of_first_appearance_is_preserved() {
+        let addrs = vec![
+            VirtAddr::new(3 * PAGE_SIZE as u64),
+            VirtAddr::new(PAGE_SIZE as u64),
+            VirtAddr::new(3 * PAGE_SIZE as u64 + 8),
+        ];
+        let r = coalesce(&addrs);
+        assert_eq!(r.pages, vec![VirtPage::new(3), VirtPage::new(1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_lanes_panic() {
+        coalesce(&[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        /// Unique pages/lines out never exceed lanes in, and exactly match
+        /// the set-wise unique counts.
+        #[test]
+        fn counts_match_sets(raw in proptest::collection::vec(0u64..1u64 << 24, 1..128)) {
+            let addrs: Vec<VirtAddr> = raw.iter().map(|&a| VirtAddr::new(a)).collect();
+            let r = coalesce(&addrs);
+            let page_set: HashSet<u64> = raw.iter().map(|a| a >> 12).collect();
+            let line_set: HashSet<u64> = raw.iter().map(|a| a >> 6).collect();
+            prop_assert_eq!(r.page_divergence(), page_set.len());
+            prop_assert_eq!(r.line_divergence(), line_set.len());
+            prop_assert!(r.page_divergence() <= addrs.len());
+            // A page holds at least one touched line.
+            prop_assert!(r.page_divergence() <= r.line_divergence());
+        }
+
+        /// Every returned line is line-aligned and belongs to a returned page.
+        #[test]
+        fn lines_are_aligned_and_covered(raw in proptest::collection::vec(0u64..1u64 << 24, 1..64)) {
+            let addrs: Vec<VirtAddr> = raw.iter().map(|&a| VirtAddr::new(a)).collect();
+            let r = coalesce(&addrs);
+            for line in &r.lines {
+                prop_assert_eq!(line.raw() % 64, 0);
+                prop_assert!(r.pages.contains(&line.page()));
+            }
+        }
+    }
+}

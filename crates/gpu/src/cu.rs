@@ -1,0 +1,199 @@
+//! Compute-unit bookkeeping and stall accounting.
+//!
+//! Figure 9 of the paper reports "GPU stall cycles in execution stage":
+//! cycles during which a CU cannot execute any instruction because none are
+//! ready. In this model a CU is *stalled* over an interval when every
+//! resident (non-retired) wavefront is blocked on memory — translation or
+//! data — so there is nothing to issue and nothing computing.
+//!
+//! Accounting is event-driven: the simulator notifies the CU whenever a
+//! wavefront blocks, unblocks, or retires, and the CU integrates the
+//! all-blocked intervals.
+
+use ptw_types::ids::CuId;
+use ptw_types::time::Cycle;
+
+/// One compute unit's occupancy and stall counters.
+#[derive(Clone, Debug)]
+pub struct Cu {
+    /// This CU's identifier.
+    pub id: CuId,
+    resident: usize,
+    blocked: usize,
+    stalled_since: Option<Cycle>,
+    stall_cycles: u64,
+    issued_instructions: u64,
+    retired_at: Option<Cycle>,
+}
+
+impl Cu {
+    /// Creates a CU with `resident` wavefronts assigned to it.
+    pub fn new(id: CuId, resident: usize) -> Self {
+        Cu {
+            id,
+            resident,
+            blocked: 0,
+            stalled_since: None,
+            stall_cycles: 0,
+            issued_instructions: 0,
+            retired_at: None,
+        }
+    }
+
+    /// Live (non-retired) wavefronts on this CU.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Wavefronts currently blocked on memory.
+    pub fn blocked(&self) -> usize {
+        self.blocked
+    }
+
+    /// Whether the CU is currently in a stall interval.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled_since.is_some()
+    }
+
+    /// Total stall cycles integrated so far (closed intervals only).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Instructions issued by this CU's wavefronts.
+    pub fn issued_instructions(&self) -> u64 {
+        self.issued_instructions
+    }
+
+    /// The cycle the last wavefront retired, if the CU is done.
+    pub fn retired_at(&self) -> Option<Cycle> {
+        self.retired_at
+    }
+
+    fn maybe_enter_stall(&mut self, now: Cycle) {
+        if self.resident > 0 && self.blocked == self.resident && self.stalled_since.is_none() {
+            self.stalled_since = Some(now);
+        }
+    }
+
+    fn maybe_exit_stall(&mut self, now: Cycle) {
+        if let Some(since) = self.stalled_since.take() {
+            self.stall_cycles += now - since;
+        }
+    }
+
+    /// A wavefront issued an instruction and became blocked on memory.
+    pub fn wavefront_blocked(&mut self, now: Cycle) {
+        debug_assert!(self.blocked < self.resident, "more blocked than resident");
+        self.blocked += 1;
+        self.issued_instructions += 1;
+        self.maybe_enter_stall(now);
+    }
+
+    /// A blocked wavefront's memory completed (it is computing again).
+    pub fn wavefront_unblocked(&mut self, now: Cycle) {
+        debug_assert!(self.blocked > 0, "unblock with none blocked");
+        self.maybe_exit_stall(now);
+        self.blocked -= 1;
+    }
+
+    /// An unblocked wavefront ran out of instructions.
+    pub fn wavefront_retired(&mut self, now: Cycle) {
+        debug_assert!(self.resident > 0, "retire with none resident");
+        self.resident -= 1;
+        if self.resident == 0 {
+            self.maybe_exit_stall(now);
+            self.retired_at = Some(now);
+        } else {
+            self.maybe_enter_stall(now);
+        }
+    }
+
+    /// Closes any open stall interval at simulation end.
+    pub fn finish(&mut self, now: Cycle) {
+        self.maybe_exit_stall(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cu(n: usize) -> Cu {
+        Cu::new(CuId(0), n)
+    }
+
+    #[test]
+    fn single_wavefront_blocking_stalls_cu() {
+        let mut c = cu(1);
+        c.wavefront_blocked(Cycle::new(10));
+        assert!(c.is_stalled());
+        c.wavefront_unblocked(Cycle::new(50));
+        assert!(!c.is_stalled());
+        assert_eq!(c.stall_cycles(), 40);
+    }
+
+    #[test]
+    fn partial_blocking_is_not_a_stall() {
+        let mut c = cu(2);
+        c.wavefront_blocked(Cycle::new(10));
+        assert!(!c.is_stalled());
+        c.wavefront_blocked(Cycle::new(20));
+        assert!(c.is_stalled());
+        c.wavefront_unblocked(Cycle::new(35));
+        assert_eq!(c.stall_cycles(), 15);
+        c.wavefront_unblocked(Cycle::new(90));
+        assert_eq!(c.stall_cycles(), 15); // no second interval
+    }
+
+    #[test]
+    fn retirement_shrinks_the_quorum() {
+        let mut c = cu(2);
+        c.wavefront_blocked(Cycle::new(0));
+        // The other wavefront retires: now 1 resident, 1 blocked → stall.
+        c.wavefront_retired(Cycle::new(10));
+        assert!(c.is_stalled());
+        c.wavefront_unblocked(Cycle::new(25));
+        assert_eq!(c.stall_cycles(), 15);
+    }
+
+    #[test]
+    fn last_retirement_closes_everything() {
+        let mut c = cu(1);
+        c.wavefront_blocked(Cycle::new(0));
+        c.wavefront_unblocked(Cycle::new(30));
+        c.wavefront_retired(Cycle::new(30));
+        assert_eq!(c.resident(), 0);
+        assert_eq!(c.retired_at(), Some(Cycle::new(30)));
+        assert_eq!(c.stall_cycles(), 30);
+        assert!(!c.is_stalled());
+    }
+
+    #[test]
+    fn finish_closes_open_interval() {
+        let mut c = cu(1);
+        c.wavefront_blocked(Cycle::new(100));
+        c.finish(Cycle::new(180));
+        assert_eq!(c.stall_cycles(), 80);
+    }
+
+    #[test]
+    fn issued_instruction_count() {
+        let mut c = cu(2);
+        c.wavefront_blocked(Cycle::new(0));
+        c.wavefront_unblocked(Cycle::new(1));
+        c.wavefront_blocked(Cycle::new(2));
+        c.wavefront_unblocked(Cycle::new(3));
+        assert_eq!(c.issued_instructions(), 2);
+    }
+
+    #[test]
+    fn interleaved_stall_intervals_sum() {
+        let mut c = cu(1);
+        for (b, u) in [(0u64, 10u64), (20, 25), (30, 100)] {
+            c.wavefront_blocked(Cycle::new(b));
+            c.wavefront_unblocked(Cycle::new(u));
+        }
+        assert_eq!(c.stall_cycles(), 10 + 5 + 70);
+    }
+}

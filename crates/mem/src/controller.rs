@@ -1,0 +1,498 @@
+//! The DRAM memory controller.
+//!
+//! An event-driven model of a per-channel memory controller with
+//! first-ready-first-come-first-serve (FR-FCFS) scheduling [Rixner et al.,
+//! ISCA 2000], the policy the paper assumes for the memory side (Section
+//! III: "A keen reader will notice the parallel between the scheduling of
+//! page table walks and the scheduling of memory (DRAM) accesses at the
+//! memory controller"). A strict FCFS variant is provided for ablation.
+//!
+//! Both the GPU data path (cache misses) and the IOMMU's page table walkers
+//! submit requests here, so page walks and data fetches contend for the same
+//! banks — an interaction the paper's results depend on.
+//!
+//! # Driving the controller
+//!
+//! The controller is passive: callers [`submit`](MemoryController::submit)
+//! requests, then alternate [`advance`](MemoryController::advance) (which
+//! issues every command schedulable at or before `now` and returns finished
+//! requests) with [`next_event_time`](MemoryController::next_event_time)
+//! (which tells the event loop when to come back).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ptw_types::addr::LineAddr;
+use ptw_types::time::Cycle;
+
+use crate::dram::{map_address, DramConfig, DramCoord};
+
+/// Identifier of an in-flight memory request, unique within one controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemReqId(pub u64);
+
+/// Who issued a memory request; used for statistics and debugging only —
+/// the controller schedules both identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSource {
+    /// A data-cache miss (GPU L2 miss).
+    Data,
+    /// A page-table access from an IOMMU walker.
+    PageWalk,
+}
+
+/// Scheduling policy for pending DRAM commands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MemSchedPolicy {
+    /// First-ready FCFS: row-buffer hits first, then oldest.
+    #[default]
+    FrFcfs,
+    /// Strict arrival order per channel (ablation baseline).
+    Fcfs,
+}
+
+/// A finished memory request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemCompletion {
+    /// The request that finished.
+    pub id: MemReqId,
+    /// Cycle at which the data is available.
+    pub at: Cycle,
+    /// The line that was fetched.
+    pub line: LineAddr,
+    /// Originator tag the request was submitted with.
+    pub source: MemSource,
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    id: MemReqId,
+    line: LineAddr,
+    coord: DramCoord,
+    source: MemSource,
+    arrived: Cycle,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Bank {
+    ready_at: Cycle,
+    open_row: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct Channel {
+    queue: VecDeque<Pending>,
+    next_issue_at: Cycle,
+    banks: Vec<Bank>,
+}
+
+/// Aggregate statistics for one controller.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Requests submitted by the data path.
+    pub data_requests: u64,
+    /// Requests submitted by page walkers.
+    pub walk_requests: u64,
+    /// Commands that hit the open row.
+    pub row_hits: u64,
+    /// Commands that needed precharge + activate.
+    pub row_conflicts: u64,
+    /// Sum over completed requests of (completion − arrival), for average
+    /// memory latency.
+    pub total_latency: u64,
+    /// Number of completed requests.
+    pub completed: u64,
+}
+
+impl MemStats {
+    /// Average request latency in cycles (0 when nothing completed).
+    pub fn avg_latency(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.completed as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all issued commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let t = self.row_hits + self.row_conflicts;
+        if t == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct InFlight {
+    at: Cycle,
+    id: MemReqId,
+    line: LineAddr,
+    source: MemSource,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The DRAM memory controller (all channels).
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: DramConfig,
+    policy: MemSchedPolicy,
+    channels: Vec<Channel>,
+    inflight: BinaryHeap<Reverse<InFlight>>,
+    next_id: u64,
+    stats: MemStats,
+}
+
+impl MemoryController {
+    /// Creates a controller for the given DRAM configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`].
+    pub fn new(cfg: DramConfig, policy: MemSchedPolicy) -> Self {
+        cfg.validate().expect("invalid DRAM configuration");
+        let channels = (0..cfg.channels)
+            .map(|_| Channel {
+                queue: VecDeque::new(),
+                next_issue_at: Cycle::ZERO,
+                banks: vec![Bank::default(); cfg.banks_per_channel()],
+            })
+            .collect();
+        MemoryController {
+            cfg,
+            policy,
+            channels,
+            inflight: BinaryHeap::new(),
+            next_id: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Number of requests waiting or in flight.
+    pub fn outstanding(&self) -> usize {
+        self.channels.iter().map(|c| c.queue.len()).sum::<usize>() + self.inflight.len()
+    }
+
+    /// Submits a read request for `line`, arriving at cycle `now`.
+    pub fn submit(&mut self, line: LineAddr, source: MemSource, now: Cycle) -> MemReqId {
+        let id = MemReqId(self.next_id);
+        self.next_id += 1;
+        match source {
+            MemSource::Data => self.stats.data_requests += 1,
+            MemSource::PageWalk => self.stats.walk_requests += 1,
+        }
+        let coord = map_address(&self.cfg, line);
+        self.channels[coord.channel].queue.push_back(Pending {
+            id,
+            line,
+            coord,
+            source,
+            arrived: now,
+        });
+        id
+    }
+
+    /// Picks the queue index to issue next on `channel` at time `t`, if any
+    /// request's bank is ready by `t`.
+    fn pick(&self, channel: usize, t: Cycle) -> Option<usize> {
+        let ch = &self.channels[channel];
+        match self.policy {
+            MemSchedPolicy::Fcfs => {
+                let head = ch.queue.front()?;
+                (ch.banks[head.coord.bank].ready_at <= t && head.arrived <= t).then_some(0)
+            }
+            MemSchedPolicy::FrFcfs => {
+                let mut best: Option<(bool, usize)> = None; // (is_hit, index)
+                for (i, p) in ch.queue.iter().enumerate() {
+                    let bank = &ch.banks[p.coord.bank];
+                    if bank.ready_at > t || p.arrived > t {
+                        continue;
+                    }
+                    let hit = bank.open_row == Some(p.coord.row);
+                    match best {
+                        None => best = Some((hit, i)),
+                        Some((best_hit, _)) if hit && !best_hit => best = Some((hit, i)),
+                        _ => {}
+                    }
+                    if hit {
+                        // First (oldest) row hit wins outright.
+                        break;
+                    }
+                }
+                best.map(|(_, i)| i)
+            }
+        }
+    }
+
+    /// The earliest time at which `channel` could issue its next command,
+    /// or `None` if it has nothing queued.
+    fn channel_ready_time(&self, channel: usize) -> Option<Cycle> {
+        let ch = &self.channels[channel];
+        let candidates: Box<dyn Iterator<Item = &Pending>> = match self.policy {
+            MemSchedPolicy::Fcfs => Box::new(ch.queue.front().into_iter()),
+            MemSchedPolicy::FrFcfs => Box::new(ch.queue.iter()),
+        };
+        let earliest_request = candidates
+            .map(|p| ch.banks[p.coord.bank].ready_at.max(p.arrived))
+            .min()?;
+        Some(earliest_request.max(ch.next_issue_at))
+    }
+
+    /// Issues every command schedulable at or before `now` and returns all
+    /// requests that have completed by `now`, in completion order.
+    pub fn advance(&mut self, now: Cycle) -> Vec<MemCompletion> {
+        for channel in 0..self.channels.len() {
+            loop {
+                let Some(t) = self.channel_ready_time(channel) else { break };
+                if t > now {
+                    break;
+                }
+                let Some(idx) = self.pick(channel, t) else { break };
+                let p = self.channels[channel]
+                    .queue
+                    .remove(idx)
+                    .expect("picked index exists");
+                let ch = &mut self.channels[channel];
+                let bank = &mut ch.banks[p.coord.bank];
+                let hit = bank.open_row == Some(p.coord.row);
+                let service = if hit {
+                    self.stats.row_hits += 1;
+                    self.cfg.row_hit_cycles
+                } else {
+                    self.stats.row_conflicts += 1;
+                    self.cfg.row_conflict_cycles
+                };
+                let done = t + service;
+                bank.ready_at = done;
+                bank.open_row = Some(p.coord.row);
+                ch.next_issue_at = t + self.cfg.bus_cycles;
+                self.inflight.push(Reverse(InFlight {
+                    at: done,
+                    id: p.id,
+                    line: p.line,
+                    source: p.source,
+                }));
+                self.stats.total_latency += done - p.arrived;
+                self.stats.completed += 1;
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(Reverse(top)) = self.inflight.peek() {
+            if top.at > now {
+                break;
+            }
+            let Reverse(f) = self.inflight.pop().expect("peeked");
+            out.push(MemCompletion {
+                id: f.id,
+                at: f.at,
+                line: f.line,
+                source: f.source,
+            });
+        }
+        out
+    }
+
+    /// The next cycle at which calling [`advance`](Self::advance) could make
+    /// progress (a completion or an issue), or `None` if the controller is
+    /// idle.
+    pub fn next_event_time(&self) -> Option<Cycle> {
+        let next_completion = self.inflight.peek().map(|Reverse(f)| f.at);
+        let next_issue = (0..self.channels.len())
+            .filter_map(|c| self.channel_ready_time(c))
+            .min();
+        match (next_completion, next_issue) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(policy: MemSchedPolicy) -> MemoryController {
+        MemoryController::new(DramConfig::paper_baseline(), policy)
+    }
+
+    /// Drains the controller fully, returning completions in order.
+    fn drain(c: &mut MemoryController) -> Vec<MemCompletion> {
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while let Some(t) = c.next_event_time() {
+            out.extend(c.advance(t));
+            guard += 1;
+            assert!(guard < 100_000, "controller did not drain");
+        }
+        out
+    }
+
+    #[test]
+    fn single_request_completes_with_conflict_latency() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        let id = c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        // Cold bank: row conflict timing.
+        assert_eq!(done[0].at.raw(), c.config().row_conflict_cycles);
+        assert_eq!(c.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn second_access_same_row_is_a_hit() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        let done1 = drain(&mut c);
+        let t = done1[0].at;
+        c.submit(LineAddr::new(0), MemSource::Data, t);
+        drain(&mut c);
+        assert_eq!(c.stats().row_hits, 1);
+        assert_eq!(c.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn same_bank_requests_serialize() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        // Same line twice -> same bank; second must wait for first.
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 2);
+        let gap = done[1].at - done[0].at;
+        assert_eq!(gap, c.config().row_hit_cycles); // second is a row hit
+    }
+
+    #[test]
+    fn different_channels_overlap() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        // Lines 0 and 64 map to different channels -> fully parallel.
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        c.submit(LineAddr::new(64), MemSource::Data, Cycle::ZERO);
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].at, done[1].at); // identical cold-latency finishes
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hit_over_older_conflict() {
+        let cfg = DramConfig::paper_baseline();
+        let mut c = MemoryController::new(cfg.clone(), MemSchedPolicy::FrFcfs);
+        // Open row 0 of bank 0 / channel 0.
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        let opened = drain(&mut c);
+        let t = opened[0].at;
+        // Now queue: (a) older request to a *different row* of bank 0,
+        // (b) younger request that hits row 0 of bank 0.
+        let row_stride = cfg.row_bytes * cfg.channels as u64 * cfg.banks_per_channel() as u64;
+        let a = c.submit(LineAddr::new(row_stride), MemSource::Data, t);
+        let b = c.submit(LineAddr::new(0), MemSource::Data, t);
+        let done = drain(&mut c);
+        assert_eq!(done[0].id, b, "row hit must be served first");
+        assert_eq!(done[1].id, a);
+    }
+
+    #[test]
+    fn fcfs_respects_arrival_order() {
+        let cfg = DramConfig::paper_baseline();
+        let mut c = MemoryController::new(cfg.clone(), MemSchedPolicy::Fcfs);
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        let opened = drain(&mut c);
+        let t = opened[0].at;
+        let row_stride = cfg.row_bytes * cfg.channels as u64 * cfg.banks_per_channel() as u64;
+        let a = c.submit(LineAddr::new(row_stride), MemSource::Data, t);
+        let b = c.submit(LineAddr::new(0), MemSource::Data, t);
+        let done = drain(&mut c);
+        assert_eq!(done[0].id, a, "FCFS serves the older request first");
+        assert_eq!(done[1].id, b);
+    }
+
+    #[test]
+    fn bus_spacing_enforced_across_banks() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        // Two requests to different banks of channel 0 (lines 0 and 128).
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        c.submit(LineAddr::new(128), MemSource::Data, Cycle::ZERO);
+        let done = drain(&mut c);
+        // Banks are parallel but command issue is spaced by bus_cycles.
+        let gap = done[1].at - done[0].at;
+        assert_eq!(gap, c.config().bus_cycles);
+    }
+
+    #[test]
+    fn stats_track_sources() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::ZERO);
+        c.submit(LineAddr::new(64), MemSource::PageWalk, Cycle::ZERO);
+        drain(&mut c);
+        assert_eq!(c.stats().data_requests, 1);
+        assert_eq!(c.stats().walk_requests, 1);
+        assert_eq!(c.stats().completed, 2);
+        assert!(c.stats().avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn next_event_time_none_when_idle() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        assert_eq!(c.next_event_time(), None);
+        c.submit(LineAddr::new(0), MemSource::Data, Cycle::new(5));
+        assert!(c.next_event_time().is_some());
+        drain(&mut c);
+        assert_eq!(c.next_event_time(), None);
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn advance_is_monotonic_in_completions() {
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        for i in 0..50u64 {
+            c.submit(LineAddr::new(i * 64), MemSource::Data, Cycle::ZERO);
+        }
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 50);
+        for w in done.windows(2) {
+            assert!(w[0].at <= w[1].at, "completions out of order");
+        }
+    }
+
+    #[test]
+    fn heavy_load_makes_queueing_visible() {
+        // With many requests to one bank, average latency must grow well
+        // beyond the unloaded latency — queueing is what the paper's
+        // scheduler exploits.
+        let mut c = ctrl(MemSchedPolicy::FrFcfs);
+        let row_stride = {
+            let cfg = c.config();
+            cfg.row_bytes * cfg.channels as u64 * cfg.banks_per_channel() as u64
+        };
+        for i in 0..32u64 {
+            // All to bank 0/channel 0, alternating rows (all conflicts).
+            c.submit(LineAddr::new(i * row_stride), MemSource::Data, Cycle::ZERO);
+        }
+        drain(&mut c);
+        assert!(c.stats().avg_latency() > 10.0 * c.config().row_conflict_cycles as f64 / 2.0);
+    }
+}

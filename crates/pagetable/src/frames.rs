@@ -1,0 +1,208 @@
+//! Physical frame allocation for the simulated machine.
+//!
+//! The simulator needs physical frames for (a) page-table nodes and (b) the
+//! data pages workloads touch. Frames are handed out deterministically so a
+//! run is reproducible, with an optional bijective scramble so that
+//! consecutive virtual pages do not land in trivially consecutive physical
+//! frames (which would make the DRAM bank interleaving unrealistically
+//! regular for the page-walk traffic).
+
+use ptw_types::addr::PhysFrame;
+
+/// How physical frames are laid out as they are allocated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FrameLayout {
+    /// Frame *i* is physical frame `base + i`.
+    #[default]
+    Sequential,
+    /// Frame *i* is `base + bitmix(i)` where `bitmix` is a bijection on the
+    /// configured capacity (an odd multiplicative permutation modulo a
+    /// power of two). Decorrelates OS allocation order from physical
+    /// placement, like a long-running system's fragmented free list.
+    Scrambled,
+}
+
+/// A deterministic physical frame allocator.
+///
+/// ```
+/// use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
+/// let mut a = FrameAllocator::new(0x100, 1 << 20, FrameLayout::Sequential);
+/// let f0 = a.alloc();
+/// let f1 = a.alloc();
+/// assert_eq!(f1.raw(), f0.raw() + 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    base: u64,
+    capacity: u64,
+    next: u64,
+    layout: FrameLayout,
+    /// Additive offset of the scrambled layout (seed-dependent). The
+    /// affine map `i·m + offset (mod 2^k)` stays a bijection for odd `m`.
+    offset: u64,
+}
+
+/// Odd multiplier used by the scrambled layout (splitmix-derived constant).
+const SCRAMBLE_MULTIPLIER: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FrameAllocator {
+    /// Creates an allocator managing `capacity` frames starting at physical
+    /// frame `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, or not a power of two when the
+    /// scrambled layout is requested (the scramble is only bijective over
+    /// power-of-two ranges).
+    pub fn new(base: u64, capacity: u64, layout: FrameLayout) -> Self {
+        Self::with_seed(base, capacity, layout, 0)
+    }
+
+    /// Like [`new`](Self::new), but with a seed that rotates the scrambled
+    /// layout, modelling different free-list histories across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, or not a power of two when the
+    /// scrambled layout is requested (the scramble is only bijective over
+    /// power-of-two ranges).
+    pub fn with_seed(base: u64, capacity: u64, layout: FrameLayout, seed: u64) -> Self {
+        assert!(capacity > 0, "allocator capacity must be positive");
+        if layout == FrameLayout::Scrambled {
+            assert!(
+                capacity.is_power_of_two(),
+                "scrambled layout requires power-of-two capacity"
+            );
+        }
+        let offset = seed.wrapping_mul(SCRAMBLE_MULTIPLIER);
+        FrameAllocator { base, capacity, next: 0, layout, offset }
+    }
+
+    /// Allocator for a machine with `bytes` of physical memory above a
+    /// small reserved region, using the given layout.
+    pub fn with_memory_bytes(bytes: u64, layout: FrameLayout) -> Self {
+        Self::with_memory_bytes_seeded(bytes, layout, 0)
+    }
+
+    /// [`with_memory_bytes`](Self::with_memory_bytes) with a layout seed.
+    pub fn with_memory_bytes_seeded(bytes: u64, layout: FrameLayout, seed: u64) -> Self {
+        let frames = (bytes / ptw_types::addr::PAGE_SIZE as u64).next_power_of_two();
+        // Reserve the low 16 MiB (frame 0x1000) like firmware/OS would.
+        FrameAllocator::with_seed(0x1000, frames, layout, seed)
+    }
+
+    /// Number of frames handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    /// Number of frames still available.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.next
+    }
+
+    /// Allocates the next frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is exhausted.
+    pub fn alloc(&mut self) -> PhysFrame {
+        assert!(
+            self.next < self.capacity,
+            "physical memory exhausted after {} frames",
+            self.capacity
+        );
+        let i = self.next;
+        self.next += 1;
+        let off = match self.layout {
+            FrameLayout::Sequential => i,
+            FrameLayout::Scrambled => {
+                i.wrapping_mul(SCRAMBLE_MULTIPLIER).wrapping_add(self.offset)
+                    & (self.capacity - 1)
+            }
+        };
+        PhysFrame::new(self.base + off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequential_is_contiguous() {
+        let mut a = FrameAllocator::new(10, 100, FrameLayout::Sequential);
+        let frames: Vec<u64> = (0..5).map(|_| a.alloc().raw()).collect();
+        assert_eq!(frames, vec![10, 11, 12, 13, 14]);
+        assert_eq!(a.allocated(), 5);
+        assert_eq!(a.remaining(), 95);
+    }
+
+    #[test]
+    fn scrambled_is_a_bijection() {
+        let cap = 1u64 << 12;
+        let mut a = FrameAllocator::new(0, cap, FrameLayout::Scrambled);
+        let mut seen = HashSet::new();
+        for _ in 0..cap {
+            assert!(seen.insert(a.alloc().raw()), "duplicate frame");
+        }
+        assert_eq!(seen.len(), cap as usize);
+        assert!(seen.iter().all(|&f| f < cap));
+    }
+
+    #[test]
+    fn scrambled_is_not_sequential() {
+        let mut a = FrameAllocator::new(0, 1 << 12, FrameLayout::Scrambled);
+        let f0 = a.alloc().raw();
+        let f1 = a.alloc().raw();
+        assert_ne!(f1, f0 + 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exhaustion_panics() {
+        let mut a = FrameAllocator::new(0, 1, FrameLayout::Sequential);
+        a.alloc();
+        a.alloc();
+    }
+
+    #[test]
+    #[should_panic]
+    fn scrambled_requires_pow2() {
+        let _ = FrameAllocator::new(0, 100, FrameLayout::Scrambled);
+    }
+
+    #[test]
+    fn with_memory_bytes_reserves_low_memory() {
+        let mut a = FrameAllocator::with_memory_bytes(1 << 30, FrameLayout::Sequential);
+        assert!(a.alloc().raw() >= 0x1000);
+    }
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeded_scramble_is_still_a_bijection() {
+        let cap = 1u64 << 10;
+        for seed in [0u64, 1, 0xC0FFEE] {
+            let mut a = FrameAllocator::with_seed(0, cap, FrameLayout::Scrambled, seed);
+            let mut seen = HashSet::new();
+            for _ in 0..cap {
+                assert!(seen.insert(a.alloc().raw()), "duplicate frame (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_layouts() {
+        let mut a = FrameAllocator::with_seed(0, 1 << 10, FrameLayout::Scrambled, 1);
+        let mut b = FrameAllocator::with_seed(0, 1 << 10, FrameLayout::Scrambled, 2);
+        let fa: Vec<u64> = (0..16).map(|_| a.alloc().raw()).collect();
+        let fb: Vec<u64> = (0..16).map(|_| b.alloc().raw()).collect();
+        assert_ne!(fa, fb);
+    }
+}

@@ -1,0 +1,446 @@
+//! Page walk caches (PWCs) with the paper's 2-bit counter scheme.
+//!
+//! The IOMMU keeps small caches for the *upper three levels* of the page
+//! table (Section II-B): a hit for the level-2 (PD) entry leaves only the
+//! leaf PTE to fetch (1 memory access); a hit for only the root (PML4)
+//! entry leaves 3; a complete miss costs the full 4.
+//!
+//! Section IV's "Design Subtleties" add a feedback mechanism the SIMT-aware
+//! scheduler relies on: each PWC entry carries a **2-bit saturating
+//! counter**. When a newly-arrived walk request's *estimate probe* hits an
+//! entry (action 1-a), the counter is incremented — the entry now backs an
+//! estimate of a request still waiting in the IOMMU buffer. When the
+//! scheduled walk actually consumes the entry (action 2-b), the counter is
+//! decremented. Replacement avoids victimizing entries with non-zero
+//! counters (falling back to plain pseudo-LRU when every way is pinned),
+//! keeping arrival-time scores honest.
+
+use ptw_mem::assoc::{AssocArray, Replacement};
+use ptw_types::addr::{PhysAddr, PhysFrame, VirtPage};
+
+use crate::table::{PageTable, WalkPath};
+
+/// The page-table levels cached by the PWC, deepest first.
+/// (Level 1 — the leaf PT — is never cached; that is the TLB's job.)
+pub const PWC_LEVELS: [u8; 3] = [2, 3, 4];
+
+/// Configuration of the page walk caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PwcConfig {
+    /// Entries per cached level (each of levels 4, 3, 2 has its own array).
+    pub entries_per_level: usize,
+    /// Associativity of each per-level array.
+    pub ways: usize,
+    /// Enables the 2-bit counter + pinned-replacement scheme from the
+    /// paper. Disable for the ablation study.
+    pub counter_pinning: bool,
+}
+
+impl PwcConfig {
+    /// Default geometry: three 32-entry fully-associative per-level caches,
+    /// in line with published MMU-cache designs (Bhattacharjee, MICRO'13),
+    /// with counter pinning enabled.
+    pub fn paper_baseline() -> Self {
+        PwcConfig { entries_per_level: 32, ways: 32, counter_pinning: true }
+    }
+
+    fn sets(&self) -> usize {
+        assert!(
+            self.entries_per_level > 0
+                && self.ways > 0
+                && self.entries_per_level % self.ways == 0,
+            "PWC geometry {}x{} invalid",
+            self.entries_per_level,
+            self.ways
+        );
+        self.entries_per_level / self.ways
+    }
+}
+
+impl Default for PwcConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PwcEntry {
+    child: PhysFrame,
+    /// 2-bit saturating reservation counter (0..=3).
+    counter: u8,
+}
+
+/// Per-level and aggregate PWC statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PwcStats {
+    /// Estimate probes (scheduler action 1-a).
+    pub probes: u64,
+    /// Walk-time lookups (scheduler action 2-b).
+    pub lookups: u64,
+    /// Walk-time lookups that hit at least the root level.
+    pub lookup_hits: u64,
+    /// Entry fills.
+    pub fills: u64,
+    /// Evictions where the pinning rule redirected the victim choice.
+    pub pin_saves: u64,
+}
+
+/// The result of consulting the PWC for a walk (or an estimate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PwcHit {
+    /// Deepest cached level on the page's path (2, 3 or 4), or `None` on a
+    /// complete miss.
+    pub deepest: Option<u8>,
+    /// Memory accesses the walk needs: 1 (hit at level 2) … 4 (miss).
+    pub accesses: u8,
+}
+
+/// The fully resolved plan for one hardware page walk.
+///
+/// Produced by [`PageWalkCache::begin_walk`]; the IOMMU walker issues the
+/// `pte_reads` sequentially to DRAM and calls
+/// [`PageWalkCache::complete_walk`] when the last read returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalkPlan {
+    /// The page being translated.
+    pub page: VirtPage,
+    /// PTE physical addresses to read, in walk order (highest level first).
+    pub pte_reads: Vec<PhysAddr>,
+    /// Page-table level of each read in `pte_reads` (e.g. `[3, 2, 1]`).
+    pub levels: Vec<u8>,
+    /// The translation the walk will produce.
+    pub frame: PhysFrame,
+    /// The underlying full path (for PWC fills on completion).
+    path: WalkPath,
+}
+
+impl WalkPlan {
+    /// Number of memory accesses this walk performs (1–4).
+    pub fn accesses(&self) -> u8 {
+        self.pte_reads.len() as u8
+    }
+}
+
+/// The three per-level page walk caches.
+#[derive(Debug)]
+pub struct PageWalkCache {
+    cfg: PwcConfig,
+    /// Index 0 ↔ level 4, 1 ↔ level 3, 2 ↔ level 2.
+    levels: [AssocArray<u64, PwcEntry>; 3],
+    stats: PwcStats,
+}
+
+fn level_slot(level: u8) -> usize {
+    debug_assert!((2..=4).contains(&level));
+    (4 - level) as usize
+}
+
+impl PageWalkCache {
+    /// Creates empty PWCs.
+    pub fn new(cfg: PwcConfig) -> Self {
+        let sets = cfg.sets();
+        let mk = || AssocArray::new(sets, cfg.ways, Replacement::Lru);
+        PageWalkCache { cfg, levels: [mk(), mk(), mk()], stats: PwcStats::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PwcConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &PwcStats {
+        &self.stats
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key % self.levels[0].sets() as u64) as usize
+    }
+
+    /// Finds the deepest cached level for `page` without touching recency.
+    fn deepest_hit(&self, page: VirtPage) -> Option<u8> {
+        PWC_LEVELS
+            .iter()
+            .copied()
+            .find(|&level| {
+                let key = page.prefix(level);
+                self.levels[level_slot(level)]
+                    .probe(self.set_of(key), key)
+                    .is_some()
+            })
+    }
+
+    fn hit_to_accesses(deepest: Option<u8>) -> u8 {
+        match deepest {
+            Some(level) => level - 1,
+            None => 4,
+        }
+    }
+
+    /// Scheduler action **1-a**: probes the PWC to *estimate* how many
+    /// memory accesses a walk for `page` would need right now.
+    ///
+    /// Does not update recency (it is a probe, not a use); when counter
+    /// pinning is enabled, increments the 2-bit counters of every entry on
+    /// the page's cached path, reserving them for the eventual walk.
+    pub fn estimate(&mut self, page: VirtPage) -> PwcHit {
+        self.stats.probes += 1;
+        let deepest = self.deepest_hit(page);
+        if self.cfg.counter_pinning {
+            for level in PWC_LEVELS {
+                let key = page.prefix(level);
+                let set = self.set_of(key);
+                if let Some(e) = self.levels[level_slot(level)].probe_mut(set, key) {
+                    e.counter = (e.counter + 1).min(3);
+                }
+            }
+        }
+        PwcHit { deepest, accesses: Self::hit_to_accesses(deepest) }
+    }
+
+    /// Scheduler action **2-b**: performs the walk-time PWC lookup and
+    /// returns the concrete [`WalkPlan`].
+    ///
+    /// Updates recency on the hit path and decrements reservation counters.
+    /// Returns `None` if the page is not mapped in `table`.
+    pub fn begin_walk(&mut self, table: &PageTable, page: VirtPage) -> Option<WalkPlan> {
+        let path = table.walk_path(page)?;
+        self.stats.lookups += 1;
+        let deepest = self.deepest_hit(page);
+        if deepest.is_some() {
+            self.stats.lookup_hits += 1;
+        }
+        // Touch + unreserve the entries actually consulted.
+        for level in PWC_LEVELS {
+            let key = page.prefix(level);
+            let set = self.set_of(key);
+            if let Some(e) = self.levels[level_slot(level)].lookup_mut(set, key) {
+                if self.cfg.counter_pinning {
+                    e.counter = e.counter.saturating_sub(1);
+                }
+            }
+        }
+        let start = match deepest {
+            Some(level) => level - 1,
+            None => 4,
+        };
+        let levels: Vec<u8> = (1..=start).rev().collect();
+        let pte_reads = levels.iter().map(|&l| path.pte_addr(l)).collect();
+        Some(WalkPlan { page, pte_reads, levels, frame: path.frame, path })
+    }
+
+    /// Installs PWC entries for every upper level the finished walk read.
+    ///
+    /// Entries whose counters are non-zero are protected from eviction
+    /// (falling back to LRU when all ways are pinned), per the paper.
+    pub fn complete_walk(&mut self, plan: &WalkPlan) {
+        for &level in &plan.levels {
+            if !(2..=4).contains(&level) {
+                continue; // the leaf PTE goes to the TLBs, not the PWC
+            }
+            let key = plan.page.prefix(level);
+            let set = self.set_of(key);
+            let slot = level_slot(level);
+            let entry = PwcEntry { child: plan.path.child_frame(level), counter: 0 };
+            self.stats.fills += 1;
+            if self.cfg.counter_pinning {
+                // Count redirections for diagnostics: did pinning change
+                // the victim the plain policy would have chosen?
+                let would_evict_pinned = {
+                    let arr = &self.levels[slot];
+                    arr.probe(set, key).is_none()
+                        && arr.iter().filter(|(s, ..)| *s == set).count() == arr.ways()
+                        && arr
+                            .iter()
+                            .any(|(s, _, e)| s == set && e.counter > 0)
+                };
+                if would_evict_pinned {
+                    self.stats.pin_saves += 1;
+                }
+                self.levels[slot].fill_pinned(set, key, entry, |_, e| e.counter > 0);
+            } else {
+                self.levels[slot].fill(set, key, entry);
+            }
+        }
+    }
+
+    /// The cached child frame for `page` at `level`, if present (test/debug
+    /// aid).
+    pub fn cached_child(&self, page: VirtPage, level: u8) -> Option<PhysFrame> {
+        let key = page.prefix(level);
+        self.levels[level_slot(level)]
+            .probe(self.set_of(key), key)
+            .map(|e| e.child)
+    }
+
+    /// The reservation counter for `page`'s entry at `level`, if present.
+    pub fn counter(&self, page: VirtPage, level: u8) -> Option<u8> {
+        let key = page.prefix(level);
+        self.levels[level_slot(level)]
+            .probe(self.set_of(key), key)
+            .map(|e| e.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::{FrameAllocator, FrameLayout};
+
+    fn setup() -> (FrameAllocator, PageTable, PageWalkCache) {
+        let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+        let pt = PageTable::new(&mut alloc);
+        let pwc = PageWalkCache::new(PwcConfig::paper_baseline());
+        (alloc, pt, pwc)
+    }
+
+    fn map(alloc: &mut FrameAllocator, pt: &mut PageTable, vpn: u64) -> VirtPage {
+        let page = VirtPage::new(vpn);
+        let f = alloc.alloc();
+        pt.map(page, f, alloc).unwrap();
+        page
+    }
+
+    #[test]
+    fn cold_walk_needs_four_accesses() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let page = map(&mut alloc, &mut pt, 0x123456);
+        assert_eq!(pwc.estimate(page).accesses, 4);
+        let plan = pwc.begin_walk(&pt, page).unwrap();
+        assert_eq!(plan.accesses(), 4);
+        assert_eq!(plan.levels, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn warm_walk_needs_one_access() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let page = map(&mut alloc, &mut pt, 0x123456);
+        let plan = pwc.begin_walk(&pt, page).unwrap();
+        pwc.complete_walk(&plan);
+        // Same page again: level-2 entry cached → leaf only.
+        assert_eq!(pwc.estimate(page).accesses, 1);
+        let plan2 = pwc.begin_walk(&pt, page).unwrap();
+        assert_eq!(plan2.levels, vec![1]);
+        assert_eq!(plan2.frame, plan.frame);
+    }
+
+    #[test]
+    fn sibling_page_in_same_2mb_region_reuses_pd_entry() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let a = map(&mut alloc, &mut pt, 0x1000);
+        let b = map(&mut alloc, &mut pt, 0x1001);
+        let plan = pwc.begin_walk(&pt, a).unwrap();
+        pwc.complete_walk(&plan);
+        // b shares all upper levels with a.
+        assert_eq!(pwc.estimate(b).accesses, 1);
+    }
+
+    #[test]
+    fn partial_hit_counts_intermediate_levels() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let a = map(&mut alloc, &mut pt, 0);
+        // Same PML4+PDPT entries, different PD entry (different 2MiB region
+        // within the same 1GiB region).
+        let b = map(&mut alloc, &mut pt, 1 << 9);
+        let plan = pwc.begin_walk(&pt, a).unwrap();
+        pwc.complete_walk(&plan);
+        assert_eq!(pwc.estimate(b).accesses, 2); // level-3 hit → read PD, PT
+        let plan_b = pwc.begin_walk(&pt, b).unwrap();
+        assert_eq!(plan_b.levels, vec![2, 1]);
+    }
+
+    #[test]
+    fn estimate_increments_and_walk_decrements_counters() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let page = map(&mut alloc, &mut pt, 0x5000);
+        let plan = pwc.begin_walk(&pt, page).unwrap();
+        pwc.complete_walk(&plan);
+        assert_eq!(pwc.counter(page, 2), Some(0));
+        pwc.estimate(page);
+        pwc.estimate(page);
+        assert_eq!(pwc.counter(page, 2), Some(2));
+        pwc.begin_walk(&pt, page).unwrap();
+        assert_eq!(pwc.counter(page, 2), Some(1));
+    }
+
+    #[test]
+    fn counters_saturate_at_three() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let page = map(&mut alloc, &mut pt, 0x5000);
+        let plan = pwc.begin_walk(&pt, page).unwrap();
+        pwc.complete_walk(&plan);
+        for _ in 0..10 {
+            pwc.estimate(page);
+        }
+        assert_eq!(pwc.counter(page, 2), Some(3));
+    }
+
+    #[test]
+    fn pinned_entry_survives_eviction_pressure() {
+        // Tiny PWC: 2 entries per level, fully associative.
+        let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+        let mut pt = PageTable::new(&mut alloc);
+        let mut pwc = PageWalkCache::new(PwcConfig {
+            entries_per_level: 2,
+            ways: 2,
+            counter_pinning: true,
+        });
+        // Three pages in three different 2MiB regions → 3 distinct level-2
+        // entries competing for 2 ways.
+        let pages: Vec<VirtPage> =
+            (0..3).map(|i| map(&mut alloc, &mut pt, i << 9)).collect();
+        let plan0 = pwc.begin_walk(&pt, pages[0]).unwrap();
+        pwc.complete_walk(&plan0);
+        pwc.estimate(pages[0]); // pin page 0's entries
+        for &p in &pages[1..] {
+            let plan = pwc.begin_walk(&pt, p).unwrap();
+            pwc.complete_walk(&plan);
+        }
+        // Page 0's level-2 entry must have survived (it was pinned), so
+        // its pending walk still needs only 1 access.
+        assert_eq!(pwc.cached_child(pages[0], 2).is_some(), true);
+    }
+
+    #[test]
+    fn without_pinning_reserved_entry_can_be_evicted() {
+        let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+        let mut pt = PageTable::new(&mut alloc);
+        let mut pwc = PageWalkCache::new(PwcConfig {
+            entries_per_level: 2,
+            ways: 2,
+            counter_pinning: false,
+        });
+        let pages: Vec<VirtPage> =
+            (0..3).map(|i| map(&mut alloc, &mut pt, i << 9)).collect();
+        let plan0 = pwc.begin_walk(&pt, pages[0]).unwrap();
+        pwc.complete_walk(&plan0);
+        pwc.estimate(pages[0]);
+        for &p in &pages[1..] {
+            let plan = pwc.begin_walk(&pt, p).unwrap();
+            pwc.complete_walk(&plan);
+        }
+        // LRU evicted page 0's level-2 entry despite the earlier estimate.
+        assert_eq!(pwc.cached_child(pages[0], 2), None);
+    }
+
+    #[test]
+    fn unmapped_page_yields_no_plan() {
+        let (_alloc, pt, mut pwc) = setup();
+        assert!(pwc.begin_walk(&pt, VirtPage::new(42)).is_none());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let page = map(&mut alloc, &mut pt, 0x9000);
+        pwc.estimate(page);
+        let plan = pwc.begin_walk(&pt, page).unwrap();
+        pwc.complete_walk(&plan);
+        pwc.begin_walk(&pt, page).unwrap();
+        let s = pwc.stats();
+        assert_eq!(s.probes, 1);
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.lookup_hits, 1);
+        assert_eq!(s.fills, 3); // levels 4, 3, 2 filled once
+    }
+}

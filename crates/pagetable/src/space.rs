@@ -1,0 +1,193 @@
+//! Process address-space construction for workloads.
+//!
+//! Workloads declare the buffers their kernels touch (matrices, vectors,
+//! lookup tables); [`AddressSpace`] lays them out in virtual memory with
+//! guard gaps and eagerly maps every page, mirroring the pre-touched heaps
+//! the paper's gem5 runs walk. It also offers the data-path translation
+//! (`translate_data`) used to turn virtual lane addresses into physical
+//! line addresses once the TLB lookup has (functionally) succeeded.
+
+use ptw_types::addr::{PhysAddr, VirtAddr, VirtPage, PAGE_SIZE};
+
+use crate::frames::FrameAllocator;
+use crate::table::PageTable;
+
+/// Base of the workload heap (an arbitrary canonical user-space address).
+pub const HEAP_BASE: u64 = 0x7f00_0000_0000;
+/// Guard gap between buffers, in pages, so off-by-one strides fault loudly
+/// instead of silently touching a neighbouring buffer.
+pub const GUARD_PAGES: u64 = 16;
+
+/// A named, page-aligned virtual buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Buffer {
+    /// Human-readable name (for diagnostics).
+    pub name: String,
+    /// First virtual address of the buffer.
+    pub base: VirtAddr,
+    /// Length in bytes (rounded up to whole pages when mapped).
+    pub len: u64,
+}
+
+impl Buffer {
+    /// The virtual address `offset` bytes into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= len`.
+    pub fn at(&self, offset: u64) -> VirtAddr {
+        debug_assert!(offset < self.len, "offset {offset} out of buffer {}", self.name);
+        self.base + offset
+    }
+
+    /// Number of pages the buffer spans.
+    pub fn pages(&self) -> u64 {
+        self.len.div_ceil(PAGE_SIZE as u64)
+    }
+}
+
+/// A fully mapped process address space.
+///
+/// ```
+/// use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
+/// use ptw_pagetable::space::AddressSpace;
+///
+/// let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+/// let mut space = AddressSpace::new(&mut alloc);
+/// let buf = space.alloc_buffer("A", 3 * 4096 + 5, &mut alloc);
+/// assert_eq!(buf.pages(), 4);
+/// assert!(space.table().translate(buf.base.page()).is_some());
+/// ```
+#[derive(Debug)]
+pub struct AddressSpace {
+    table: PageTable,
+    next_va: u64,
+    buffers: Vec<Buffer>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with a fresh page table.
+    pub fn new(alloc: &mut FrameAllocator) -> Self {
+        AddressSpace {
+            table: PageTable::new(alloc),
+            next_va: HEAP_BASE,
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Allocates and eagerly maps a buffer of `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted.
+    pub fn alloc_buffer(&mut self, name: &str, len: u64, alloc: &mut FrameAllocator) -> Buffer {
+        assert!(len > 0, "zero-length buffer {name}");
+        let base = VirtAddr::new(self.next_va);
+        let pages = len.div_ceil(PAGE_SIZE as u64);
+        for i in 0..pages {
+            let page = VirtPage::new(base.page().raw() + i);
+            let frame = alloc.alloc();
+            self.table
+                .map(page, frame, alloc)
+                .expect("fresh VA range cannot be double-mapped");
+        }
+        self.next_va += (pages + GUARD_PAGES) * PAGE_SIZE as u64;
+        let buf = Buffer { name: name.to_owned(), base, len };
+        self.buffers.push(buf.clone());
+        buf
+    }
+
+    /// The underlying page table.
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// All buffers allocated so far.
+    pub fn buffers(&self) -> &[Buffer] {
+        &self.buffers
+    }
+
+    /// Total mapped data footprint in bytes (whole pages, excluding
+    /// page-table nodes) — the quantity Table II reports.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.buffers.iter().map(|b| b.pages() * PAGE_SIZE as u64).sum()
+    }
+
+    /// Functional (zero-time) translation of a data virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is unmapped — workloads only touch buffers
+    /// they allocated, so an unmapped access is a generator bug.
+    pub fn translate_data(&self, va: VirtAddr) -> PhysAddr {
+        let frame = self
+            .table
+            .translate(va.page())
+            .unwrap_or_else(|| panic!("unmapped data access at {va}"));
+        frame.addr_at(va.page_offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::FrameLayout;
+
+    fn space() -> (FrameAllocator, AddressSpace) {
+        let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+        let s = AddressSpace::new(&mut alloc);
+        (alloc, s)
+    }
+
+    #[test]
+    fn buffers_do_not_overlap() {
+        let (mut alloc, mut s) = space();
+        let a = s.alloc_buffer("a", 10 * 4096, &mut alloc);
+        let b = s.alloc_buffer("b", 4096, &mut alloc);
+        assert!(b.base.raw() >= a.base.raw() + a.len + GUARD_PAGES * 4096);
+    }
+
+    #[test]
+    fn every_page_is_mapped() {
+        let (mut alloc, mut s) = space();
+        let a = s.alloc_buffer("a", 5 * 4096, &mut alloc);
+        for i in 0..5 {
+            let va = a.at(i * 4096);
+            assert!(s.table().translate(va.page()).is_some());
+        }
+    }
+
+    #[test]
+    fn translate_data_preserves_offset() {
+        let (mut alloc, mut s) = space();
+        let a = s.alloc_buffer("a", 4096, &mut alloc);
+        let va = a.at(123);
+        let pa = s.translate_data(va);
+        assert_eq!(pa.page_offset(), 123);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unmapped_translation_panics() {
+        let (_alloc, s) = space();
+        s.translate_data(VirtAddr::new(0x1000));
+    }
+
+    #[test]
+    fn footprint_counts_whole_pages() {
+        let (mut alloc, mut s) = space();
+        s.alloc_buffer("a", 4097, &mut alloc);
+        assert_eq!(s.footprint_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn distinct_buffers_translate_to_distinct_frames() {
+        let (mut alloc, mut s) = space();
+        let a = s.alloc_buffer("a", 4096, &mut alloc);
+        let b = s.alloc_buffer("b", 4096, &mut alloc);
+        assert_ne!(
+            s.translate_data(a.base).frame(),
+            s.translate_data(b.base).frame()
+        );
+    }
+}

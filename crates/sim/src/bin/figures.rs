@@ -1,0 +1,120 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [NAMES...] [--scale small|medium|paper] [--seed N] [--quiet]
+//!         [--csv DIR]
+//!
+//! NAMES: table1 table2 fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11
+//!        fig12 fig13 fig14 ablation all        (default: all)
+//! ```
+//!
+//! Output is a sequence of markdown tables, one per figure, each with a
+//! `paper` row citing the value the paper reports so measured-vs-paper can
+//! be compared at a glance.
+
+use std::process::ExitCode;
+
+use ptw_sim::figures;
+use ptw_sim::runner::Lab;
+use ptw_workloads::Scale;
+
+const ALL: [&str; 18] = [
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "ablation", "followon", "seeds", "stats",
+];
+
+fn main() -> ExitCode {
+    let mut names: Vec<String> = Vec::new();
+    let mut scale = Scale::Medium;
+    let mut seed = 0xC0FFEE_u64;
+    let mut verbose = true;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quiet" => verbose = false,
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [NAMES...] [--scale small|medium|paper] [--seed N] [--quiet]\n\
+                     names: {} all",
+                    ALL.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => names.extend(ALL.iter().map(|s| (*s).to_owned())),
+            name if ALL.contains(&name) => names.push(name.to_owned()),
+            other => {
+                eprintln!("unknown figure {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if names.is_empty() {
+        names.extend(ALL.iter().map(|s| (*s).to_owned()));
+    }
+
+    let mut lab = Lab::new(scale, seed);
+    lab.verbose = verbose;
+    for name in &names {
+        let table = match name.as_str() {
+            "table1" => figures::table1(),
+            "table2" => figures::table2(&lab),
+            "fig2" => figures::fig2(&mut lab),
+            "fig3" => figures::fig3(&mut lab),
+            "fig4" => figures::fig4(),
+            "fig5" => figures::fig5(&mut lab),
+            "fig6" => figures::fig6(&mut lab),
+            "fig8" => figures::fig8(&mut lab),
+            "fig9" => figures::fig9(&mut lab),
+            "fig10" => figures::fig10(&mut lab),
+            "fig11" => figures::fig11(&mut lab),
+            "fig12" => figures::fig12(&mut lab),
+            "fig13" => figures::fig13(&mut lab),
+            "fig14" => figures::fig14(&mut lab),
+            "ablation" => figures::ablation(&mut lab),
+            "stats" => figures::stats(&mut lab),
+            "followon" => figures::followon(&mut lab),
+            "seeds" => figures::seeds(&lab),
+            _ => unreachable!("validated above"),
+        };
+        println!("{table}");
+        if let Some(dir) = &csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(format!("{name}.csv")), table.to_csv()))
+            {
+                eprintln!("failed to write {name}.csv: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if verbose {
+        eprintln!("[lab] {} simulation runs executed", lab.executed);
+    }
+    ExitCode::SUCCESS
+}

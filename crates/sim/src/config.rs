@@ -1,0 +1,114 @@
+//! Whole-system configuration (Table I plus the sensitivity variants).
+
+use ptw_core::iommu::IommuConfig;
+use ptw_core::sched::SchedulerKind;
+use ptw_gpu::GpuConfig;
+use ptw_mem::cache::CacheConfig;
+use ptw_mem::controller::MemSchedPolicy;
+use ptw_mem::dram::DramConfig;
+use ptw_tlb::TlbConfig;
+
+/// The complete configuration of the simulated system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// GPU front-end (CUs, wavefronts, timings).
+    pub gpu: GpuConfig,
+    /// GPU TLB hierarchy.
+    pub gpu_l1_tlb: TlbConfig,
+    /// GPU shared L2 TLB (the Figure 13 sweep changes this).
+    pub gpu_l2_tlb: TlbConfig,
+    /// IOMMU (buffer, walkers, PWC, scheduler).
+    pub iommu: IommuConfig,
+    /// Per-CU L1 data cache.
+    pub l1_cache: CacheConfig,
+    /// Shared L2 data cache.
+    pub l2_cache: CacheConfig,
+    /// DRAM geometry and timing.
+    pub dram: DramConfig,
+    /// Memory-controller scheduling policy.
+    pub mem_policy: MemSchedPolicy,
+    /// Safety valve: abort a run after this many events (0 = unlimited).
+    pub max_events: u64,
+    /// Epoch length, in GPU L2 TLB accesses, for the Figure 12 metric.
+    pub epoch_accesses: u64,
+}
+
+impl SystemConfig {
+    /// The Table I baseline system.
+    pub fn paper_baseline() -> Self {
+        SystemConfig {
+            gpu: GpuConfig::paper_baseline(),
+            gpu_l1_tlb: TlbConfig::paper_gpu_l1(),
+            gpu_l2_tlb: TlbConfig::paper_gpu_l2(),
+            iommu: IommuConfig::paper_baseline(),
+            l1_cache: CacheConfig::paper_l1(),
+            l2_cache: CacheConfig::paper_l2(),
+            dram: DramConfig::paper_baseline(),
+            mem_policy: MemSchedPolicy::FrFcfs,
+            max_events: 2_000_000_000,
+            epoch_accesses: 1024,
+        }
+    }
+
+    /// Baseline with a different page-walk scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.iommu.scheduler = scheduler;
+        self
+    }
+
+    /// Baseline with a different GPU L2 TLB size (Figure 13).
+    pub fn with_gpu_l2_tlb_entries(mut self, entries: usize) -> Self {
+        self.gpu_l2_tlb = TlbConfig::gpu_l2_with_entries(entries);
+        self
+    }
+
+    /// Baseline with a different page-table-walker count (Figure 13).
+    pub fn with_walkers(mut self, walkers: usize) -> Self {
+        self.iommu.walkers = walkers;
+        self
+    }
+
+    /// Baseline with a different IOMMU buffer size (Figure 14).
+    pub fn with_iommu_buffer(mut self, entries: usize) -> Self {
+        self.iommu.buffer_entries = entries;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_one() {
+        let c = SystemConfig::paper_baseline();
+        assert_eq!(c.gpu.cus, 8);
+        assert_eq!(c.gpu_l1_tlb.entries, 32);
+        assert_eq!(c.gpu_l2_tlb.entries, 512);
+        assert_eq!(c.iommu.buffer_entries, 256);
+        assert_eq!(c.iommu.walkers, 8);
+        assert_eq!(c.l1_cache.size_bytes, 32 * 1024);
+        assert_eq!(c.l2_cache.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.dram.channels, 2);
+        assert_eq!(c.iommu.scheduler, SchedulerKind::Fcfs);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::paper_baseline()
+            .with_scheduler(SchedulerKind::SimtAware)
+            .with_gpu_l2_tlb_entries(1024)
+            .with_walkers(16)
+            .with_iommu_buffer(512);
+        assert_eq!(c.iommu.scheduler, SchedulerKind::SimtAware);
+        assert_eq!(c.gpu_l2_tlb.entries, 1024);
+        assert_eq!(c.iommu.walkers, 16);
+        assert_eq!(c.iommu.buffer_entries, 512);
+    }
+}

@@ -1,0 +1,173 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events are ordered by `(time, insertion sequence)`, so simultaneous
+//! events fire in the order they were scheduled — runs are bit-reproducible
+//! regardless of platform or hash-map iteration order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ptw_types::time::Cycle;
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// ```
+/// use ptw_sim::engine::EventQueue;
+/// use ptw_types::time::Cycle;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(Cycle::new(10), "later");
+/// q.schedule(Cycle::new(5), "sooner");
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "sooner")));
+/// assert_eq!(q.pop(), Some((Cycle::new(10), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    now: Cycle,
+    processed: u64,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — an event cannot
+    /// fire in the past.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(3), 'c');
+        q.schedule(Cycle::new(1), 'a');
+        q.schedule(Cycle::new(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(Cycle::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(5), ());
+        q.schedule(Cycle::new(5), ());
+        q.schedule(Cycle::new(9), ());
+        let mut last = Cycle::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), Cycle::new(9));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(10), ());
+        q.pop();
+        q.schedule(Cycle::new(5), ());
+    }
+
+    #[test]
+    fn schedule_at_current_time_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(10), 1);
+        q.pop();
+        q.schedule(Cycle::new(10), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 2)));
+    }
+}

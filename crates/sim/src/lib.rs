@@ -1,0 +1,40 @@
+//! Full-system simulator and experiment harness for the ISCA 2018 paper
+//! *Scheduling Page Table Walks for Irregular GPU Applications*.
+//!
+//! * [`engine`] — deterministic discrete-event queue;
+//! * [`config`] — Table I system configuration and sensitivity variants;
+//! * [`system`] — the wired-up machine (GPU + TLBs + IOMMU + caches + DRAM);
+//! * [`metrics`] — per-figure metric collection;
+//! * [`runner`] — one-call experiment execution;
+//! * [`figures`] — regeneration of every table and figure;
+//! * [`report`] — plain-text table rendering.
+//!
+//! # Example: one run
+//!
+//! ```
+//! use ptw_core::sched::SchedulerKind;
+//! use ptw_sim::config::SystemConfig;
+//! use ptw_sim::system::System;
+//! use ptw_workloads::{build, BenchmarkId, Scale};
+//!
+//! let cfg = SystemConfig::paper_baseline().with_scheduler(SchedulerKind::SimtAware);
+//! let workload = build(BenchmarkId::Kmn, Scale::Small, 1);
+//! let result = System::new(cfg, workload).run();
+//! assert!(result.metrics.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod engine;
+pub mod figures;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use metrics::RunMetrics;
+pub use runner::{run_benchmark, RunSpec};
+pub use system::{RunResult, System};

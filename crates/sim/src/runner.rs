@@ -1,0 +1,217 @@
+//! One-call experiment execution, with caching across figures.
+//!
+//! A figure needs runs of `(benchmark, scheduler, system variant)`; several
+//! figures share the same runs (e.g. the FCFS and SIMT-aware baselines feed
+//! Figures 8–12). [`Lab`] memoizes results so the `figures` binary performs
+//! each run once.
+
+use std::collections::HashMap;
+
+use ptw_core::sched::SchedulerKind;
+use ptw_workloads::{build, BenchmarkId, Scale};
+
+use crate::config::SystemConfig;
+use crate::system::{RunResult, System};
+
+/// A fully specified simulation run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Which Table II benchmark to run.
+    pub benchmark: BenchmarkId,
+    /// Page-walk scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+    /// System configuration (the scheduler field is overridden by
+    /// `scheduler`).
+    pub config: SystemConfig,
+}
+
+impl RunSpec {
+    /// Baseline-system run of `benchmark` under `scheduler`.
+    pub fn new(benchmark: BenchmarkId, scheduler: SchedulerKind, scale: Scale) -> Self {
+        RunSpec {
+            benchmark,
+            scheduler,
+            scale,
+            seed: 0xC0FFEE,
+            config: SystemConfig::paper_baseline(),
+        }
+    }
+}
+
+/// Executes one run.
+pub fn run_benchmark(spec: &RunSpec) -> RunResult {
+    let cfg = spec.config.clone().with_scheduler(spec.scheduler);
+    let workload = build(spec.benchmark, spec.scale, spec.seed);
+    System::new(cfg, workload).run()
+}
+
+/// System variants used by the sensitivity studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConfigVariant {
+    /// Table I baseline.
+    Baseline,
+    /// Figure 13a: 1024-entry GPU L2 TLB, 8 walkers.
+    BigTlb,
+    /// Figure 13b: 512-entry GPU L2 TLB, 16 walkers.
+    MoreWalkers,
+    /// Figure 13c: 1024-entry GPU L2 TLB, 16 walkers.
+    BigTlbMoreWalkers,
+    /// Figure 14a: 128-entry IOMMU buffer.
+    SmallBuffer,
+    /// Figure 14b: 512-entry IOMMU buffer.
+    BigBuffer,
+    /// Ablation: SIMT-aware without PWC counter pinning.
+    NoPinning,
+    /// Ablation: memory controller in strict FCFS mode.
+    MemFcfs,
+}
+
+impl ConfigVariant {
+    /// Builds the corresponding system configuration.
+    pub fn config(self) -> SystemConfig {
+        let base = SystemConfig::paper_baseline();
+        match self {
+            ConfigVariant::Baseline => base,
+            ConfigVariant::BigTlb => base.with_gpu_l2_tlb_entries(1024),
+            ConfigVariant::MoreWalkers => base.with_walkers(16),
+            ConfigVariant::BigTlbMoreWalkers => {
+                base.with_gpu_l2_tlb_entries(1024).with_walkers(16)
+            }
+            ConfigVariant::SmallBuffer => base.with_iommu_buffer(128),
+            ConfigVariant::BigBuffer => base.with_iommu_buffer(512),
+            ConfigVariant::NoPinning => {
+                let mut c = base;
+                c.iommu.pwc.counter_pinning = false;
+                c
+            }
+            ConfigVariant::MemFcfs => {
+                let mut c = base;
+                c.mem_policy = ptw_mem::MemSchedPolicy::Fcfs;
+                c
+            }
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigVariant::Baseline => "baseline",
+            ConfigVariant::BigTlb => "1024-entry L2 TLB / 8 walkers",
+            ConfigVariant::MoreWalkers => "512-entry L2 TLB / 16 walkers",
+            ConfigVariant::BigTlbMoreWalkers => "1024-entry L2 TLB / 16 walkers",
+            ConfigVariant::SmallBuffer => "128-entry IOMMU buffer",
+            ConfigVariant::BigBuffer => "512-entry IOMMU buffer",
+            ConfigVariant::NoPinning => "no PWC counter pinning",
+            ConfigVariant::MemFcfs => "FCFS memory controller",
+        }
+    }
+}
+
+/// Memoizing run executor shared by all figures.
+#[derive(Debug)]
+pub struct Lab {
+    scale: Scale,
+    seed: u64,
+    cache: HashMap<(BenchmarkId, SchedulerKind, ConfigVariant), RunResult>,
+    /// Runs actually executed (for progress reporting).
+    pub executed: u64,
+    /// Whether to print progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Lab {
+    /// Creates a lab running workloads at `scale` with `seed`.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Lab { scale, seed, cache: HashMap::new(), executed: 0, verbose: false }
+    }
+
+    /// The workload scale in use.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Result of `(benchmark, scheduler)` on the baseline system.
+    pub fn result(&mut self, benchmark: BenchmarkId, scheduler: SchedulerKind) -> &RunResult {
+        self.result_with(benchmark, scheduler, ConfigVariant::Baseline)
+    }
+
+    /// Result of `(benchmark, scheduler)` on a system variant.
+    pub fn result_with(
+        &mut self,
+        benchmark: BenchmarkId,
+        scheduler: SchedulerKind,
+        variant: ConfigVariant,
+    ) -> &RunResult {
+        let key = (benchmark, scheduler, variant);
+        if !self.cache.contains_key(&key) {
+            if self.verbose {
+                eprintln!("[lab] running {benchmark} / {scheduler} / {}", variant.label());
+            }
+            let spec = RunSpec {
+                benchmark,
+                scheduler,
+                scale: self.scale,
+                seed: self.seed,
+                config: variant.config(),
+            };
+            let result = run_benchmark(&spec);
+            self.executed += 1;
+            self.cache.insert(key, result);
+        }
+        &self.cache[&key]
+    }
+
+    /// Speedup of `scheduler` over `baseline` for `benchmark` (ratio of
+    /// cycle counts) on the baseline system.
+    pub fn speedup(
+        &mut self,
+        benchmark: BenchmarkId,
+        scheduler: SchedulerKind,
+        baseline: SchedulerKind,
+    ) -> f64 {
+        let base = self.result(benchmark, baseline).metrics.cycles as f64;
+        let x = self.result(benchmark, scheduler).metrics.cycles as f64;
+        base / x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_caches_runs() {
+        let mut lab = Lab::new(Scale::Small, 1);
+        let a = lab.result(BenchmarkId::Kmn, SchedulerKind::Fcfs).metrics.cycles;
+        assert_eq!(lab.executed, 1);
+        let b = lab.result(BenchmarkId::Kmn, SchedulerKind::Fcfs).metrics.cycles;
+        assert_eq!(lab.executed, 1); // cached
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speedup_of_identical_runs_is_one() {
+        let mut lab = Lab::new(Scale::Small, 1);
+        let s = lab.speedup(BenchmarkId::Kmn, SchedulerKind::Fcfs, SchedulerKind::Fcfs);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_variants_differ_from_baseline() {
+        for v in [
+            ConfigVariant::BigTlb,
+            ConfigVariant::MoreWalkers,
+            ConfigVariant::BigTlbMoreWalkers,
+            ConfigVariant::SmallBuffer,
+            ConfigVariant::BigBuffer,
+            ConfigVariant::NoPinning,
+            ConfigVariant::MemFcfs,
+        ] {
+            assert_ne!(v.config(), SystemConfig::paper_baseline(), "{}", v.label());
+        }
+    }
+}

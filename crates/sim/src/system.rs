@@ -1,0 +1,565 @@
+//! The full simulated system and its event loop.
+//!
+//! Wires together every component along the paper's Figure 1: wavefronts on
+//! CUs issue SIMD memory instructions; the coalescer merges lanes; the GPU
+//! TLB hierarchy filters translation requests; misses travel to the IOMMU
+//! whose schedulable walker pool reads the in-memory page table through the
+//! shared DRAM controller; translated instructions then fetch their cache
+//! lines through the L1/L2 data caches and the same DRAM.
+//!
+//! The "life of a GPU address translation request" from Section II-B maps
+//! onto events as:
+//!
+//! 1–2. generation + coalescing — the `WfReady` handler;
+//! 3. GPU L1 TLB lookup inline in the issue handler, then the L2 TLB via
+//!    the per-CU miss port (`L2TlbArrive`/`L2TlbLookup`);
+//! 4–6. IOMMU TLBs + buffer — `IommuArrival`;
+//! 7–8. walker selection + PWC + page table reads —
+//!      `WalkerIssue` / `MemTick`;
+//! 9. reply — `TranslationDone`, after which the data phase runs
+//!    (`DataSubmit`, `LineDone`).
+
+use std::collections::HashMap;
+
+use ptw_core::iommu::{Iommu, TranslationOutcome, WalkerStep};
+use ptw_core::IommuStats;
+use ptw_gpu::{coalesce, Cu, InstructionStream, Wavefront, WavefrontPhase};
+use ptw_mem::cache::{Cache, Mshr, MshrOutcome};
+use ptw_mem::controller::{MemSource, MemStats, MemoryController};
+use ptw_tlb::Tlb;
+use ptw_types::addr::{LineAddr, PhysAddr, VirtAddr, VirtPage};
+use ptw_types::ids::{InstrId, InstrIdAllocator, WavefrontId};
+use ptw_types::time::Cycle;
+use ptw_workloads::Workload;
+
+use crate::config::SystemConfig;
+use crate::engine::EventQueue;
+use crate::metrics::{InstrWalkLog, MetricsCollector, RunMetrics, WalkObservation};
+
+/// Token attached to IOMMU walk requests: which wavefront is waiting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Token {
+    wf: u32,
+}
+
+/// Events of the system-level simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    /// Wavefront may issue its next instruction.
+    WfReady(u32),
+    /// One translation of the wavefront's current instruction finished.
+    TranslationDone { wf: u32 },
+    /// An L1 TLB miss, forwarded by its CU, reaches the shared L2 TLB's
+    /// port queue.
+    L2TlbArrive { wf: u32, page: VirtPage },
+    /// A granted GPU shared-L2-TLB lookup produces its result.
+    L2TlbLookup { wf: u32, page: VirtPage },
+    /// A GPU-TLB-missing translation request reaches the IOMMU.
+    IommuArrival { wf: u32, page: VirtPage },
+    /// A walker submits a PTE read to the memory controller.
+    WalkerIssue { walker: u8, addr: PhysAddr },
+    /// A data-cache miss is submitted to the memory controller.
+    DataSubmit { line: LineAddr },
+    /// One cache-line fetch of the wavefront's instruction finished.
+    LineDone { wf: u32 },
+    /// Wake the memory controller.
+    MemTick,
+}
+
+/// Everything a finished run reports.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The per-figure metrics.
+    pub metrics: RunMetrics,
+    /// IOMMU counters (walks, merges, latencies).
+    pub iommu: IommuStats,
+    /// DRAM counters.
+    pub mem: MemStats,
+    /// GPU per-CU L1 TLB aggregate hit rate.
+    pub gpu_l1_tlb_hit_rate: f64,
+    /// GPU shared L2 TLB hit rate.
+    pub gpu_l2_tlb_hit_rate: f64,
+    /// L1 data cache aggregate hit rate.
+    pub l1_cache_hit_rate: f64,
+    /// L2 data cache hit rate.
+    pub l2_cache_hit_rate: f64,
+    /// Events processed (simulation cost, not a paper metric).
+    pub events: u64,
+    /// Fairness: the latest wavefront finish time over the mean finish
+    /// time (1.0 = perfectly balanced; large = stragglers). Not a paper
+    /// figure — supports the QoS follow-on study the paper anticipates in
+    /// Section III.
+    pub finish_spread: f64,
+}
+
+struct InflightInstr {
+    instr: InstrId,
+    lines: Vec<VirtAddr>,
+    walk_log: InstrWalkLog,
+}
+
+/// The simulated system.
+pub struct System {
+    cfg: SystemConfig,
+    queue: EventQueue<Event>,
+    workload: Workload,
+    wavefronts: Vec<Wavefront>,
+    cus: Vec<Cu>,
+    gpu_l1_tlbs: Vec<Tlb>,
+    gpu_l2_tlb: Tlb,
+    iommu: Iommu<Token>,
+    l1_caches: Vec<Cache>,
+    l2_cache: Cache,
+    l2_mshr: Mshr<(usize, u32)>,
+    mem: MemoryController,
+    walk_reads: HashMap<ptw_mem::MemReqId, ptw_types::ids::WalkerId>,
+    mem_tick_at: Option<Cycle>,
+    /// Next cycle at which the shared L2 TLB can accept a lookup.
+    l2_tlb_free: Cycle,
+    /// Next cycle at which each CU can forward an L1 TLB miss.
+    l1_miss_free: Vec<Cycle>,
+    inflight: Vec<Option<InflightInstr>>,
+    instr_ids: InstrIdAllocator,
+    metrics: MetricsCollector,
+    /// Per-wavefront retirement times (fairness metric).
+    finish_times: Vec<Cycle>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("workload", &self.workload.id())
+            .field("now", &self.queue.now())
+            .field("events", &self.queue.processed())
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds a system around `workload`.
+    pub fn new(cfg: SystemConfig, workload: Workload) -> Self {
+        let n_wf = workload.wavefronts() as usize;
+        let cus_n = cfg.gpu.cus;
+        let mut per_cu = vec![0usize; cus_n];
+        for wf in 0..n_wf {
+            per_cu[wf % cus_n] += 1;
+        }
+        let wavefronts = (0..n_wf)
+            .map(|wf| {
+                Wavefront::new(
+                    WavefrontId(wf as u32),
+                    ptw_types::ids::CuId((wf % cus_n) as u16),
+                )
+            })
+            .collect();
+        let cus = (0..cus_n)
+            .map(|c| Cu::new(ptw_types::ids::CuId(c as u16), per_cu[c]))
+            .collect();
+        let mut queue = EventQueue::new();
+        for wf in 0..n_wf {
+            queue.schedule(Cycle::ZERO, Event::WfReady(wf as u32));
+        }
+        System {
+            queue,
+            wavefronts,
+            cus,
+            gpu_l1_tlbs: (0..cus_n).map(|_| Tlb::new(cfg.gpu_l1_tlb)).collect(),
+            gpu_l2_tlb: Tlb::new(cfg.gpu_l2_tlb),
+            iommu: Iommu::new(cfg.iommu),
+            l1_caches: (0..cus_n).map(|_| Cache::new(cfg.l1_cache)).collect(),
+            l2_cache: Cache::new(cfg.l2_cache),
+            l2_mshr: Mshr::new(),
+            mem: MemoryController::new(cfg.dram.clone(), cfg.mem_policy),
+            walk_reads: HashMap::new(),
+            mem_tick_at: None,
+            l2_tlb_free: Cycle::ZERO,
+            l1_miss_free: vec![Cycle::ZERO; cus_n],
+            inflight: (0..n_wf).map(|_| None).collect(),
+            instr_ids: InstrIdAllocator::new(),
+            metrics: MetricsCollector::new(cfg.epoch_accesses),
+            finish_times: Vec::with_capacity(n_wf),
+            workload,
+            cfg,
+        }
+    }
+
+    fn cu_of(&self, wf: u32) -> usize {
+        (wf as usize) % self.cfg.gpu.cus
+    }
+
+    /// Re-arms the memory controller wakeup if it has earlier work.
+    fn touch_mem(&mut self, now: Cycle) {
+        if let Some(t) = self.mem.next_event_time() {
+            let t = t.max(now);
+            if self.mem_tick_at.is_none_or(|s| t < s) {
+                self.queue.schedule(t, Event::MemTick);
+                self.mem_tick_at = Some(t);
+            }
+        }
+    }
+
+    /// Starts idle walkers on pending requests and schedules their reads.
+    fn kick_walkers(&mut self, now: Cycle) {
+        let table = self.workload.space().table();
+        let reads = self.iommu.start_walkers(table, now);
+        for r in reads {
+            self.queue.schedule(
+                r.issue_at.max(now),
+                Event::WalkerIssue { walker: r.walker.0, addr: r.addr },
+            );
+        }
+    }
+
+    fn handle_wf_ready(&mut self, wf: u32, now: Cycle) {
+        let wfi = wf as usize;
+        if self.wavefronts[wfi].phase() == WavefrontPhase::Computing {
+            self.wavefronts[wfi].compute_done();
+        }
+        let Some(addrs) = self.workload.next_instruction(WavefrontId(wf)) else {
+            self.wavefronts[wfi].retire();
+            let cu = self.cu_of(wf);
+            self.cus[cu].wavefront_retired(now);
+            self.finish_times.push(now);
+            return;
+        };
+        let coalesced = coalesce(&addrs);
+        let instr = self.instr_ids.next_id();
+        let cu = self.cu_of(wf);
+        self.wavefronts[wfi].issue(instr, coalesced.pages.len(), now);
+        self.cus[cu].wavefront_blocked(now);
+        self.inflight[wfi] = Some(InflightInstr {
+            instr,
+            lines: coalesced.lines,
+            walk_log: InstrWalkLog::default(),
+        });
+        let g = &self.cfg.gpu;
+        for page in coalesced.pages {
+            if self.gpu_l1_tlbs[cu].lookup(page).is_some() {
+                self.queue
+                    .schedule(now + g.l1_tlb_cycles, Event::TranslationDone { wf });
+                continue;
+            }
+            // Each CU forwards its L1 TLB misses one at a time; the
+            // per-CU streams then percolate toward the shared L2 TLB in
+            // real time and merge — interleaved — at its port (Section
+            // III-B's source of walk interleaving). The L2 port itself is
+            // granted in arrival order, in the arrival handler below.
+            let cu_grant = self.l1_miss_free[cu].max(now + g.l1_tlb_cycles);
+            self.l1_miss_free[cu] = cu_grant + g.l1_tlb_miss_port_cycles;
+            self.queue.schedule(cu_grant, Event::L2TlbArrive { wf, page });
+        }
+    }
+
+    fn handle_l2_tlb_arrive(&mut self, wf: u32, page: VirtPage, now: Cycle) {
+        let g = &self.cfg.gpu;
+        let grant = self.l2_tlb_free.max(now);
+        self.l2_tlb_free = grant + g.l2_tlb_port_cycles;
+        self.queue
+            .schedule(grant + g.l2_tlb_cycles, Event::L2TlbLookup { wf, page });
+    }
+
+    fn handle_l2_tlb_lookup(&mut self, wf: u32, page: VirtPage, now: Cycle) {
+        let cu = self.cu_of(wf);
+        self.metrics.l2_tlb_access(wf);
+        if let Some(frame) = self.gpu_l2_tlb.lookup(page) {
+            self.gpu_l1_tlbs[cu].fill(page, frame);
+            self.queue.schedule(now, Event::TranslationDone { wf });
+        } else {
+            self.queue.schedule(
+                now + self.cfg.gpu.iommu_hop_cycles,
+                Event::IommuArrival { wf, page },
+            );
+        }
+    }
+
+    fn handle_iommu_arrival(&mut self, wf: u32, page: VirtPage, now: Cycle) {
+        let instr = self.inflight[wf as usize]
+            .as_ref()
+            .expect("arrival for idle wavefront")
+            .instr;
+        match self.iommu.translate(page, instr, Token { wf }, now) {
+            TranslationOutcome::Hit { frame, ready_at } => {
+                let cu = self.cu_of(wf);
+                self.gpu_l2_tlb.fill(page, frame);
+                self.gpu_l1_tlbs[cu].fill(page, frame);
+                self.queue.schedule(
+                    ready_at + self.cfg.gpu.iommu_hop_cycles,
+                    Event::TranslationDone { wf },
+                );
+            }
+            TranslationOutcome::WalkPending => {
+                self.kick_walkers(now);
+            }
+        }
+    }
+
+    fn handle_walker_issue(&mut self, walker: u8, addr: PhysAddr, now: Cycle) {
+        let id = self.mem.submit(addr.line(), MemSource::PageWalk, now);
+        self.walk_reads.insert(id, ptw_types::ids::WalkerId(walker));
+        self.touch_mem(now);
+    }
+
+    fn handle_data_submit(&mut self, line: LineAddr, now: Cycle) {
+        self.mem.submit(line, MemSource::Data, now);
+        self.touch_mem(now);
+    }
+
+    fn handle_mem_tick(&mut self, now: Cycle) {
+        if self.mem_tick_at != Some(now) {
+            return; // superseded wakeup
+        }
+        self.mem_tick_at = None;
+        let completions = self.mem.advance(now);
+        let mut walker_finished = false;
+        for c in completions {
+            match c.source {
+                MemSource::PageWalk => {
+                    let walker = self
+                        .walk_reads
+                        .remove(&c.id)
+                        .expect("walk read without walker");
+                    match self.iommu.memory_done(walker, now) {
+                        WalkerStep::Read(r) => {
+                            self.queue.schedule(
+                                r.issue_at.max(now),
+                                Event::WalkerIssue { walker: r.walker.0, addr: r.addr },
+                            );
+                        }
+                        WalkerStep::Done(translations) => {
+                            walker_finished = true;
+                            for ct in translations {
+                                let wf = ct.waiter.wf;
+                                let cu = self.cu_of(wf);
+                                self.gpu_l2_tlb.fill(ct.page, ct.frame);
+                                self.gpu_l1_tlbs[cu].fill(ct.page, ct.frame);
+                                self.inflight[wf as usize]
+                                    .as_mut()
+                                    .expect("completion for idle wavefront")
+                                    .walk_log
+                                    .record(WalkObservation {
+                                        latency: ct.completed_at - ct.enqueued_at,
+                                        completed_at: ct.completed_at,
+                                        service_seq: ct.service_seq,
+                                        via_walk: ct.via_walk,
+                                        accesses: ct.walk_accesses,
+                                    });
+                                self.queue.schedule(
+                                    ct.completed_at + self.cfg.gpu.iommu_hop_cycles,
+                                    Event::TranslationDone { wf },
+                                );
+                            }
+                        }
+                    }
+                }
+                MemSource::Data => {
+                    let waiters = self.l2_mshr.complete(c.line);
+                    self.l2_cache.fill(c.line);
+                    for (cu, wf) in waiters {
+                        self.l1_caches[cu].fill(c.line);
+                        self.queue.schedule(now, Event::LineDone { wf });
+                    }
+                }
+            }
+        }
+        if walker_finished {
+            self.kick_walkers(now);
+        }
+        self.touch_mem(now);
+    }
+
+    fn handle_translation_done(&mut self, wf: u32, now: Cycle) {
+        let wfi = wf as usize;
+        let lines = self.inflight[wfi]
+            .as_ref()
+            .expect("translation for idle wavefront")
+            .lines
+            .len();
+        if !self.wavefronts[wfi].translation_done(lines) {
+            return;
+        }
+        // All translations in: start the data phase.
+        let cu = self.cu_of(wf);
+        let g = &self.cfg.gpu;
+        let lines: Vec<VirtAddr> = self.inflight[wfi]
+            .as_ref()
+            .expect("checked above")
+            .lines
+            .clone();
+        for va in lines {
+            let pa = self.workload.space().translate_data(va);
+            let line = pa.line();
+            if self.l1_caches[cu].access(line) {
+                self.queue
+                    .schedule(now + g.l1_cache_cycles, Event::LineDone { wf });
+            } else if self.l2_cache.access(line) {
+                self.l1_caches[cu].fill(line);
+                self.queue.schedule(
+                    now + g.l1_cache_cycles + g.l2_cache_cycles,
+                    Event::LineDone { wf },
+                );
+            } else {
+                let outcome = self.l2_mshr.register(line, (cu, wf));
+                if outcome == MshrOutcome::Allocated {
+                    self.queue.schedule(
+                        now + g.l1_cache_cycles + g.l2_cache_cycles,
+                        Event::DataSubmit { line },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_line_done(&mut self, wf: u32, now: Cycle) {
+        let wfi = wf as usize;
+        if !self.wavefronts[wfi].fetch_done(now) {
+            return;
+        }
+        let cu = self.cu_of(wf);
+        self.cus[cu].wavefront_unblocked(now);
+        let entry = self.inflight[wfi].take().expect("line done for idle wavefront");
+        self.metrics.instruction_done(&entry.walk_log);
+        self.queue
+            .schedule(now + self.cfg.gpu.compute_delay, Event::WfReady(wf));
+    }
+
+    /// Runs the simulation to completion and reports the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget (`cfg.max_events`) is exhausted — a
+    /// deadlock diagnostic, not an expected outcome — or if any wavefront
+    /// failed to retire.
+    pub fn run(mut self) -> RunResult {
+        while let Some((now, event)) = self.queue.pop() {
+            if self.cfg.max_events > 0 && self.queue.processed() > self.cfg.max_events {
+                panic!(
+                    "event budget exhausted at {now} ({} events, {} pending walks)",
+                    self.queue.processed(),
+                    self.iommu.pending()
+                );
+            }
+            match event {
+                Event::WfReady(wf) => self.handle_wf_ready(wf, now),
+                Event::TranslationDone { wf } => self.handle_translation_done(wf, now),
+                Event::L2TlbArrive { wf, page } => self.handle_l2_tlb_arrive(wf, page, now),
+                Event::L2TlbLookup { wf, page } => self.handle_l2_tlb_lookup(wf, page, now),
+                Event::IommuArrival { wf, page } => self.handle_iommu_arrival(wf, page, now),
+                Event::WalkerIssue { walker, addr } => {
+                    self.handle_walker_issue(walker, addr, now)
+                }
+                Event::DataSubmit { line } => self.handle_data_submit(line, now),
+                Event::LineDone { wf } => self.handle_line_done(wf, now),
+                Event::MemTick => self.handle_mem_tick(now),
+            }
+        }
+        let end = self.queue.now();
+        for wfr in &self.wavefronts {
+            assert_eq!(
+                wfr.phase(),
+                WavefrontPhase::Retired,
+                "wavefront {:?} stuck in {:?} at {end}",
+                wfr.id,
+                wfr.phase()
+            );
+        }
+        for cu in &mut self.cus {
+            cu.finish(end);
+        }
+        let stall: u64 = self.cus.iter().map(Cu::stall_cycles).sum();
+        let instructions = self.workload.issued_instructions();
+        let iommu_stats = *self.iommu.stats();
+        let metrics = self.metrics.finish(
+            end.raw(),
+            instructions,
+            stall,
+            iommu_stats.walk_requests,
+            iommu_stats.walks_performed,
+        );
+        let l1_tlb_rate = {
+            let (h, t) = self
+                .gpu_l1_tlbs
+                .iter()
+                .fold((0u64, 0u64), |(h, t), tlb| {
+                    (h + tlb.stats().hits(), t + tlb.stats().total())
+                });
+            if t == 0 { 0.0 } else { h as f64 / t as f64 }
+        };
+        let l1_cache_rate = {
+            let (h, t) = self.l1_caches.iter().fold((0u64, 0u64), |(h, t), c| {
+                (h + c.stats().hits(), t + c.stats().total())
+            });
+            if t == 0 { 0.0 } else { h as f64 / t as f64 }
+        };
+        let finish_spread = if self.finish_times.is_empty() {
+            1.0
+        } else {
+            let max = self.finish_times.iter().map(|t| t.raw()).max().expect("non-empty");
+            let mean = self.finish_times.iter().map(|t| t.raw()).sum::<u64>() as f64
+                / self.finish_times.len() as f64;
+            if mean == 0.0 { 1.0 } else { max as f64 / mean }
+        };
+        RunResult {
+            metrics,
+            iommu: iommu_stats,
+            mem: *self.mem.stats(),
+            gpu_l1_tlb_hit_rate: l1_tlb_rate,
+            gpu_l2_tlb_hit_rate: self.gpu_l2_tlb.stats().rate(),
+            l1_cache_hit_rate: l1_cache_rate,
+            l2_cache_hit_rate: self.l2_cache.stats().rate(),
+            events: self.queue.processed(),
+            finish_spread,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptw_core::sched::SchedulerKind;
+    use ptw_workloads::{build, BenchmarkId, Scale};
+
+    fn run(id: BenchmarkId, sched: SchedulerKind) -> RunResult {
+        let cfg = SystemConfig::paper_baseline().with_scheduler(sched);
+        let w = build(id, Scale::Small, 1);
+        System::new(cfg, w).run()
+    }
+
+    #[test]
+    fn kmn_runs_to_completion() {
+        let r = run(BenchmarkId::Kmn, SchedulerKind::Fcfs);
+        assert!(r.metrics.cycles > 0);
+        assert!(r.metrics.instructions > 0);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn regular_workload_hits_tlbs() {
+        let r = run(BenchmarkId::Hot, SchedulerKind::Fcfs);
+        // Coalesced streaming: almost every translation is an L1 TLB hit.
+        assert!(r.gpu_l1_tlb_hit_rate > 0.5, "rate {}", r.gpu_l1_tlb_hit_rate);
+    }
+
+    #[test]
+    fn irregular_workload_generates_walks() {
+        let r = run(BenchmarkId::Mvt, SchedulerKind::Fcfs);
+        assert!(r.metrics.walk_requests > 1000, "{}", r.metrics.walk_requests);
+        assert!(r.metrics.instructions_with_walks > 0);
+        assert!(r.metrics.mean_last_latency >= r.metrics.mean_first_latency);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(BenchmarkId::Mvt, SchedulerKind::SimtAware);
+        let b = run(BenchmarkId::Mvt, SchedulerKind::SimtAware);
+        assert_eq!(a.metrics.cycles, b.metrics.cycles);
+        assert_eq!(a.metrics.walk_requests, b.metrics.walk_requests);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn schedulers_change_behaviour_on_irregular() {
+        let fcfs = run(BenchmarkId::Mvt, SchedulerKind::Fcfs);
+        let simt = run(BenchmarkId::Mvt, SchedulerKind::SimtAware);
+        assert_ne!(fcfs.metrics.cycles, simt.metrics.cycles);
+    }
+}

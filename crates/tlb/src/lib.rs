@@ -1,0 +1,327 @@
+//! Translation lookaside buffers.
+//!
+//! Models every TLB in the paper's Figure 1 translation path with the
+//! Table I geometries:
+//!
+//! | TLB | geometry |
+//! |---|---|
+//! | GPU L1 (per CU)  | 32 entries, fully associative |
+//! | GPU L2 (shared)  | 512 entries, 16-way |
+//! | IOMMU L1         | 32 entries, fully associative |
+//! | IOMMU L2         | 256 entries, 16-way |
+//!
+//! The TLB itself is a *state* model (hit/miss + contents); lookup and fill
+//! latencies are composed by the simulator's translation path. All TLBs map
+//! a [`VirtPage`] to a [`PhysFrame`]; replacement is configurable and
+//! defaults to the deterministic pseudo-random policy of real TLBs.
+//!
+//! # Example
+//!
+//! ```
+//! use ptw_tlb::{Tlb, TlbConfig};
+//! use ptw_types::addr::{PhysFrame, VirtPage};
+//!
+//! let mut tlb = Tlb::new(TlbConfig::paper_gpu_l1());
+//! let page = VirtPage::new(0x7f00);
+//! assert_eq!(tlb.lookup(page), None);
+//! tlb.fill(page, PhysFrame::new(42));
+//! assert_eq!(tlb.lookup(page), Some(PhysFrame::new(42)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use ptw_mem::assoc::{AssocArray, Replacement};
+use ptw_types::addr::{PhysFrame, VirtPage};
+use ptw_types::stats::HitRate;
+
+/// Geometry of one TLB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity (`entries` for fully associative).
+    pub ways: usize,
+    /// Replacement policy. Defaults to pseudo-random in the `paper_*`
+    /// constructors: hardware TLBs commonly use (pseudo-)random victims,
+    /// and unlike LRU it does not collapse to a 0% hit rate when a cyclic
+    /// working set slightly exceeds capacity — the regime every irregular
+    /// workload in the paper lives in.
+    pub policy: Replacement,
+}
+
+impl TlbConfig {
+    /// Table I GPU L1 TLB: 32 entries, fully associative.
+    pub fn paper_gpu_l1() -> Self {
+        TlbConfig { entries: 32, ways: 32, policy: Replacement::Random }
+    }
+
+    /// Table I GPU shared L2 TLB: 512 entries, 16-way set associative.
+    pub fn paper_gpu_l2() -> Self {
+        TlbConfig { entries: 512, ways: 16, policy: Replacement::Random }
+    }
+
+    /// Table I IOMMU L1 TLB: 32 entries (fully associative).
+    pub fn paper_iommu_l1() -> Self {
+        TlbConfig { entries: 32, ways: 32, policy: Replacement::Random }
+    }
+
+    /// Table I IOMMU L2 TLB: 256 entries (16-way).
+    pub fn paper_iommu_l2() -> Self {
+        TlbConfig { entries: 256, ways: 16, policy: Replacement::Random }
+    }
+
+    /// A GPU L2 TLB with `entries` total entries (sensitivity sweeps,
+    /// Figure 13), keeping 16-way associativity where possible.
+    pub fn gpu_l2_with_entries(entries: usize) -> Self {
+        let ways = if entries >= 16 { 16 } else { entries };
+        TlbConfig { entries, ways, policy: Replacement::Random }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.ways > 0 && self.entries > 0 && self.entries % self.ways == 0,
+            "TLB geometry {}x{} invalid",
+            self.entries,
+            self.ways
+        );
+        self.entries / self.ways
+    }
+}
+
+/// A single TLB (any level).
+#[derive(Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: usize,
+    array: AssocArray<u64, PhysFrame>,
+    stats: HitRate,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        let sets = cfg.sets();
+        Tlb {
+            cfg,
+            sets,
+            array: AssocArray::with_seed(
+                sets,
+                cfg.ways,
+                cfg.policy,
+                0x71b_5eed ^ (cfg.entries as u64) << 8 ^ cfg.ways as u64,
+            ),
+            stats: HitRate::new(),
+        }
+    }
+
+    /// The geometry this TLB was built with.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, page: VirtPage) -> usize {
+        (page.raw() % self.sets as u64) as usize
+    }
+
+    /// Demand lookup: returns the cached translation on hit (recency
+    /// updated), `None` on miss. Hit/miss statistics are recorded.
+    pub fn lookup(&mut self, page: VirtPage) -> Option<PhysFrame> {
+        let set = self.set_of(page);
+        match self.array.lookup(set, page.raw()) {
+            Some(&frame) => {
+                self.stats.hit();
+                Some(frame)
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Checks for a translation without updating recency or statistics.
+    pub fn probe(&self, page: VirtPage) -> Option<PhysFrame> {
+        self.array.probe(self.set_of(page), page.raw()).copied()
+    }
+
+    /// Installs a translation, returning the evicted page if the set was
+    /// full. Filling an already-present page refreshes it in place.
+    pub fn fill(&mut self, page: VirtPage, frame: PhysFrame) -> Option<VirtPage> {
+        let set = self.set_of(page);
+        self.array
+            .fill(set, page.raw(), frame)
+            .map(|(vpn, _)| VirtPage::new(vpn))
+    }
+
+    /// Removes a translation if present.
+    pub fn invalidate(&mut self, page: VirtPage) {
+        let set = self.set_of(page);
+        self.array.invalidate(set, page.raw());
+    }
+
+    /// Removes every translation (e.g. on context switch).
+    pub fn flush(&mut self) {
+        self.array.clear();
+    }
+
+    /// Number of valid entries.
+    pub fn resident(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> &HitRate {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    fn frame(n: u64) -> PhysFrame {
+        PhysFrame::new(n)
+    }
+
+    #[test]
+    fn paper_geometries_are_consistent() {
+        assert_eq!(TlbConfig::paper_gpu_l1().sets(), 1);
+        assert_eq!(TlbConfig::paper_gpu_l2().sets(), 32);
+        assert_eq!(TlbConfig::paper_iommu_l1().sets(), 1);
+        assert_eq!(TlbConfig::paper_iommu_l2().sets(), 16);
+        assert_eq!(TlbConfig::gpu_l2_with_entries(1024).sets(), 64);
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut t = Tlb::new(TlbConfig::paper_gpu_l1());
+        assert_eq!(t.lookup(page(1)), None);
+        t.fill(page(1), frame(100));
+        assert_eq!(t.lookup(page(1)), Some(frame(100)));
+        assert_eq!(t.stats().hits(), 1);
+        assert_eq!(t.stats().misses(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut t = Tlb::new(TlbConfig { entries: 4, ways: 4, policy: Replacement::Lru });
+        for i in 0..100 {
+            t.fill(page(i), frame(i));
+        }
+        assert_eq!(t.resident(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, policy: Replacement::Lru });
+        t.fill(page(1), frame(1));
+        t.fill(page(2), frame(2));
+        t.lookup(page(1)); // 2 becomes LRU
+        let evicted = t.fill(page(3), frame(3));
+        assert_eq!(evicted, Some(page(2)));
+    }
+
+    #[test]
+    fn set_mapping_isolates_conflicts() {
+        // 2 sets × 1 way: pages 0 and 2 conflict (set 0); page 1 does not.
+        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 1, policy: Replacement::Lru });
+        t.fill(page(0), frame(0));
+        t.fill(page(1), frame(1));
+        t.fill(page(2), frame(2)); // evicts page 0
+        assert_eq!(t.probe(page(0)), None);
+        assert_eq!(t.probe(page(1)), Some(frame(1)));
+        assert_eq!(t.probe(page(2)), Some(frame(2)));
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats_or_recency() {
+        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, policy: Replacement::Lru });
+        t.fill(page(1), frame(1));
+        t.fill(page(2), frame(2));
+        t.probe(page(1));
+        assert_eq!(t.stats().total(), 0);
+        let evicted = t.fill(page(3), frame(3));
+        assert_eq!(evicted, Some(page(1))); // probe did not refresh page 1
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(TlbConfig::paper_gpu_l1());
+        t.fill(page(1), frame(1));
+        t.flush();
+        assert_eq!(t.resident(), 0);
+        assert_eq!(t.probe(page(1)), None);
+    }
+
+    #[test]
+    fn refill_same_page_updates_frame_in_place() {
+        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, policy: Replacement::Lru });
+        t.fill(page(1), frame(1));
+        assert_eq!(t.fill(page(1), frame(9)), None);
+        assert_eq!(t.probe(page(1)), Some(frame(9)));
+        assert_eq!(t.resident(), 1);
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut t = Tlb::new(TlbConfig::paper_gpu_l1());
+        t.fill(page(5), frame(5));
+        t.invalidate(page(5));
+        t.invalidate(page(5));
+        assert_eq!(t.resident(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        /// Residency never exceeds capacity.
+        #[test]
+        fn residency_bounded(ops in proptest::collection::vec((0u64..64, 0u64..1000), 1..200)) {
+            let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2, policy: Replacement::Lru });
+            for (vpn, f) in ops {
+                t.fill(VirtPage::new(vpn), PhysFrame::new(f));
+                prop_assert!(t.resident() <= 8);
+            }
+        }
+
+        /// A fill is immediately visible, regardless of prior history.
+        #[test]
+        fn fill_then_lookup_hits(history in proptest::collection::vec(0u64..32, 0..100), vpn in 0u64..32) {
+            let mut t = Tlb::new(TlbConfig { entries: 4, ways: 4, policy: Replacement::Lru });
+            for h in history {
+                t.fill(VirtPage::new(h), PhysFrame::new(h));
+            }
+            t.fill(VirtPage::new(vpn), PhysFrame::new(777));
+            prop_assert_eq!(t.lookup(VirtPage::new(vpn)), Some(PhysFrame::new(777)));
+        }
+
+        /// The TLB holds no duplicate VPNs: the number of distinct probe
+        /// hits equals the number of resident entries.
+        #[test]
+        fn no_duplicate_vpns(ops in proptest::collection::vec(0u64..16, 1..100)) {
+            let mut t = Tlb::new(TlbConfig { entries: 8, ways: 4, policy: Replacement::Lru });
+            let mut filled = HashSet::new();
+            for vpn in ops {
+                t.fill(VirtPage::new(vpn), PhysFrame::new(vpn));
+                filled.insert(vpn);
+            }
+            let hits = filled.iter().filter(|&&v| t.probe(VirtPage::new(v)).is_some()).count();
+            prop_assert_eq!(hits, t.resident());
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Virtual and physical address types and the page / cache-line geometry.
+//!
+//! The simulator models the prevalent x86-64 configuration the paper assumes:
+//! 4 KiB base pages translated by a four-level radix page table, and 64 B
+//! cache lines. Addresses are newtypes over `u64` so virtual and physical
+//! addresses can never be mixed up ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Size of a base page in bytes (4 KiB, x86-64 / ARM base page).
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Size of a cache line in bytes (Table I: 64 B blocks).
+pub const LINE_SIZE: usize = 64;
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A virtual address in the shared CPU/GPU virtual address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical (DRAM) address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A virtual page number (a [`VirtAddr`] shifted right by [`PAGE_SHIFT`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtPage(u64);
+
+/// A physical frame number (a [`PhysAddr`] shifted right by [`PAGE_SHIFT`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysFrame(u64);
+
+/// A physical cache-line address (a [`PhysAddr`] with the low
+/// [`LINE_SHIFT`] bits cleared), the unit the data caches operate on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the virtual page containing this address.
+    pub const fn page(self) -> VirtPage {
+        VirtPage(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the byte offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE as u64 - 1)
+    }
+
+    /// Returns the byte offset of this address within its cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_SIZE as u64 - 1)
+    }
+}
+
+impl PhysAddr {
+    /// Creates a physical address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical frame containing this address.
+    pub const fn frame(self) -> PhysFrame {
+        PhysFrame(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 & !(LINE_SIZE as u64 - 1))
+    }
+
+    /// Returns the byte offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE as u64 - 1)
+    }
+}
+
+impl VirtPage {
+    /// Creates a virtual page number from a raw page index.
+    pub const fn new(vpn: u64) -> Self {
+        VirtPage(vpn)
+    }
+
+    /// Returns the raw page index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first (lowest) virtual address inside this page.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the virtual address at `offset` bytes into this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= PAGE_SIZE`.
+    pub fn addr_at(self, offset: u64) -> VirtAddr {
+        debug_assert!(offset < PAGE_SIZE as u64, "offset {offset} out of page");
+        VirtAddr((self.0 << PAGE_SHIFT) | offset)
+    }
+
+    /// Index into the page-table level `level` (4 = root PML4 … 1 = leaf PT)
+    /// for this page, i.e. the 9-bit slice of the VPN that selects the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `1..=4`.
+    pub fn table_index(self, level: u8) -> usize {
+        assert!((1..=4).contains(&level), "page table level {level} out of range");
+        ((self.0 >> (9 * (level - 1) as u32)) & 0x1ff) as usize
+    }
+
+    /// The VPN truncated to the bits that select the page-table node at
+    /// `level`; two pages sharing this prefix share the node of that level.
+    ///
+    /// For `level = 4` every address shares the single root, so the prefix is
+    /// always 0. For `level = 1` this is the full VPN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `1..=4`.
+    pub fn prefix(self, level: u8) -> u64 {
+        assert!((1..=4).contains(&level), "page table level {level} out of range");
+        self.0 >> (9 * (level as u32 - 1))
+    }
+}
+
+impl PhysFrame {
+    /// Creates a physical frame number from a raw frame index.
+    pub const fn new(pfn: u64) -> Self {
+        PhysFrame(pfn)
+    }
+
+    /// Returns the raw frame index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first (lowest) physical address inside this frame.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the physical address at `offset` bytes into this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= PAGE_SIZE`.
+    pub fn addr_at(self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < PAGE_SIZE as u64, "offset {offset} out of frame");
+        PhysAddr((self.0 << PAGE_SHIFT) | offset)
+    }
+}
+
+impl LineAddr {
+    /// Creates a line address. The low [`LINE_SHIFT`] bits are cleared.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw & !(LINE_SIZE as u64 - 1))
+    }
+
+    /// Returns the raw (aligned) address of the line.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this line as a physical address.
+    pub const fn addr(self) -> PhysAddr {
+        PhysAddr(self.0)
+    }
+}
+
+impl From<VirtPage> for VirtAddr {
+    fn from(p: VirtPage) -> Self {
+        p.base()
+    }
+}
+
+impl From<PhysFrame> for PhysAddr {
+    fn from(f: PhysFrame) -> Self {
+        f.base()
+    }
+}
+
+impl From<PhysAddr> for LineAddr {
+    fn from(a: PhysAddr) -> Self {
+        a.line()
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for VirtAddr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<VirtAddr> for VirtAddr {
+    type Output = u64;
+    fn sub(self, rhs: VirtAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtPage({:#x})", self.0)
+    }
+}
+
+impl fmt::Debug for PhysFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysFrame({:#x})", self.0)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_extraction_round_trips() {
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(va.page().raw(), 0x1234_5678 >> 12);
+        assert_eq!(va.page_offset(), 0x678);
+        assert_eq!(va.page().addr_at(va.page_offset()), va);
+    }
+
+    #[test]
+    fn frame_base_is_aligned() {
+        let f = PhysFrame::new(42);
+        assert_eq!(f.base().raw(), 42 * 4096);
+        assert_eq!(f.base().frame(), f);
+    }
+
+    #[test]
+    fn line_masks_low_bits() {
+        let a = PhysAddr::new(0x1003f);
+        assert_eq!(a.line().raw(), 0x10000);
+        let b = PhysAddr::new(0x10040);
+        assert_ne!(a.line(), b.line());
+    }
+
+    #[test]
+    fn table_index_slices_nine_bits() {
+        // VPN = 0b1_000000001_000000010_000000011 spread over levels.
+        let vpn = (1u64 << 27) | (1 << 18) | (2 << 9) | 3;
+        let p = VirtPage::new(vpn);
+        assert_eq!(p.table_index(4), 1);
+        assert_eq!(p.table_index(3), 1);
+        assert_eq!(p.table_index(2), 2);
+        assert_eq!(p.table_index(1), 3);
+    }
+
+    #[test]
+    fn prefix_identifies_shared_nodes() {
+        // Two pages in the same 2 MiB region share the level-1 table (the
+        // leaf PT node is selected by the level-2 prefix).
+        let a = VirtPage::new(0x200);
+        let b = VirtPage::new(0x2ff);
+        assert_eq!(a.prefix(2), b.prefix(2));
+        assert_ne!(a.prefix(1), b.prefix(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_index_rejects_level_zero() {
+        VirtPage::new(0).table_index(0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let va = VirtAddr::new(100);
+        assert_eq!((va + 28).raw(), 128);
+        assert_eq!((va + 28) - va, 28);
+        let mut v = va;
+        v += 4;
+        assert_eq!(v.raw(), 104);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert!(!format!("{:?}", VirtAddr::new(0)).is_empty());
+        assert!(!format!("{:?}", PhysFrame::new(0)).is_empty());
+        assert!(!format!("{:?}", LineAddr::new(0)).is_empty());
+    }
+}

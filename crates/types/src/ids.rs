@@ -1,0 +1,140 @@
+//! Newtyped identifiers used across the simulator.
+//!
+//! The paper attaches a 20-bit *instruction ID* to every page walk request so
+//! the IOMMU scheduler can group walks of the same SIMD instruction
+//! ([`InstrId`]). The remaining IDs identify hardware structures: compute
+//! units ([`CuId`]), wavefronts ([`WavefrontId`]), SIMD lanes ([`LaneId`])
+//! and IOMMU page-table walkers ([`WalkerId`]).
+
+use core::fmt;
+
+/// Number of bits the paper budgets for the per-request instruction ID.
+pub const INSTR_ID_BITS: u32 = 20;
+
+/// Identifier of a compute unit (CU) inside the GPU.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CuId(pub u16);
+
+/// Globally unique identifier of a wavefront (across all CUs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WavefrontId(pub u32);
+
+/// Identifier of a SIMD lane (work-item slot) within a wavefront.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LaneId(pub u8);
+
+/// Identifier of one of the IOMMU's hardware page-table walkers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WalkerId(pub u8);
+
+/// The 20-bit dynamic SIMD-instruction identifier carried by each page walk
+/// request (Section IV of the paper).
+///
+/// IDs are assigned from a monotonically increasing counter and wrap at
+/// 2^20. The wrap is harmless: an ID only needs to be unique among the walk
+/// requests that are *concurrently pending* in the IOMMU buffer (at most a
+/// few hundred), and 2^20 in-flight instructions would exceed any real
+/// machine by orders of magnitude.
+///
+/// ```
+/// use ptw_types::ids::InstrId;
+/// let mut alloc = InstrId::allocator();
+/// let a = alloc.next_id();
+/// let b = alloc.next_id();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstrId(u32);
+
+impl InstrId {
+    /// Mask of the valid ID bits.
+    pub const MASK: u32 = (1 << INSTR_ID_BITS) - 1;
+
+    /// Creates an instruction ID from a raw value (truncated to 20 bits).
+    pub const fn new(raw: u32) -> Self {
+        InstrId(raw & Self::MASK)
+    }
+
+    /// Returns the raw 20-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns a fresh allocator starting at ID 0.
+    pub fn allocator() -> InstrIdAllocator {
+        InstrIdAllocator { next: 0 }
+    }
+}
+
+/// Monotonic allocator for [`InstrId`]s, wrapping at 2^20.
+#[derive(Clone, Debug, Default)]
+pub struct InstrIdAllocator {
+    next: u32,
+}
+
+impl InstrIdAllocator {
+    /// Creates an allocator starting at ID 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next instruction ID, advancing the counter.
+    pub fn next_id(&mut self) -> InstrId {
+        let id = InstrId::new(self.next);
+        self.next = (self.next + 1) & InstrId::MASK;
+        id
+    }
+}
+
+macro_rules! impl_id_fmt {
+    ($ty:ident, $tag:literal) => {
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({})"), self.0)
+            }
+        }
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id_fmt!(CuId, "cu");
+impl_id_fmt!(WavefrontId, "wf");
+impl_id_fmt!(LaneId, "lane");
+impl_id_fmt!(WalkerId, "walker");
+impl_id_fmt!(InstrId, "instr");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_id_truncates_to_20_bits() {
+        assert_eq!(InstrId::new(0x100001).raw(), 1);
+        assert_eq!(InstrId::new(InstrId::MASK).raw(), InstrId::MASK);
+    }
+
+    #[test]
+    fn allocator_wraps() {
+        let mut a = InstrIdAllocator { next: InstrId::MASK };
+        assert_eq!(a.next_id().raw(), InstrId::MASK);
+        assert_eq!(a.next_id().raw(), 0);
+    }
+
+    #[test]
+    fn allocator_is_sequential() {
+        let mut a = InstrId::allocator();
+        let ids: Vec<u32> = (0..5).map(|_| a.next_id().raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CuId(3).to_string(), "cu3");
+        assert_eq!(WavefrontId(17).to_string(), "wf17");
+        assert_eq!(InstrId::new(9).to_string(), "instr9");
+    }
+}

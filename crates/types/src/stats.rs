@@ -1,0 +1,331 @@
+//! Lightweight statistics containers used by the metrics pipeline.
+//!
+//! These are deliberately simple: the experiment harness post-processes raw
+//! counters into the paper's normalized figures, so all we need here are
+//! counters, online means and bucketed histograms.
+
+use core::fmt;
+
+/// An incrementally updated arithmetic mean.
+///
+/// ```
+/// use ptw_types::stats::OnlineMean;
+/// let mut m = OnlineMean::new();
+/// m.add(2.0);
+/// m.add(4.0);
+/// assert_eq!(m.mean(), 3.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineMean {
+    count: u64,
+    sum: f64,
+}
+
+impl OnlineMean {
+    /// Creates an empty mean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of samples added so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean, or 0.0 if no samples have been added.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merges another mean into this one.
+    pub fn merge(&mut self, other: &OnlineMean) {
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A histogram over contiguous integer buckets defined by upper bounds.
+///
+/// Bucket `i` counts samples `x` with `edges[i-1] < x <= edges[i]`
+/// (the first bucket counts `x <= edges[0]`); samples above the last edge go
+/// into an implicit overflow bucket.
+///
+/// This mirrors Figure 3 of the paper, whose x-axis buckets are
+/// `1-16, 17-32, 33-48, 49-64, 65-80, 81-256`.
+///
+/// ```
+/// use ptw_types::stats::BucketHistogram;
+/// let mut h = BucketHistogram::new(&[16, 32, 48, 64, 80, 256]);
+/// h.add(10);
+/// h.add(60);
+/// h.add(300); // overflow
+/// assert_eq!(h.counts(), &[1, 0, 0, 1, 0, 0]);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BucketHistogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl BucketHistogram {
+    /// Creates a histogram with the given strictly increasing upper edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: &[u64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        BucketHistogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len()],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// The bucket edges this histogram was built with.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: u64) {
+        self.total += 1;
+        match self.edges.iter().position(|&e| x <= e) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Per-bucket counts (not including overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples that exceeded the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket fractions of the total (overflow excluded from buckets but
+    /// included in the denominator). Returns zeros when empty.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Merges another histogram with identical edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges differ.
+    pub fn merge(&mut self, other: &BucketHistogram) {
+        assert_eq!(self.edges, other.edges, "merging incompatible histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for BucketHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut lo = 0u64;
+        for (edge, count) in self.edges.iter().zip(&self.counts) {
+            writeln!(f, "{:>6}-{:<6} {}", lo + 1, edge, count)?;
+            lo = *edge;
+        }
+        write!(f, "{:>6}+{:<6} {}", lo + 1, "", self.overflow)
+    }
+}
+
+/// A ratio of two counters, used for hit rates and similar metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HitRate {
+    hits: u64,
+    misses: u64,
+}
+
+impl HitRate {
+    /// Creates an empty hit-rate counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Number of hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`, or 0.0 when no accesses were recorded.
+    pub fn rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+/// Geometric mean of a sequence of positive values.
+///
+/// The paper reports speedups as geometric means ("30% on average
+/// (geometric mean)"). Returns 0.0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_mean_basic() {
+        let mut m = OnlineMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(1.0);
+        m.add(2.0);
+        m.add(3.0);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn online_mean_merge() {
+        let mut a = OnlineMean::new();
+        a.add(1.0);
+        let mut b = OnlineMean::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_paper_buckets() {
+        let mut h = BucketHistogram::new(&[16, 32, 48, 64, 80, 256]);
+        h.add(1);
+        h.add(16);
+        h.add(17);
+        h.add(64);
+        h.add(65);
+        h.add(256);
+        assert_eq!(h.counts(), &[2, 1, 0, 1, 1, 1]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one_without_overflow() {
+        let mut h = BucketHistogram::new(&[10, 20]);
+        for x in [1, 5, 15, 20] {
+            h.add(x);
+        }
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_unsorted_edges() {
+        BucketHistogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = BucketHistogram::new(&[10]);
+        let mut b = BucketHistogram::new(&[10]);
+        a.add(1);
+        b.add(100);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut h = HitRate::new();
+        h.hit();
+        h.hit();
+        h.miss();
+        assert!((h.rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn geometric_mean_matches_known_value() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulation time.
+//!
+//! All components are clocked in **GPU cycles** (the paper's GPU runs at
+//! 2 GHz; DRAM timings are pre-converted to GPU cycles in the memory model).
+//! [`Cycle`] is a newtype over `u64` so a timestamp can never be confused
+//! with a duration or an ordinary counter.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in GPU cycles since reset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero (simulation reset).
+    pub const ZERO: Cycle = Cycle(0);
+    /// The maximum representable time; useful as an "infinity" sentinel when
+    /// computing the minimum of next-event times.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp from a raw cycle count.
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns `self - other`, or 0 if `other` is
+    /// later than `self`.
+    pub const fn saturating_since(self, other: Cycle) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// Returns the later of two timestamps.
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Elapsed cycles between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle difference");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let t = Cycle::new(10);
+        assert_eq!((t + 5) - t, 5);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle::new(3).saturating_since(Cycle::new(10)), 0);
+        assert_eq!(Cycle::new(10).saturating_since(Cycle::new(3)), 7);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Cycle::new(1);
+        let b = Cycle::new(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(Cycle::ZERO < Cycle::new(1));
+        assert!(Cycle::new(1) < Cycle::MAX);
+    }
+}

@@ -1,0 +1,356 @@
+//! Composable access-pattern kernels.
+//!
+//! Each Table II benchmark is reproduced as a composition of a few access
+//! patterns (DESIGN.md §4). A [`Kernel`] is a *pure function* from
+//! `(wavefront, instruction index)` to the per-lane virtual addresses of
+//! that SIMD instruction, so instruction streams are deterministic,
+//! replayable, and need no per-instruction storage.
+//!
+//! The patterns:
+//!
+//! * [`Kernel::Strided`] — each lane owns a matrix row and walks it
+//!   element-by-element; lanes are `row_stride` bytes apart, so one
+//!   instruction touches up to 64 distinct pages (full memory-access
+//!   divergence) while consecutive instructions of the same wavefront
+//!   reuse the same pages (~512 iterations per 4 KiB page of doubles) —
+//!   the MVT/ATAX/BICG/GESUMMV/NW hot-loop shape;
+//! * [`Kernel::Coalesced`] — classic unit-stride streaming; 64 lanes fall
+//!   on one or two pages (the regular benchmarks, and the vector operands
+//!   of the linear-algebra kernels);
+//! * [`Kernel::Gather`] — `groups` random elements per instruction, lanes
+//!   divided evenly among them (XSBench's Monte-Carlo lookups at
+//!   `groups = 64`, graph-frontier neighbour gathers at `groups ≈ 8`);
+//! * [`Kernel::Interleaved`] — every `period`-th instruction comes from a
+//!   secondary kernel (matrix row reads interleaved with vector reads).
+
+use ptw_types::addr::VirtAddr;
+use ptw_types::ids::WavefrontId;
+use ptw_types::rng::SplitMix64;
+
+/// Number of work-items (lanes) per wavefront (Table I: 64).
+pub const LANES: u64 = 64;
+
+/// A resolved buffer placement a kernel reads from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferRef {
+    /// First virtual address of the buffer.
+    pub base: VirtAddr,
+    /// Buffer length in bytes.
+    pub len: u64,
+}
+
+impl BufferRef {
+    fn at(&self, offset: u64) -> VirtAddr {
+        debug_assert!(offset < self.len, "kernel address out of buffer");
+        self.base + offset
+    }
+}
+
+/// A deterministic SIMD-instruction generator.
+#[derive(Clone, Debug)]
+pub enum Kernel {
+    /// Row-per-lane strided access (divergent linear algebra).
+    Strided {
+        /// The matrix buffer.
+        buffer: BufferRef,
+        /// Total rows in the matrix; lane rows wrap modulo this.
+        rows: u64,
+        /// Bytes between consecutive rows (≥ 4 KiB ⇒ full divergence).
+        row_stride: u64,
+        /// Element size in bytes.
+        elem: u64,
+        /// Instructions per wavefront.
+        iters: u64,
+        /// Per-lane column skew (diagonal wavefront patterns like NW).
+        skew: bool,
+    },
+    /// Unit-stride streaming access (regular kernels, vector operands).
+    Coalesced {
+        /// The streamed buffer.
+        buffer: BufferRef,
+        /// Element size in bytes.
+        elem: u64,
+        /// Instructions per wavefront.
+        iters: u64,
+    },
+    /// Random gather of `groups` distinct elements per instruction.
+    Gather {
+        /// The lookup table.
+        buffer: BufferRef,
+        /// Element size in bytes.
+        elem: u64,
+        /// Instructions per wavefront.
+        iters: u64,
+        /// Distinct random targets per instruction (lanes share evenly);
+        /// 64 = fully divergent, 1 = fully coalesced.
+        groups: u64,
+        /// Stream seed (combined with wavefront and instruction index).
+        seed: u64,
+    },
+    /// `primary` with every `period`-th instruction drawn from `secondary`.
+    Interleaved {
+        /// The dominant pattern.
+        primary: Box<Kernel>,
+        /// The interleaved pattern (e.g. a coalesced vector read).
+        secondary: Box<Kernel>,
+        /// Every `period`-th instruction is secondary (period ≥ 2).
+        period: u64,
+    },
+}
+
+impl Kernel {
+    /// Instructions this kernel issues per wavefront.
+    pub fn iters(&self) -> u64 {
+        match self {
+            Kernel::Strided { iters, .. }
+            | Kernel::Coalesced { iters, .. }
+            | Kernel::Gather { iters, .. } => *iters,
+            Kernel::Interleaved { primary, .. } => primary.iters(),
+        }
+    }
+
+    /// The per-lane addresses of instruction `idx` of wavefront `wf`, or
+    /// `None` when `idx` is past the end of the kernel.
+    pub fn instruction(&self, wf: WavefrontId, idx: u64) -> Option<Vec<VirtAddr>> {
+        if idx >= self.iters() {
+            return None;
+        }
+        Some(match self {
+            Kernel::Strided { buffer, rows, row_stride, elem, skew, .. } => {
+                let row_elems = row_stride / elem;
+                (0..LANES)
+                    .map(|lane| {
+                        let row = (wf.0 as u64 * LANES + lane) % rows;
+                        let col = if *skew { (idx + lane) % row_elems } else { idx % row_elems };
+                        buffer.at(row * row_stride + col * elem)
+                    })
+                    .collect()
+            }
+            Kernel::Coalesced { buffer, elem, iters } => {
+                let elems = buffer.len / elem;
+                // Wrapping keeps the math well-defined for the effectively
+                // unbounded secondary kernels inside `Interleaved`.
+                let stream = (wf.0 as u64).wrapping_mul(*iters).wrapping_add(idx);
+                (0..LANES)
+                    .map(|lane| {
+                        let index = stream.wrapping_mul(LANES).wrapping_add(lane);
+                        buffer.at((index % elems) * elem)
+                    })
+                    .collect()
+            }
+            Kernel::Gather { buffer, elem, groups, seed, .. } => {
+                let elems = buffer.len / elem;
+                let mut rng = SplitMix64::new(
+                    seed ^ (wf.0 as u64).wrapping_mul(0x9e37_79b9_97f4_a7c1)
+                        ^ idx.wrapping_mul(0xd1b5_4a32_d192_ed03),
+                );
+                let targets: Vec<u64> =
+                    (0..*groups).map(|_| rng.next_below(elems) * elem).collect();
+                let per_group = LANES / groups.max(&1);
+                (0..LANES)
+                    .map(|lane| {
+                        let g = (lane / per_group.max(1)).min(targets.len() as u64 - 1);
+                        buffer.at(targets[g as usize])
+                    })
+                    .collect()
+            }
+            Kernel::Interleaved { primary, secondary, period } => {
+                debug_assert!(*period >= 2, "interleave period must be >= 2");
+                if idx % period == period - 1 {
+                    let sec_idx = (idx / period) % secondary.iters();
+                    return secondary.instruction(wf, sec_idx);
+                }
+                return primary.instruction(wf, idx);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptw_gpu::coalesce;
+
+    fn buf(base: u64, len: u64) -> BufferRef {
+        BufferRef { base: VirtAddr::new(base), len }
+    }
+
+    #[test]
+    fn strided_is_fully_divergent_with_page_rows() {
+        let k = Kernel::Strided {
+            buffer: buf(0x10_0000, 64 * 4096 * 64),
+            rows: 64 * 64,
+            row_stride: 4096,
+            elem: 8,
+            iters: 10,
+            skew: false,
+        };
+        let addrs = k.instruction(WavefrontId(0), 0).unwrap();
+        assert_eq!(addrs.len(), 64);
+        let r = coalesce(&addrs);
+        assert_eq!(r.page_divergence(), 64);
+    }
+
+    #[test]
+    fn strided_reuses_pages_across_iterations() {
+        let k = Kernel::Strided {
+            buffer: buf(0x10_0000, 64 * 4096),
+            rows: 64,
+            row_stride: 4096,
+            elem: 8,
+            iters: 512,
+            skew: false,
+        };
+        let a0 = k.instruction(WavefrontId(0), 0).unwrap();
+        let a1 = k.instruction(WavefrontId(0), 1).unwrap();
+        // Same pages, different offsets.
+        for (x, y) in a0.iter().zip(&a1) {
+            assert_eq!(x.page(), y.page());
+            assert_ne!(x, y);
+        }
+    }
+
+    #[test]
+    fn strided_distinct_wavefronts_use_distinct_rows() {
+        let k = Kernel::Strided {
+            buffer: buf(0, 128 * 4096),
+            rows: 128,
+            row_stride: 4096,
+            elem: 8,
+            iters: 4,
+            skew: false,
+        };
+        let a = k.instruction(WavefrontId(0), 0).unwrap();
+        let b = k.instruction(WavefrontId(1), 0).unwrap();
+        assert_ne!(a[0].page(), b[0].page());
+    }
+
+    #[test]
+    fn coalesced_touches_one_or_two_pages() {
+        let k = Kernel::Coalesced { buffer: buf(0x20_0000, 1 << 20), elem: 8, iters: 100 };
+        for idx in 0..100 {
+            let addrs = k.instruction(WavefrontId(3), idx).unwrap();
+            let r = coalesce(&addrs);
+            assert!(r.page_divergence() <= 2, "idx {idx}: {}", r.page_divergence());
+        }
+    }
+
+    #[test]
+    fn coalesced_streams_forward() {
+        let k = Kernel::Coalesced { buffer: buf(0, 1 << 20), elem: 8, iters: 100 };
+        let a = k.instruction(WavefrontId(0), 0).unwrap();
+        let b = k.instruction(WavefrontId(0), 1).unwrap();
+        assert_eq!(b[0] - a[0], 64 * 8);
+    }
+
+    #[test]
+    fn gather_is_deterministic_and_bounded() {
+        let k = Kernel::Gather {
+            buffer: buf(0x40_0000, 1 << 22),
+            elem: 8,
+            iters: 50,
+            groups: 64,
+            seed: 7,
+        };
+        let a = k.instruction(WavefrontId(1), 5).unwrap();
+        let b = k.instruction(WavefrontId(1), 5).unwrap();
+        assert_eq!(a, b);
+        for addr in &a {
+            assert!(addr.raw() >= 0x40_0000 && addr.raw() < 0x40_0000 + (1 << 22));
+        }
+    }
+
+    #[test]
+    fn gather_group_count_limits_divergence() {
+        let k = Kernel::Gather {
+            buffer: buf(0, 1 << 26),
+            elem: 8,
+            iters: 10,
+            groups: 8,
+            seed: 3,
+        };
+        for idx in 0..10 {
+            let addrs = k.instruction(WavefrontId(0), idx).unwrap();
+            let r = coalesce(&addrs);
+            assert!(r.page_divergence() <= 8);
+        }
+    }
+
+    #[test]
+    fn gather_full_divergence_mostly_distinct_pages() {
+        let k = Kernel::Gather {
+            buffer: buf(0, 1 << 26), // 64 MiB = 16384 pages
+            elem: 8,
+            iters: 1,
+            groups: 64,
+            seed: 11,
+        };
+        let addrs = k.instruction(WavefrontId(0), 0).unwrap();
+        let r = coalesce(&addrs);
+        assert!(r.page_divergence() > 55, "got {}", r.page_divergence());
+    }
+
+    #[test]
+    fn interleaved_switches_every_period() {
+        let primary = Kernel::Strided {
+            buffer: buf(0x10_0000, 64 * 64 * 4096),
+            rows: 64 * 64,
+            row_stride: 4096,
+            elem: 8,
+            iters: 20,
+            skew: false,
+        };
+        let secondary = Kernel::Coalesced { buffer: buf(0x8000_0000, 1 << 16), elem: 8, iters: 20 };
+        let k = Kernel::Interleaved {
+            primary: Box::new(primary),
+            secondary: Box::new(secondary),
+            period: 4,
+        };
+        for idx in 0..20 {
+            let addrs = k.instruction(WavefrontId(0), idx).unwrap();
+            let div = coalesce(&addrs).page_divergence();
+            if idx % 4 == 3 {
+                assert!(div <= 2, "idx {idx} should be coalesced");
+            } else {
+                assert_eq!(div, 64, "idx {idx} should be divergent");
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_bounds_are_respected() {
+        let k = Kernel::Coalesced { buffer: buf(0, 1 << 20), elem: 8, iters: 3 };
+        assert!(k.instruction(WavefrontId(0), 2).is_some());
+        assert!(k.instruction(WavefrontId(0), 3).is_none());
+    }
+
+    #[test]
+    fn strided_row_wraparound_stays_in_buffer() {
+        let k = Kernel::Strided {
+            buffer: buf(0, 16 * 4096),
+            rows: 16, // fewer rows than lanes: wraps
+            row_stride: 4096,
+            elem: 8,
+            iters: 2,
+            skew: false,
+        };
+        let addrs = k.instruction(WavefrontId(5), 1).unwrap();
+        for a in addrs {
+            assert!(a.raw() < 16 * 4096);
+        }
+    }
+
+    #[test]
+    fn skewed_strided_shifts_columns_per_lane() {
+        let k = Kernel::Strided {
+            buffer: buf(0, 64 * 4096),
+            rows: 64,
+            row_stride: 4096,
+            elem: 8,
+            iters: 4,
+            skew: true,
+        };
+        let addrs = k.instruction(WavefrontId(0), 0).unwrap();
+        assert_ne!(addrs[0].page_offset(), addrs[1].page_offset());
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic reproductions of the paper's Table II benchmarks.
+//!
+//! The paper runs unmodified OpenCL/HCC binaries under gem5; a Rust
+//! simulator cannot. Each benchmark is therefore substituted by a
+//! *synthetic kernel generator* that emits the same per-wavefront SIMD
+//! memory-access pattern the benchmark's hot loops produce — preserving the
+//! properties the paper's results rest on: per-instruction page divergence
+//! (Figure 3), inter-instruction page reuse (which makes TLB thrashing and
+//! its relief by scheduling possible, Figures 11–12), and footprints that
+//! dwarf the TLB reach (Table II). DESIGN.md §4 documents the substitution
+//! per benchmark.
+//!
+//! * [`kernel`] — the composable access-pattern primitives;
+//! * [`registry`] — [`BenchmarkId`], Table II metadata, and
+//!   [`registry::build`] which assembles a [`Workload`];
+//! * [`workload`] — the built workload implementing
+//!   [`ptw_gpu::InstructionStream`].
+//!
+//! # Example
+//!
+//! ```
+//! use ptw_gpu::{coalesce, InstructionStream};
+//! use ptw_workloads::{build, BenchmarkId, Scale};
+//! use ptw_types::ids::WavefrontId;
+//!
+//! let mut mvt = build(BenchmarkId::Mvt, Scale::Small, 42);
+//! let addrs = mvt.next_instruction(WavefrontId(0)).unwrap();
+//! // MVT's row-per-lane kernel is fully divergent:
+//! assert_eq!(coalesce(&addrs).page_divergence(), 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kernel;
+pub mod registry;
+pub mod workload;
+
+pub use kernel::{BufferRef, Kernel, LANES};
+pub use registry::{build, BenchmarkId, Scale};
+pub use workload::Workload;

@@ -1,0 +1,110 @@
+//! Drive the IOMMU directly — no GPU, no DRAM model — to watch the
+//! SIMT-aware scheduler make its two decisions (batching, then
+//! shortest-job-first) on a hand-built scenario. This is the paper's
+//! Figure 4 example as runnable code.
+//!
+//! ```text
+//! cargo run --release --example iommu_microsim
+//! ```
+
+use ptw_core::iommu::{Iommu, IommuConfig, WalkerStep};
+use ptw_core::sched::SchedulerKind;
+use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
+use ptw_pagetable::table::PageTable;
+use ptw_types::addr::VirtPage;
+use ptw_types::ids::InstrId;
+use ptw_types::time::Cycle;
+
+const MEM_LATENCY: u64 = 100;
+
+/// Runs the two-instruction scenario of Figure 4 under `kind`, returning
+/// (load A completion, load B completion) in cycles.
+fn scenario(kind: SchedulerKind) -> (u64, u64) {
+    let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
+    let mut table = PageTable::new(&mut alloc);
+    let mut map = |vpn: u64| -> VirtPage {
+        let page = VirtPage::new(vpn);
+        let frame = alloc.alloc();
+        table.map(page, frame, &mut alloc).expect("fresh page");
+        page
+    };
+
+    // load A needs 3 translations, load B needs 5 (as in Figure 4).
+    let a: Vec<VirtPage> = (0..3).map(|i| map(0x1_0000 + i * 0x200)).collect();
+    let b: Vec<VirtPage> = (0..5).map(|i| map(0x9_0000 + i * 0x200)).collect();
+
+    let mut cfg = IommuConfig::paper_baseline().with_scheduler(kind);
+    cfg.walkers = 1; // a single walker makes the service order visible
+    let mut iommu: Iommu<char> = Iommu::new(cfg);
+
+    // Occupy the walker so the arrivals below are *scheduled*, not started
+    // immediately.
+    let blocker = map(0x5_0000);
+    iommu.translate(blocker, InstrId::new(99), '-', Cycle::ZERO);
+    let mut pending_reads = iommu.start_walkers(&table, Cycle::ZERO);
+
+    // Interleaved arrivals, exactly like the IOMMU buffer in Figure 4a:
+    // A0 B0 B1 A1 B2 A2 B3 B4.
+    let arrivals = [
+        ('A', a[0]), ('B', b[0]), ('B', b[1]), ('A', a[1]),
+        ('B', b[2]), ('A', a[2]), ('B', b[3]), ('B', b[4]),
+    ];
+    for (i, &(who, page)) in arrivals.iter().enumerate() {
+        let instr = InstrId::new(if who == 'A' { 0 } else { 1 });
+        iommu.translate(page, instr, who, Cycle::new(1 + i as u64));
+    }
+
+    let (mut a_left, mut b_left, mut a_done, mut b_done) = (3u32, 5u32, 0u64, 0u64);
+    let mut now = Cycle::ZERO;
+    println!("  service order under {}:", kind.label());
+    while a_left > 0 || b_left > 0 {
+        let read = if pending_reads.is_empty() {
+            iommu.start_walkers(&table, now).remove(0)
+        } else {
+            pending_reads.remove(0)
+        };
+        let mut cur = read;
+        loop {
+            now = cur.issue_at.max(now) + MEM_LATENCY;
+            match iommu.memory_done(cur.walker, now) {
+                WalkerStep::Read(next) => cur = next,
+                WalkerStep::Done(done) => {
+                    for c in done {
+                        match c.waiter {
+                            'A' => {
+                                a_left -= 1;
+                                a_done = c.completed_at.raw();
+                                print!("  A");
+                            }
+                            'B' => {
+                                b_left -= 1;
+                                b_done = c.completed_at.raw();
+                                print!("  B");
+                            }
+                            _ => print!("  (warmup)"),
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    println!();
+    (a_done, b_done)
+}
+
+fn main() {
+    println!("Figure 4 scenario: loads A (3 walks) and B (5 walks), walks interleaved\n");
+    let (a_fcfs, b_fcfs) = scenario(SchedulerKind::Fcfs);
+    println!("  FCFS:       load A done @ {a_fcfs}, load B done @ {b_fcfs}\n");
+    let (a_simt, b_simt) = scenario(SchedulerKind::SimtAware);
+    println!("  SIMT-aware: load A done @ {a_simt}, load B done @ {b_simt}\n");
+    let first_gain = a_fcfs.min(b_fcfs) as i64 - a_simt.min(b_simt) as i64;
+    let last_cost = a_simt.max(b_simt) as i64 - a_fcfs.max(b_fcfs) as i64;
+    println!(
+        "Batching + SJF completes the first load {first_gain} cycles earlier, at a cost of \
+         {} cycle(s) to the other\n(paper, Figure 4b: \"load A can potentially complete much \
+         earlier without further delaying load B\").",
+        last_cost.max(0)
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate one irregular GPU benchmark under the baseline
+//! FCFS page-walk scheduler and under the paper's SIMT-aware scheduler,
+//! and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ptw_core::sched::SchedulerKind;
+use ptw_sim::config::SystemConfig;
+use ptw_sim::system::System;
+use ptw_workloads::{build, BenchmarkId, Scale};
+
+fn main() {
+    let benchmark = BenchmarkId::Mvt;
+    println!(
+        "Simulating {} ({}) at Small scale...\n",
+        benchmark.name(),
+        benchmark.description()
+    );
+
+    let mut results = Vec::new();
+    for scheduler in [SchedulerKind::Fcfs, SchedulerKind::SimtAware] {
+        let cfg = SystemConfig::paper_baseline().with_scheduler(scheduler);
+        let workload = build(benchmark, Scale::Small, 42);
+        let result = System::new(cfg, workload).run();
+        println!(
+            "{:<11} {:>9} cycles | {:>6} walk requests | L2 TLB hit {:>5.1}% | \
+             stall cycles {:>9}",
+            scheduler.label(),
+            result.metrics.cycles,
+            result.metrics.walk_requests,
+            result.gpu_l2_tlb_hit_rate * 100.0,
+            result.metrics.cu_stall_cycles,
+        );
+        results.push(result);
+    }
+
+    let speedup = results[0].metrics.cycles as f64 / results[1].metrics.cycles as f64;
+    println!(
+        "\nSIMT-aware page walk scheduling speeds {} up by {:.2}x over FCFS",
+        benchmark.abbrev(),
+        speedup
+    );
+    println!(
+        "(the paper reports 30% on average across irregular workloads, up to 41%)"
+    );
+}

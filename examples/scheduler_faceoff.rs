@@ -1,0 +1,56 @@
+//! Scheduler face-off: run every page-walk scheduling policy on a chosen
+//! benchmark and compare performance, stall cycles, and translation
+//! traffic side by side.
+//!
+//! ```text
+//! cargo run --release --example scheduler_faceoff           # default GEV
+//! cargo run --release --example scheduler_faceoff -- XSB    # pick a bench
+//! ```
+
+use ptw_core::sched::SchedulerKind;
+use ptw_sim::config::SystemConfig;
+use ptw_sim::system::System;
+use ptw_workloads::{build, BenchmarkId, Scale};
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "GEV".to_owned());
+    let benchmark = BenchmarkId::ALL
+        .into_iter()
+        .find(|b| b.abbrev().eq_ignore_ascii_case(&wanted))
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown benchmark {wanted:?}; pick one of: {}",
+                BenchmarkId::ALL.map(|b| b.abbrev()).join(" ")
+            );
+            std::process::exit(1);
+        });
+
+    println!(
+        "Scheduler face-off on {} — {}\n",
+        benchmark.name(),
+        benchmark.description()
+    );
+    println!(
+        "{:<11} {:>10} {:>9} {:>8} {:>8} {:>9} {:>10}",
+        "scheduler", "cycles", "speedup", "walks", "merged", "stall-cy", "walk-lat"
+    );
+
+    let mut baseline_cycles = None;
+    for scheduler in SchedulerKind::ALL {
+        let cfg = SystemConfig::paper_baseline().with_scheduler(scheduler);
+        let workload = build(benchmark, Scale::Small, 7);
+        let r = System::new(cfg, workload).run();
+        let base = *baseline_cycles.get_or_insert(r.metrics.cycles as f64);
+        println!(
+            "{:<11} {:>10} {:>8.2}x {:>8} {:>8} {:>9} {:>9.0}c",
+            scheduler.label(),
+            r.metrics.cycles,
+            base / r.metrics.cycles as f64,
+            r.metrics.walk_requests,
+            r.iommu.merged_completions,
+            r.metrics.cu_stall_cycles,
+            r.iommu.avg_walk_latency(),
+        );
+    }
+    println!("\n(speedups are relative to {}, the first row)", SchedulerKind::ALL[0].label());
+}

@@ -1,0 +1,41 @@
+//! Umbrella crate for the **ptw-sched** reproduction of *Scheduling Page
+//! Table Walks for Irregular GPU Applications* (ISCA 2018).
+//!
+//! Re-exports the workspace crates under one roof so downstream users can
+//! depend on a single crate:
+//!
+//! * [`types`] — addresses, IDs, cycles, deterministic PRNG, stats;
+//! * [`mem`] — DRAM model, FR-FCFS controller, data caches;
+//! * [`pagetable`] — x86-64 four-level page table + page walk caches;
+//! * [`tlb`] — TLB structures;
+//! * [`core`] — **the paper's contribution**: the IOMMU and its page-walk
+//!   schedulers;
+//! * [`gpu`] — wavefronts, CUs, the memory coalescer;
+//! * [`workloads`] — the Table II benchmark generators;
+//! * [`sim`] — the full-system simulator and the figure harness.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Example
+//!
+//! ```
+//! use ptw_repro::core::sched::SchedulerKind;
+//! use ptw_repro::sim::{config::SystemConfig, system::System};
+//! use ptw_repro::workloads::{build, BenchmarkId, Scale};
+//!
+//! let cfg = SystemConfig::paper_baseline().with_scheduler(SchedulerKind::SimtAware);
+//! let result = System::new(cfg, build(BenchmarkId::Kmn, Scale::Small, 1)).run();
+//! assert!(result.metrics.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ptw_core as core;
+pub use ptw_gpu as gpu;
+pub use ptw_mem as mem;
+pub use ptw_pagetable as pagetable;
+pub use ptw_sim as sim;
+pub use ptw_tlb as tlb;
+pub use ptw_types as types;
+pub use ptw_workloads as workloads;

@@ -1,0 +1,185 @@
+//! End-to-end integration tests: full-system simulations spanning every
+//! crate in the workspace.
+
+use ptw_core::sched::SchedulerKind;
+use ptw_sim::config::SystemConfig;
+use ptw_sim::system::{RunResult, System};
+use ptw_workloads::{build, BenchmarkId, Scale};
+
+fn run(id: BenchmarkId, sched: SchedulerKind, seed: u64) -> RunResult {
+    let cfg = SystemConfig::paper_baseline().with_scheduler(sched);
+    System::new(cfg, build(id, Scale::Small, seed)).run()
+}
+
+#[test]
+fn every_benchmark_completes_under_every_scheduler() {
+    for id in BenchmarkId::ALL {
+        for sched in SchedulerKind::ALL {
+            let r = run(id, sched, 1);
+            assert!(r.metrics.cycles > 0, "{id}/{sched}: zero cycles");
+            assert!(r.metrics.instructions > 0, "{id}/{sched}: no instructions");
+        }
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    for sched in [SchedulerKind::Fcfs, SchedulerKind::Random, SchedulerKind::SimtAware] {
+        let a = run(BenchmarkId::Gev, sched, 9);
+        let b = run(BenchmarkId::Gev, sched, 9);
+        assert_eq!(a.metrics.cycles, b.metrics.cycles, "{sched}: cycles differ");
+        assert_eq!(a.metrics.walk_requests, b.metrics.walk_requests);
+        assert_eq!(a.metrics.cu_stall_cycles, b.metrics.cu_stall_cycles);
+        assert_eq!(a.events, b.events);
+    }
+}
+
+#[test]
+fn walk_accounting_is_conserved() {
+    for id in [BenchmarkId::Mvt, BenchmarkId::Xsb, BenchmarkId::Ssp] {
+        let r = run(id, SchedulerKind::SimtAware, 3);
+        // Every enqueued walk request completes exactly once.
+        assert_eq!(
+            r.iommu.completed_requests, r.iommu.walk_requests,
+            "{id}: requests lost or duplicated"
+        );
+        // Walks performed + piggybacked = all requests.
+        assert_eq!(
+            r.iommu.walks_performed + r.iommu.merged_completions,
+            r.iommu.walk_requests,
+            "{id}: merge accounting broken"
+        );
+        // Each performed walk does 1-4 memory accesses.
+        assert!(r.iommu.total_walk_accesses >= r.iommu.walks_performed);
+        assert!(r.iommu.total_walk_accesses <= 4 * r.iommu.walks_performed);
+    }
+}
+
+#[test]
+fn irregular_apps_are_translation_bound_and_regular_are_not() {
+    let irregular = run(BenchmarkId::Mvt, SchedulerKind::Fcfs, 1);
+    let regular = run(BenchmarkId::Kmn, SchedulerKind::Fcfs, 1);
+    let walks_per_instr =
+        |r: &RunResult| r.metrics.walk_requests as f64 / r.metrics.instructions as f64;
+    assert!(
+        walks_per_instr(&irregular) > 10.0 * walks_per_instr(&regular),
+        "irregular {} vs regular {}",
+        walks_per_instr(&irregular),
+        walks_per_instr(&regular)
+    );
+}
+
+#[test]
+fn simt_aware_does_not_hurt_regular_applications() {
+    // Paper, Figure 8: "the SIMT-aware scheduling does not hurt regular
+    // workloads".
+    for id in BenchmarkId::REGULAR {
+        let fcfs = run(id, SchedulerKind::Fcfs, 2).metrics.cycles as f64;
+        let simt = run(id, SchedulerKind::SimtAware, 2).metrics.cycles as f64;
+        let speedup = fcfs / simt;
+        assert!(
+            (0.98..=1.05).contains(&speedup),
+            "{id}: regular app perturbed by scheduler ({speedup:.3}x)"
+        );
+    }
+}
+
+#[test]
+fn simt_aware_speeds_up_divergent_linear_algebra() {
+    // The paper's headline: irregular apps gain from SIMT-aware walk
+    // scheduling. We assert the direction on the three most stable
+    // benchmarks (absolute magnitudes are substrate-dependent).
+    for id in [BenchmarkId::Mvt, BenchmarkId::Bcg, BenchmarkId::Nw] {
+        let fcfs = run(id, SchedulerKind::Fcfs, 1).metrics.cycles as f64;
+        let simt = run(id, SchedulerKind::SimtAware, 1).metrics.cycles as f64;
+        assert!(
+            fcfs / simt > 1.05,
+            "{id}: expected speedup, got {:.3}x",
+            fcfs / simt
+        );
+    }
+}
+
+#[test]
+fn stall_cycles_shrink_with_simt_aware_scheduling() {
+    // Figure 9's mechanism: better forward progress = fewer CU stalls.
+    let fcfs = run(BenchmarkId::Mvt, SchedulerKind::Fcfs, 1);
+    let simt = run(BenchmarkId::Mvt, SchedulerKind::SimtAware, 1);
+    assert!(
+        simt.metrics.cu_stall_cycles < fcfs.metrics.cu_stall_cycles,
+        "stalls: simt {} vs fcfs {}",
+        simt.metrics.cu_stall_cycles,
+        fcfs.metrics.cu_stall_cycles
+    );
+}
+
+#[test]
+fn walk_requests_shrink_with_simt_aware_scheduling() {
+    // Figure 11's mechanism: deprioritizing translation-heavy instructions
+    // keeps them from thrashing the TLBs.
+    let fcfs = run(BenchmarkId::Mvt, SchedulerKind::Fcfs, 1);
+    let simt = run(BenchmarkId::Mvt, SchedulerKind::SimtAware, 1);
+    assert!(
+        simt.metrics.walk_requests < fcfs.metrics.walk_requests,
+        "walks: simt {} vs fcfs {}",
+        simt.metrics.walk_requests,
+        fcfs.metrics.walk_requests
+    );
+}
+
+#[test]
+fn latency_gap_shrinks_with_batching() {
+    // Figure 10's mechanism: batching same-instruction walks narrows the
+    // first-to-last completion gap.
+    let fcfs = run(BenchmarkId::Mvt, SchedulerKind::Fcfs, 1);
+    let simt = run(BenchmarkId::Mvt, SchedulerKind::SimtAware, 1);
+    assert!(
+        simt.metrics.mean_latency_gap < fcfs.metrics.mean_latency_gap,
+        "gap: simt {} vs fcfs {}",
+        simt.metrics.mean_latency_gap,
+        fcfs.metrics.mean_latency_gap
+    );
+}
+
+#[test]
+fn epoch_wavefronts_shrink_with_simt_aware_scheduling() {
+    // Figure 12's mechanism: fewer distinct wavefronts contend for the
+    // GPU L2 TLB per epoch.
+    let fcfs = run(BenchmarkId::Mvt, SchedulerKind::Fcfs, 1);
+    let simt = run(BenchmarkId::Mvt, SchedulerKind::SimtAware, 1);
+    assert!(
+        simt.metrics.mean_epoch_wavefronts <= fcfs.metrics.mean_epoch_wavefronts,
+        "epoch wavefronts: simt {} vs fcfs {}",
+        simt.metrics.mean_epoch_wavefronts,
+        fcfs.metrics.mean_epoch_wavefronts
+    );
+}
+
+#[test]
+fn bigger_iommu_buffer_does_not_reduce_simt_benefit() {
+    // Figure 14's trend: more lookahead, more headroom for the scheduler.
+    let speedup = |buffer: usize| {
+        let cfg = SystemConfig::paper_baseline().with_iommu_buffer(buffer);
+        let fcfs = System::new(
+            cfg.clone().with_scheduler(SchedulerKind::Fcfs),
+            build(BenchmarkId::Nw, Scale::Small, 1),
+        )
+        .run()
+        .metrics
+        .cycles as f64;
+        let simt = System::new(
+            cfg.with_scheduler(SchedulerKind::SimtAware),
+            build(BenchmarkId::Nw, Scale::Small, 1),
+        )
+        .run()
+        .metrics
+        .cycles as f64;
+        fcfs / simt
+    };
+    let small = speedup(64);
+    let big = speedup(512);
+    assert!(
+        big >= small * 0.95,
+        "lookahead should help: 64-entry {small:.3}x vs 512-entry {big:.3}x"
+    );
+}

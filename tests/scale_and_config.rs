@@ -1,0 +1,124 @@
+//! Integration tests for workload scales and configuration variants.
+
+use ptw_core::sched::SchedulerKind;
+use ptw_gpu::{coalesce, InstructionStream};
+use ptw_sim::config::SystemConfig;
+use ptw_sim::runner::{run_benchmark, ConfigVariant, RunSpec};
+use ptw_sim::system::System;
+use ptw_types::ids::WavefrontId;
+use ptw_workloads::{build, BenchmarkId, Scale};
+
+#[test]
+fn scales_order_by_work() {
+    // Larger scales issue strictly more instructions per wavefront.
+    let per_wf = |scale| {
+        let w = build(BenchmarkId::Mvt, scale, 1);
+        w.expected_instructions() / w.wavefronts() as u64
+    };
+    let small = per_wf(Scale::Small);
+    let medium = per_wf(Scale::Medium);
+    let paper = per_wf(Scale::Paper);
+    assert!(small < medium, "{small} vs {medium}");
+    assert!(medium < paper, "{medium} vs {paper}");
+}
+
+#[test]
+fn paper_scale_footprints_approach_table_two() {
+    // At the Paper preset the generated footprints are within 2x of the
+    // Table II values for the matrix benchmarks (the sized part of the
+    // workload; vectors and guard pages account for the remainder).
+    let w = build(BenchmarkId::Mvt, Scale::Paper, 1);
+    let generated_mb = w.space().footprint_bytes() as f64 / (1024.0 * 1024.0);
+    let paper = BenchmarkId::Mvt.paper_footprint_mb();
+    assert!(
+        generated_mb > paper * 0.5 && generated_mb < paper * 2.5,
+        "MVT paper-scale footprint {generated_mb:.1} MB vs Table II {paper} MB"
+    );
+}
+
+#[test]
+fn divergence_matches_the_papers_range() {
+    // Irregular kernels diverge to "1 to 32 or 64" pages per instruction
+    // (Section I); never more than the wavefront width.
+    for id in BenchmarkId::IRREGULAR {
+        let mut w = build(id, Scale::Small, 4);
+        for _ in 0..40 {
+            if let Some(addrs) = w.next_instruction(WavefrontId(0)) {
+                let d = coalesce(&addrs).page_divergence();
+                assert!((1..=64).contains(&d), "{id}: divergence {d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_config_variant_completes() {
+    for variant in [
+        ConfigVariant::Baseline,
+        ConfigVariant::BigTlb,
+        ConfigVariant::MoreWalkers,
+        ConfigVariant::BigTlbMoreWalkers,
+        ConfigVariant::SmallBuffer,
+        ConfigVariant::BigBuffer,
+        ConfigVariant::NoPinning,
+        ConfigVariant::MemFcfs,
+    ] {
+        let spec = RunSpec {
+            benchmark: BenchmarkId::Atx,
+            scheduler: SchedulerKind::SimtAware,
+            scale: Scale::Small,
+            seed: 5,
+            config: variant.config(),
+        };
+        let r = run_benchmark(&spec);
+        assert!(r.metrics.cycles > 0, "{}: failed", variant.label());
+    }
+}
+
+#[test]
+fn more_walkers_reduce_walk_latency() {
+    let run = |walkers| {
+        let cfg = SystemConfig::paper_baseline().with_walkers(walkers);
+        System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run()
+    };
+    let few = run(2);
+    let many = run(16);
+    assert!(
+        many.iommu.avg_walk_latency() < few.iommu.avg_walk_latency(),
+        "16 walkers {} vs 2 walkers {}",
+        many.iommu.avg_walk_latency(),
+        few.iommu.avg_walk_latency()
+    );
+    assert!(many.metrics.cycles < few.metrics.cycles);
+}
+
+#[test]
+fn bigger_l2_tlb_reduces_walk_requests() {
+    let run = |entries| {
+        let cfg = SystemConfig::paper_baseline().with_gpu_l2_tlb_entries(entries);
+        System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run()
+    };
+    let small = run(128);
+    let big = run(2048);
+    assert!(
+        big.metrics.walk_requests < small.metrics.walk_requests,
+        "2048-entry {} vs 128-entry {}",
+        big.metrics.walk_requests,
+        small.metrics.walk_requests
+    );
+}
+
+#[test]
+fn different_seeds_build_different_physical_layouts() {
+    let a = build(BenchmarkId::Xsb, Scale::Small, 1);
+    let b = build(BenchmarkId::Xsb, Scale::Small, 2);
+    // Same virtual structure…
+    assert_eq!(a.wavefronts(), b.wavefronts());
+    assert_eq!(a.space().footprint_bytes(), b.space().footprint_bytes());
+    // …and identical page tables structurally, but the gather streams
+    // differ (seed-dependent), so runs differ.
+    let cfg = SystemConfig::paper_baseline();
+    let ra = System::new(cfg.clone(), a).run();
+    let rb = System::new(cfg, b).run();
+    assert_ne!(ra.metrics.cycles, rb.metrics.cycles);
+}
