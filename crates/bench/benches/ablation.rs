@@ -5,7 +5,7 @@
 //! times each scheduler variant on the same workload so their *simulation*
 //! costs are also visible.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ptw_bench::Runner;
 use ptw_core::sched::SchedulerKind;
 use ptw_sim::config::SystemConfig;
 use ptw_sim::figures;
@@ -13,36 +13,33 @@ use ptw_sim::runner::{ConfigVariant, Lab};
 use ptw_sim::system::System;
 use ptw_workloads::{build, BenchmarkId, Scale};
 
-fn ablation_scheduler_parts(c: &mut Criterion) {
-    let mut lab = Lab::new(Scale::Small, 0xC0FFEE);
-    eprintln!("{}", figures::ablation(&mut lab));
-
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+fn ablation_scheduler_parts(r: &mut Runner, lab: &mut Lab) {
+    eprintln!("{}", figures::ablation(lab));
     for kind in SchedulerKind::ALL {
-        group.bench_function(format!("mvt_{}", kind.label()), |b| {
-            b.iter(|| {
-                let cfg = SystemConfig::paper_baseline().with_scheduler(kind);
-                System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run().metrics.cycles
-            })
+        r.bench(&format!("ablation/mvt_{}", kind.label()), || {
+            let cfg = SystemConfig::paper_baseline().with_scheduler(kind);
+            System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1))
+                .run()
+                .metrics
+                .cycles
         });
     }
-    group.finish();
 }
 
-fn ablation_memory_scheduler(c: &mut Criterion) {
+fn ablation_memory_scheduler(r: &mut Runner, lab: &mut Lab) {
     // FR-FCFS vs strict FCFS at the memory controller: the paper argues
     // walk scheduling is orthogonal to DRAM scheduling; this ablation
     // quantifies the interaction in our model.
-    let mut lab = Lab::new(Scale::Small, 0xC0FFEE);
     let frfcfs = lab
         .result(BenchmarkId::Mvt, SchedulerKind::SimtAware)
         .metrics
         .cycles;
     let fcfs_mem = lab
-        .result_with(BenchmarkId::Mvt, SchedulerKind::SimtAware, ConfigVariant::MemFcfs)
+        .result_with(
+            BenchmarkId::Mvt,
+            SchedulerKind::SimtAware,
+            ConfigVariant::MemFcfs,
+        )
         .metrics
         .cycles;
     eprintln!(
@@ -50,18 +47,21 @@ fn ablation_memory_scheduler(c: &mut Criterion) {
          | DRAM policy | cycles |\n|---|---|\n| FR-FCFS | {frfcfs} |\n| FCFS | {fcfs_mem} |\n"
     );
 
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("mvt_mem_fcfs", |b| {
-        b.iter(|| {
-            let cfg = ConfigVariant::MemFcfs.config().with_scheduler(SchedulerKind::SimtAware);
-            System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run().metrics.cycles
-        })
+    r.bench("ablation/mvt_mem_fcfs", || {
+        let cfg = ConfigVariant::MemFcfs
+            .config()
+            .with_scheduler(SchedulerKind::SimtAware);
+        System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1))
+            .run()
+            .metrics
+            .cycles
     });
-    group.finish();
 }
 
-criterion_group!(ablation, ablation_scheduler_parts, ablation_memory_scheduler);
-criterion_main!(ablation);
+fn main() {
+    let mut r = Runner::from_args();
+    let mut lab = Lab::new(Scale::Small, 0xC0FFEE);
+    ablation_scheduler_parts(&mut r, &mut lab);
+    ablation_memory_scheduler(&mut r, &mut lab);
+    r.finish();
+}

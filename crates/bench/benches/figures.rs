@@ -1,4 +1,4 @@
-//! One Criterion bench per table and figure of the paper.
+//! One bench per table and figure of the paper.
 //!
 //! Each bench does two things:
 //!
@@ -8,174 +8,153 @@
 //!    reports (the standalone `figures` binary does the same at
 //!    `Scale::Medium`);
 //! 2. **times a representative simulation** for that figure, so regressions
-//!    in simulator performance show up in Criterion's statistics.
+//!    in simulator performance show up in the harness statistics.
 //!
-//! Timing full paper-scale sweeps inside Criterion's sampling loop would
-//! take hours; the representative runs keep `cargo bench` to minutes while
-//! the printed tables still carry the full series.
+//! Timing full paper-scale sweeps inside the sampling loop would take
+//! hours; the representative runs keep `cargo bench` to minutes while the
+//! printed tables still carry the full series. The shared `Lab` is warmed
+//! up front through the parallel [`SweepExecutor`], so the table
+//! regeneration part uses every core.
 
-use std::sync::{Mutex, OnceLock};
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use ptw_bench::Runner;
 use ptw_core::sched::SchedulerKind;
 use ptw_sim::config::SystemConfig;
 use ptw_sim::figures;
 use ptw_sim::runner::Lab;
+use ptw_sim::sweep::SweepExecutor;
 use ptw_sim::system::System;
 use ptw_workloads::{build, BenchmarkId, Scale};
 
-/// Shared, memoized run results: each (benchmark, scheduler, variant) is
-/// simulated once across the entire bench suite.
-fn lab() -> &'static Mutex<Lab> {
-    static LAB: OnceLock<Mutex<Lab>> = OnceLock::new();
-    LAB.get_or_init(|| Mutex::new(Lab::new(Scale::Small, 0xC0FFEE)))
-}
-
 /// Times one full simulation of `id` under `sched` at Small scale.
-fn time_run(c: &mut Criterion, name: &str, id: BenchmarkId, sched: SchedulerKind) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function(name, |b| {
-        b.iter(|| {
-            let cfg = SystemConfig::paper_baseline().with_scheduler(sched);
-            System::new(cfg, build(id, Scale::Small, 1)).run().metrics.cycles
-        })
+fn time_run(r: &mut Runner, name: &str, id: BenchmarkId, sched: SchedulerKind) {
+    r.bench(name, || {
+        let cfg = SystemConfig::paper_baseline().with_scheduler(sched);
+        System::new(cfg, build(id, Scale::Small, 1))
+            .run()
+            .metrics
+            .cycles
     });
-    group.finish();
 }
 
-fn table1_config(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args();
+    let mut lab = Lab::new(Scale::Small, 0xC0FFEE);
+
+    // Warm the lab's cache for every run the figures below will read, in
+    // parallel across worker threads (the figures themselves then render
+    // from cache).
+    let warmed = lab.prefetch_figures(&SweepExecutor::auto());
+    eprintln!("[bench] prefetched {warmed} runs via SweepExecutor");
+
     eprintln!("{}", figures::table1());
-    // Representative cost: constructing the full system around a workload.
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("table1_config_build", |b| {
-        b.iter(|| {
-            let cfg = SystemConfig::paper_baseline();
-            System::new(cfg, build(BenchmarkId::Kmn, Scale::Small, 1))
-        })
+    r.bench("figures/table1_config_build", || {
+        let cfg = SystemConfig::paper_baseline();
+        System::new(cfg, build(BenchmarkId::Kmn, Scale::Small, 1))
     });
-    group.finish();
-}
 
-fn table2_workloads(c: &mut Criterion) {
-    {
-        let lab = lab().lock().unwrap();
-        eprintln!("{}", figures::table2(&lab));
-    }
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("table2_workload_build", |b| {
-        b.iter(|| build(BenchmarkId::Nw, Scale::Small, 1).space().footprint_bytes())
+    eprintln!("{}", figures::table2(&lab));
+    r.bench("figures/table2_workload_build", || {
+        build(BenchmarkId::Nw, Scale::Small, 1)
+            .space()
+            .footprint_bytes()
     });
-    group.finish();
-}
 
-fn fig02_scheduling_impact(c: &mut Criterion) {
-    eprintln!("{}", figures::fig2(&mut lab().lock().unwrap()));
-    time_run(c, "fig02_mvt_random", BenchmarkId::Mvt, SchedulerKind::Random);
-}
+    eprintln!("{}", figures::fig2(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig02_mvt_random",
+        BenchmarkId::Mvt,
+        SchedulerKind::Random,
+    );
 
-fn fig03_work_distribution(c: &mut Criterion) {
-    eprintln!("{}", figures::fig3(&mut lab().lock().unwrap()));
-    time_run(c, "fig03_gev_fcfs", BenchmarkId::Gev, SchedulerKind::Fcfs);
-}
+    eprintln!("{}", figures::fig3(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig03_gev_fcfs",
+        BenchmarkId::Gev,
+        SchedulerKind::Fcfs,
+    );
 
-fn fig04_interleaving_scenario(c: &mut Criterion) {
     eprintln!("{}", figures::fig4());
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(20);
-    group.bench_function("fig04_scenario_replay", |b| b.iter(figures::fig4));
-    group.finish();
-}
+    r.bench("figures/fig04_scenario_replay", figures::fig4);
 
-fn fig05_interleaving(c: &mut Criterion) {
-    eprintln!("{}", figures::fig5(&mut lab().lock().unwrap()));
-    time_run(c, "fig05_atx_fcfs", BenchmarkId::Atx, SchedulerKind::Fcfs);
-}
+    eprintln!("{}", figures::fig5(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig05_atx_fcfs",
+        BenchmarkId::Atx,
+        SchedulerKind::Fcfs,
+    );
 
-fn fig06_first_last(c: &mut Criterion) {
-    eprintln!("{}", figures::fig6(&mut lab().lock().unwrap()));
-    time_run(c, "fig06_bic_fcfs", BenchmarkId::Bcg, SchedulerKind::Fcfs);
-}
+    eprintln!("{}", figures::fig6(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig06_bcg_fcfs",
+        BenchmarkId::Bcg,
+        SchedulerKind::Fcfs,
+    );
 
-fn fig08_speedup(c: &mut Criterion) {
-    eprintln!("{}", figures::fig8(&mut lab().lock().unwrap()));
-    time_run(c, "fig08_mvt_simt", BenchmarkId::Mvt, SchedulerKind::SimtAware);
-}
+    eprintln!("{}", figures::fig8(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig08_mvt_simt",
+        BenchmarkId::Mvt,
+        SchedulerKind::SimtAware,
+    );
 
-fn fig09_stalls(c: &mut Criterion) {
-    eprintln!("{}", figures::fig9(&mut lab().lock().unwrap()));
-    time_run(c, "fig09_nw_simt", BenchmarkId::Nw, SchedulerKind::SimtAware);
-}
+    eprintln!("{}", figures::fig9(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig09_nw_simt",
+        BenchmarkId::Nw,
+        SchedulerKind::SimtAware,
+    );
 
-fn fig10_latency_gap(c: &mut Criterion) {
-    eprintln!("{}", figures::fig10(&mut lab().lock().unwrap()));
-    time_run(c, "fig10_xsb_simt", BenchmarkId::Xsb, SchedulerKind::SimtAware);
-}
+    eprintln!("{}", figures::fig10(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig10_xsb_simt",
+        BenchmarkId::Xsb,
+        SchedulerKind::SimtAware,
+    );
 
-fn fig11_walk_count(c: &mut Criterion) {
-    eprintln!("{}", figures::fig11(&mut lab().lock().unwrap()));
-    time_run(c, "fig11_gev_simt", BenchmarkId::Gev, SchedulerKind::SimtAware);
-}
+    eprintln!("{}", figures::fig11(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig11_gev_simt",
+        BenchmarkId::Gev,
+        SchedulerKind::SimtAware,
+    );
 
-fn fig12_active_wavefronts(c: &mut Criterion) {
-    eprintln!("{}", figures::fig12(&mut lab().lock().unwrap()));
-    time_run(c, "fig12_atx_simt", BenchmarkId::Atx, SchedulerKind::SimtAware);
-}
+    eprintln!("{}", figures::fig12(&mut lab));
+    time_run(
+        &mut r,
+        "figures/fig12_atx_simt",
+        BenchmarkId::Atx,
+        SchedulerKind::SimtAware,
+    );
 
-fn fig13_sensitivity(c: &mut Criterion) {
-    eprintln!("{}", figures::fig13(&mut lab().lock().unwrap()));
-    // Representative: the 16-walker variant.
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("fig13_mvt_16_walkers", |b| {
-        b.iter(|| {
-            let cfg = SystemConfig::paper_baseline()
-                .with_walkers(16)
-                .with_scheduler(SchedulerKind::SimtAware);
-            System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run().metrics.cycles
-        })
+    eprintln!("{}", figures::fig13(&mut lab));
+    r.bench("figures/fig13_mvt_16_walkers", || {
+        let cfg = SystemConfig::paper_baseline()
+            .with_walkers(16)
+            .with_scheduler(SchedulerKind::SimtAware);
+        System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1))
+            .run()
+            .metrics
+            .cycles
     });
-    group.finish();
-}
 
-fn fig14_buffer_size(c: &mut Criterion) {
-    eprintln!("{}", figures::fig14(&mut lab().lock().unwrap()));
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("fig14_mvt_512_buffer", |b| {
-        b.iter(|| {
-            let cfg = SystemConfig::paper_baseline()
-                .with_iommu_buffer(512)
-                .with_scheduler(SchedulerKind::SimtAware);
-            System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1)).run().metrics.cycles
-        })
+    eprintln!("{}", figures::fig14(&mut lab));
+    r.bench("figures/fig14_mvt_512_buffer", || {
+        let cfg = SystemConfig::paper_baseline()
+            .with_iommu_buffer(512)
+            .with_scheduler(SchedulerKind::SimtAware);
+        System::new(cfg, build(BenchmarkId::Mvt, Scale::Small, 1))
+            .run()
+            .metrics
+            .cycles
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    table1_config,
-    table2_workloads,
-    fig02_scheduling_impact,
-    fig03_work_distribution,
-    fig04_interleaving_scenario,
-    fig05_interleaving,
-    fig06_first_last,
-    fig08_speedup,
-    fig09_stalls,
-    fig10_latency_gap,
-    fig11_walk_count,
-    fig12_active_wavefronts,
-    fig13_sensitivity,
-    fig14_buffer_size,
-);
-criterion_main!(benches);
+    r.finish();
+}

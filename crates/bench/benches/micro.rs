@@ -4,7 +4,7 @@
 //! performance visible (a cycle-level simulator is only useful if runs
 //! stay cheap) and exercise each crate's hot path in isolation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ptw_bench::{black_box, Runner, SampleConfig};
 use ptw_core::iommu::{Iommu, IommuConfig};
 use ptw_core::request::WalkRequest;
 use ptw_core::sched::{Scheduler, SchedulerKind};
@@ -21,21 +21,23 @@ use ptw_types::ids::InstrId;
 use ptw_types::rng::SplitMix64;
 use ptw_types::time::Cycle;
 
-fn bench_tlb_lookup(c: &mut Criterion) {
+fn bench_tlb_lookup(r: &mut Runner) {
     let mut tlb = Tlb::new(TlbConfig::paper_gpu_l2());
     for i in 0..512u64 {
         tlb.fill(VirtPage::new(i), ptw_types::addr::PhysFrame::new(i));
     }
     let mut i = 0u64;
-    c.bench_function("micro/tlb_lookup_hit", |b| {
-        b.iter(|| {
+    r.bench("micro/tlb_lookup_hit", || {
+        let mut hits = 0usize;
+        for _ in 0..10_000 {
             i = (i + 1) % 512;
-            black_box(tlb.lookup(VirtPage::new(i)))
-        })
+            hits += usize::from(black_box(tlb.lookup(VirtPage::new(i))).is_some());
+        }
+        hits
     });
 }
 
-fn bench_pwc_estimate(c: &mut Criterion) {
+fn bench_pwc_estimate(r: &mut Runner) {
     let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
     let mut table = PageTable::new(&mut alloc);
     let mut pwc = PageWalkCache::new(PwcConfig::paper_baseline());
@@ -47,15 +49,17 @@ fn bench_pwc_estimate(c: &mut Criterion) {
         pwc.complete_walk(&plan);
     }
     let mut i = 0u64;
-    c.bench_function("micro/pwc_estimate_probe", |b| {
-        b.iter(|| {
+    r.bench("micro/pwc_estimate_probe", || {
+        let mut acc = 0u32;
+        for _ in 0..10_000 {
             i = (i + 1) % 64;
-            black_box(pwc.estimate(VirtPage::new(i << 9)))
-        })
+            acc += black_box(pwc.estimate(VirtPage::new(i << 9))).accesses as u32;
+        }
+        acc
     });
 }
 
-fn bench_scheduler_select(c: &mut Criterion) {
+fn bench_scheduler_select(r: &mut Runner) {
     // A full 256-entry window, the paper's baseline lookahead.
     let mut rng = SplitMix64::new(1);
     let window: Vec<WalkRequest<u32>> = (0..256)
@@ -73,77 +77,88 @@ fn bench_scheduler_select(c: &mut Criterion) {
     for kind in [SchedulerKind::Fcfs, SchedulerKind::SimtAware] {
         let mut sched = Scheduler::new(kind, 2_000_000, 7);
         let mut w = window.clone();
-        c.bench_function(&format!("micro/select_256_{}", kind.label()), |b| {
-            b.iter(|| black_box(sched.select(&mut w, |_| true)))
+        r.bench(&format!("micro/select_256_{}", kind.label()), || {
+            let mut picked = 0usize;
+            for _ in 0..1_000 {
+                picked += black_box(sched.select(&mut w, |_| true)).unwrap_or(0);
+            }
+            picked
         });
     }
 }
 
-fn bench_dram_controller(c: &mut Criterion) {
-    c.bench_function("micro/dram_256_requests", |b| {
-        b.iter(|| {
-            let mut mc =
-                MemoryController::new(DramConfig::paper_baseline(), MemSchedPolicy::FrFcfs);
-            let mut rng = SplitMix64::new(3);
-            for i in 0..256u64 {
-                mc.submit(
-                    LineAddr::new(rng.next_below(1 << 26)),
-                    MemSource::Data,
-                    Cycle::new(i),
-                );
-            }
-            let mut served = 0;
-            while let Some(t) = mc.next_event_time() {
-                served += mc.advance(t).len();
-            }
-            black_box(served)
-        })
+fn bench_dram_controller(r: &mut Runner) {
+    r.bench("micro/dram_256_requests", || {
+        let mut mc = MemoryController::new(DramConfig::paper_baseline(), MemSchedPolicy::FrFcfs);
+        let mut rng = SplitMix64::new(3);
+        for i in 0..256u64 {
+            mc.submit(
+                LineAddr::new(rng.next_below(1 << 26)),
+                MemSource::Data,
+                Cycle::new(i),
+            );
+        }
+        let mut served = 0;
+        while let Some(t) = mc.next_event_time() {
+            served += mc.advance(t).len();
+        }
+        black_box(served)
     });
 }
 
-fn bench_coalescer(c: &mut Criterion) {
+fn bench_coalescer(r: &mut Runner) {
     let mut rng = SplitMix64::new(9);
-    let divergent: Vec<VirtAddr> =
-        (0..64).map(|_| VirtAddr::new(rng.next_below(1 << 30))).collect();
+    let divergent: Vec<VirtAddr> = (0..64)
+        .map(|_| VirtAddr::new(rng.next_below(1 << 30)))
+        .collect();
     let coalesced: Vec<VirtAddr> = (0..64).map(|i| VirtAddr::new(0x1000 + i * 8)).collect();
-    c.bench_function("micro/coalesce_divergent_64", |b| {
-        b.iter(|| black_box(coalesce(&divergent)))
+    r.bench("micro/coalesce_divergent_64", || {
+        black_box(coalesce(&divergent))
     });
-    c.bench_function("micro/coalesce_unit_stride_64", |b| {
-        b.iter(|| black_box(coalesce(&coalesced)))
+    r.bench("micro/coalesce_unit_stride_64", || {
+        black_box(coalesce(&coalesced))
     });
 }
 
-fn bench_page_table_walk_path(c: &mut Criterion) {
+fn bench_page_table_walk_path(r: &mut Runner) {
     let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
     let mut table = PageTable::new(&mut alloc);
     for i in 0..4096u64 {
         let f = alloc.alloc();
-        table.map(VirtPage::new(0x7f_0000 + i), f, &mut alloc).unwrap();
+        table
+            .map(VirtPage::new(0x7f_0000 + i), f, &mut alloc)
+            .unwrap();
     }
     let mut i = 0u64;
-    c.bench_function("micro/page_table_walk_path", |b| {
-        b.iter(|| {
+    r.bench("micro/page_table_walk_path", || {
+        let mut found = 0usize;
+        for _ in 0..1_000 {
             i = (i + 1) % 4096;
-            black_box(table.walk_path(VirtPage::new(0x7f_0000 + i)))
-        })
+            found +=
+                usize::from(black_box(table.walk_path(VirtPage::new(0x7f_0000 + i))).is_some());
+        }
+        found
     });
 }
 
-fn bench_cache_access(c: &mut Criterion) {
+fn bench_cache_access(r: &mut Runner) {
     let mut cache = Cache::new(CacheConfig::paper_l2());
     let mut rng = SplitMix64::new(5);
-    c.bench_function("micro/l2_cache_access_fill", |b| {
-        b.iter(|| {
+    r.bench("micro/l2_cache_access_fill", || {
+        let mut hits = 0usize;
+        for _ in 0..10_000 {
             let line = LineAddr::new(rng.next_below(1 << 24));
-            if !cache.access(line) {
+            if cache.access(line) {
+                hits += 1;
+            } else {
                 cache.fill(line);
             }
-        })
+        }
+        hits
     });
 }
 
-fn bench_iommu_translate(c: &mut Criterion) {
+fn bench_iommu_translate(r: &mut Runner) {
     let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
     let mut table = PageTable::new(&mut alloc);
     for i in 0..1024u64 {
@@ -153,31 +168,35 @@ fn bench_iommu_translate(c: &mut Criterion) {
     let mut iommu: Iommu<u64> = Iommu::new(IommuConfig::paper_baseline());
     let mut i = 0u64;
     let mut t = Cycle::ZERO;
-    c.bench_function("micro/iommu_translate_and_start", |b| {
-        b.iter(|| {
+    r.bench("micro/iommu_translate_and_start", || {
+        for _ in 0..1_000 {
             i = (i + 1) % 1024;
-            t = t + 1;
+            t += 1;
             black_box(iommu.translate(VirtPage::new(i), InstrId::new(i as u32), i, t));
             // Drain walkers instantly so the buffer cannot grow unbounded.
             for read in iommu.start_walkers(&table, t) {
                 let mut step = iommu.memory_done(read.walker, t + 100);
-                while let ptw_core::iommu::WalkerStep::Read(r) = step {
-                    step = iommu.memory_done(r.walker, t + 100);
+                while let ptw_core::iommu::WalkerStep::Read(next) = step {
+                    step = iommu.memory_done(next.walker, t + 100);
                 }
             }
-        })
+        }
     });
 }
 
-criterion_group!(
-    micro,
-    bench_tlb_lookup,
-    bench_pwc_estimate,
-    bench_scheduler_select,
-    bench_dram_controller,
-    bench_coalescer,
-    bench_page_table_walk_path,
-    bench_cache_access,
-    bench_iommu_translate,
-);
-criterion_main!(micro);
+fn main() {
+    let mut r = Runner::from_args().with_config(SampleConfig {
+        warmup_iters: 2,
+        samples: 20,
+        budget: std::time::Duration::from_secs(2),
+    });
+    bench_tlb_lookup(&mut r);
+    bench_pwc_estimate(&mut r);
+    bench_scheduler_select(&mut r);
+    bench_dram_controller(&mut r);
+    bench_coalescer(&mut r);
+    bench_page_table_walk_path(&mut r);
+    bench_cache_access(&mut r);
+    bench_iommu_translate(&mut r);
+    r.finish();
+}

@@ -1,1 +1,176 @@
-//! Criterion benchmark harness for the ptw-sched reproduction; see benches/.
+//! Dependency-free benchmark harness for the ptw-sched reproduction.
+//!
+//! The sandbox this repo builds in has no network access, so the usual
+//! `criterion` dev-dependency cannot be resolved from the registry. This
+//! tiny harness covers what the benches in `benches/` actually need:
+//! named timed functions, warm-up, multiple samples, and a compact
+//! min/median/mean report — with zero external crates. `cargo bench`
+//! still works (each bench target sets `harness = false` and drives a
+//! [`Runner`] from `main`).
+//!
+//! Filtering works like libtest: `cargo bench -- fig08` runs only the
+//! benches whose name contains `fig08`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a [`Runner`] samples one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleConfig {
+    /// Iterations executed before measurement starts.
+    pub warmup_iters: u32,
+    /// Number of timed samples collected.
+    pub samples: u32,
+    /// Soft wall-clock budget per benchmark; sampling stops early once it
+    /// is exhausted (a full simulation run can take hundreds of ms).
+    pub budget: Duration,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            warmup_iters: 2,
+            samples: 10,
+            budget: Duration::from_secs(3),
+        }
+    }
+}
+
+/// One recorded benchmark result.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name as passed to [`Runner::bench`].
+    pub name: String,
+    /// Per-sample wall-clock times, sorted ascending.
+    pub times: Vec<Duration>,
+}
+
+impl BenchResult {
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.times[0]
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        self.times[self.times.len() / 2]
+    }
+
+    /// Mean over all samples.
+    pub fn mean(&self) -> Duration {
+        self.times.iter().sum::<Duration>() / self.times.len() as u32
+    }
+}
+
+/// Runs and reports named benchmarks (the `criterion` stand-in).
+#[derive(Debug, Default)]
+pub struct Runner {
+    filter: Option<String>,
+    cfg: SampleConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Creates a runner from `std::env::args`, honouring a substring
+    /// filter and ignoring the flags cargo passes to bench binaries
+    /// (`--bench`, `--exact`, ...).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Runner {
+            filter,
+            cfg: SampleConfig::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the sampling configuration.
+    pub fn with_config(mut self, cfg: SampleConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Whether `name` passes the command-line filter.
+    pub fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Times `f`, printing one line per benchmark as it completes.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.enabled(name) {
+            return;
+        }
+        for _ in 0..self.cfg.warmup_iters {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut times = Vec::with_capacity(self.cfg.samples as usize);
+        for _ in 0..self.cfg.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+            if started.elapsed() > self.cfg.budget {
+                break;
+            }
+        }
+        times.sort_unstable();
+        let r = BenchResult {
+            name: name.to_owned(),
+            times,
+        };
+        println!(
+            "bench {:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} samples)",
+            r.name,
+            r.min(),
+            r.median(),
+            r.mean(),
+            r.times.len()
+        );
+        self.results.push(r);
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a closing summary line.
+    pub fn finish(&self) {
+        println!("ran {} benchmarks", self.results.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut r = Runner::default().with_config(SampleConfig {
+            warmup_iters: 1,
+            samples: 3,
+            budget: Duration::from_secs(10),
+        });
+        let mut calls = 0u32;
+        r.bench("counting", || calls += 1);
+        assert_eq!(r.results().len(), 1);
+        assert_eq!(r.results()[0].times.len(), 3);
+        assert_eq!(calls, 1 + 3); // warmup + samples
+        assert!(r.results()[0].min() <= r.results()[0].median());
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = Runner {
+            filter: Some("tlb".into()),
+            cfg: SampleConfig::default(),
+            results: Vec::new(),
+        };
+        assert!(r.enabled("micro/tlb_lookup"));
+        assert!(!r.enabled("micro/pwc_probe"));
+        let mut ran = false;
+        r.bench("micro/pwc_probe", || ran = true);
+        assert!(!ran);
+        assert!(r.results().is_empty());
+    }
+}

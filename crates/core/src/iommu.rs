@@ -310,11 +310,17 @@ impl<W> Iommu<W> {
         now: Cycle,
     ) -> TranslationOutcome {
         if let Some(frame) = self.l1_tlb.lookup(page) {
-            return TranslationOutcome::Hit { frame, ready_at: now + self.cfg.tlb_cycles };
+            return TranslationOutcome::Hit {
+                frame,
+                ready_at: now + self.cfg.tlb_cycles,
+            };
         }
         if let Some(frame) = self.l2_tlb.lookup(page) {
             self.l1_tlb.fill(page, frame);
-            return TranslationOutcome::Hit { frame, ready_at: now + 2 * self.cfg.tlb_cycles };
+            return TranslationOutcome::Hit {
+                frame,
+                ready_at: now + 2 * self.cfg.tlb_cycles,
+            };
         }
         let enqueued_at = now + 2 * self.cfg.tlb_cycles;
         let seq = self.next_seq;
@@ -327,7 +333,7 @@ impl<W> Iommu<W> {
         // pending requests (1-b).
         let mut own_estimate = 0u8;
         let mut score = 0u32;
-        if !self.has_free_walker() && self.cfg.scheduler.uses_scores() {
+        if !self.has_free_walker() && self.scheduler.uses_scores() {
             own_estimate = self.pwc.estimate(page).accesses;
             let prior = self
                 .buffer
@@ -370,12 +376,9 @@ impl<W> Iommu<W> {
         while self.has_free_walker() && !self.buffer.is_empty() {
             let window_len = self.buffer.len().min(self.cfg.buffer_entries);
             let inflight = &self.inflight_pages;
-            let Some(idx) = self
-                .scheduler
-                .select(&mut self.buffer[..window_len], |r| {
-                    !inflight.contains_key(&r.page.raw())
-                })
-            else {
+            let Some(idx) = self.scheduler.select(&mut self.buffer[..window_len], |r| {
+                !inflight.contains_key(&r.page.raw())
+            }) else {
                 break;
             };
             let request = self.buffer.remove(idx);
@@ -421,7 +424,10 @@ impl<W> Iommu<W> {
     pub fn memory_done(&mut self, walker: WalkerId, now: Cycle) -> WalkerStep<W> {
         let widx = walker.0 as usize;
         let state = &mut self.walkers[widx];
-        let WalkerState::Busy { plan, reads_done, .. } = state else {
+        let WalkerState::Busy {
+            plan, reads_done, ..
+        } = state
+        else {
             panic!("memory_done on idle {walker:?}");
         };
         *reads_done += 1;
@@ -433,8 +439,12 @@ impl<W> Iommu<W> {
             });
         }
         // Walk complete.
-        let WalkerState::Busy { request, plan, service_seq, .. } =
-            std::mem::replace(state, WalkerState::Idle)
+        let WalkerState::Busy {
+            request,
+            plan,
+            service_seq,
+            ..
+        } = std::mem::replace(state, WalkerState::Idle)
         else {
             unreachable!("matched Busy above");
         };
@@ -504,7 +514,11 @@ mod tests {
     fn fixture(cfg: IommuConfig) -> Fixture {
         let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
         let table = PageTable::new(&mut alloc);
-        Fixture { alloc, table, iommu: Iommu::new(cfg) }
+        Fixture {
+            alloc,
+            table,
+            iommu: Iommu::new(cfg),
+        }
     }
 
     fn map(f: &mut Fixture, vpn: u64) -> VirtPage {
@@ -523,7 +537,7 @@ mod tests {
     ) -> (Vec<CompletedTranslation<u64>>, Cycle) {
         let mut t = read.issue_at;
         loop {
-            t = t + mem_latency;
+            t += mem_latency;
             match f.iommu.memory_done(read.walker, t) {
                 WalkerStep::Read(next) => read = next,
                 WalkerStep::Done(done) => return (done, t),
@@ -546,7 +560,10 @@ mod tests {
         assert_eq!(done[0].walk_accesses, 4); // cold PWC
 
         // The IOMMU TLBs now hold the page.
-        match f.iommu.translate(page, InstrId::new(2), 1, Cycle::new(10_000)) {
+        match f
+            .iommu
+            .translate(page, InstrId::new(2), 1, Cycle::new(10_000))
+        {
             TranslationOutcome::Hit { frame, ready_at } => {
                 assert_eq!(frame, done[0].frame);
                 assert_eq!(ready_at.raw(), 10_000 + 8);
@@ -572,11 +589,15 @@ mod tests {
         // A second page's walk evicts `page` from the 1-entry L1 TLB but
         // leaves it in the 256-entry L2 TLB.
         let other = map(&mut f, 0x9000);
-        f.iommu.translate(other, InstrId::new(2), 0, Cycle::new(10_000));
+        f.iommu
+            .translate(other, InstrId::new(2), 0, Cycle::new(10_000));
         for r in f.iommu.start_walkers(&f.table, Cycle::new(10_000)) {
             run_walk(&mut f, r, 50);
         }
-        match f.iommu.translate(page, InstrId::new(3), 0, Cycle::new(50_000)) {
+        match f
+            .iommu
+            .translate(page, InstrId::new(3), 0, Cycle::new(50_000))
+        {
             TranslationOutcome::Hit { ready_at, .. } => {
                 assert_eq!(ready_at.raw(), 50_000 + 16); // L1 miss + L2 hit
             }
@@ -595,7 +616,7 @@ mod tests {
         let mut read = reads[0];
         let mut t = read.issue_at;
         loop {
-            t = t + 100;
+            t += 100;
             match f.iommu.memory_done(read.walker, t) {
                 WalkerStep::Read(next) => {
                     count += 1;
@@ -637,7 +658,8 @@ mod tests {
         let mut f = fixture(cfg);
         let pages: Vec<VirtPage> = (0..5).map(|i| map(&mut f, 0xc000 + i * 0x1000)).collect();
         for (i, &p) in pages.iter().enumerate() {
-            f.iommu.translate(p, InstrId::new(i as u32), i as u64, Cycle::ZERO);
+            f.iommu
+                .translate(p, InstrId::new(i as u32), i as u64, Cycle::ZERO);
         }
         let reads = f.iommu.start_walkers(&f.table, Cycle::ZERO);
         assert_eq!(reads.len(), 2);
@@ -656,7 +678,8 @@ mod tests {
         let mut f = fixture(cfg);
         let pages: Vec<VirtPage> = (0..3).map(|i| map(&mut f, 0xd000 + i * 0x1000)).collect();
         for (i, &p) in pages.iter().enumerate() {
-            f.iommu.translate(p, InstrId::new(i as u32), i as u64, Cycle::new(i as u64));
+            f.iommu
+                .translate(p, InstrId::new(i as u32), i as u64, Cycle::new(i as u64));
         }
         let mut order = Vec::new();
         let mut t = Cycle::ZERO;
@@ -677,7 +700,8 @@ mod tests {
         cfg.walkers = 1;
         let mut f = fixture(cfg);
         let blocker = map(&mut f, 0xe000);
-        f.iommu.translate(blocker, InstrId::new(9), 999, Cycle::ZERO);
+        f.iommu
+            .translate(blocker, InstrId::new(9), 999, Cycle::ZERO);
         let reads = f.iommu.start_walkers(&f.table, Cycle::ZERO);
 
         // Heavy instruction 0: three pages; light instruction 1: one page.
@@ -706,12 +730,15 @@ mod tests {
 
         // Two instructions with two pages each, interleaved arrivals, and
         // scores arranged equal so batching (not SJF) decides.
-        let pages: Vec<VirtPage> =
-            (0..4).map(|i| map(&mut f, 0x4_0000 + i * 0x1000)).collect();
-        f.iommu.translate(pages[0], InstrId::new(0), 0, Cycle::new(1));
-        f.iommu.translate(pages[1], InstrId::new(1), 1, Cycle::new(2));
-        f.iommu.translate(pages[2], InstrId::new(0), 2, Cycle::new(3));
-        f.iommu.translate(pages[3], InstrId::new(1), 3, Cycle::new(4));
+        let pages: Vec<VirtPage> = (0..4).map(|i| map(&mut f, 0x4_0000 + i * 0x1000)).collect();
+        f.iommu
+            .translate(pages[0], InstrId::new(0), 0, Cycle::new(1));
+        f.iommu
+            .translate(pages[1], InstrId::new(1), 1, Cycle::new(2));
+        f.iommu
+            .translate(pages[2], InstrId::new(0), 2, Cycle::new(3));
+        f.iommu
+            .translate(pages[3], InstrId::new(1), 3, Cycle::new(4));
 
         let (_, mut t) = run_walk(&mut f, reads[0], 100);
         let mut service_order = Vec::new();

@@ -14,7 +14,13 @@
 //! Crate layout:
 //!
 //! * [`request`] — the buffered walk request (instruction ID, score, aging);
-//! * [`sched`] — FCFS / Random / SJF-only / Batch-only / SIMT-aware policies;
+//! * [`policy`] — the open [`WalkPolicy`](policy::WalkPolicy) trait, the
+//!   seven built-in policies (FCFS / Random / SJF-only / Batch-only /
+//!   SIMT-aware / Heaviest-first / Round-robin), and the name→factory
+//!   [`PolicyRegistry`](policy::PolicyRegistry);
+//! * [`sched`] — the [`Scheduler`](sched::Scheduler) shell (eligibility
+//!   scan, starvation aging, dispatch notification) and the
+//!   [`SchedulerKind`](sched::SchedulerKind) parse/display façade;
 //! * [`iommu`] — the IOMMU block: two TLB levels, the pending-walk buffer,
 //!   page-walk caches with 2-bit counter pinning, and the walker pool.
 //!
@@ -61,11 +67,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod iommu;
+pub mod policy;
 pub mod request;
 pub mod sched;
 
 pub use iommu::{
     CompletedTranslation, Iommu, IommuConfig, IommuStats, MemRead, TranslationOutcome, WalkerStep,
 };
+pub use policy::{Candidate, PolicyEntry, PolicyParams, PolicyRegistry, WalkPolicy};
 pub use request::WalkRequest;
 pub use sched::{Scheduler, SchedulerKind};

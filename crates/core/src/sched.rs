@@ -1,8 +1,20 @@
-//! Page-table-walk scheduling policies.
+//! Page-table-walk scheduling: the scheduler shell and the policy façade.
 //!
 //! The paper's central claim is that *which pending walk the freed walker
-//! services next* matters. This module implements the policies the paper
-//! evaluates plus the two single-idea ablations of the SIMT-aware design:
+//! services next* matters. The concrete ranking strategies live in
+//! [`crate::policy`] behind the open [`WalkPolicy`] trait; this module
+//! provides:
+//!
+//! * [`SchedulerKind`] — the named built-in policies, kept as a thin
+//!   parse/display façade so configs, CLI flags, and sweep tables keep
+//!   working with plain enum values;
+//! * [`Scheduler`] — the stateful shell the IOMMU drives. It owns the
+//!   boxed policy plus everything every policy shares: the eligibility
+//!   scan (into a reusable, allocation-free candidate buffer), starvation
+//!   aging (bypass counting and the forced pick past the threshold), and
+//!   dispatch notification.
+//!
+//! The built-in policies, in paper order:
 //!
 //! * [`SchedulerKind::Fcfs`] — the baseline: oldest request first;
 //! * [`SchedulerKind::Random`] — the naive straw-man (slows apps by ~26%);
@@ -16,11 +28,15 @@
 //! capacity — "the size of the lookahead for the scheduler", Section V-B2).
 
 use ptw_types::ids::InstrId;
-use ptw_types::rng::SplitMix64;
 
+use crate::policy::{Candidate, PolicyParams, PolicyRegistry, WalkPolicy};
 use crate::request::WalkRequest;
 
-/// Which scheduling policy the IOMMU uses.
+/// Which built-in scheduling policy the IOMMU uses.
+///
+/// This is a *name*, not the implementation: each variant maps through
+/// [`PolicyRegistry::builtin`] to a [`WalkPolicy`] instance. Custom
+/// policies bypass the enum entirely via [`Scheduler::with_policy`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerKind {
     /// First-come-first-serve (the paper's baseline).
@@ -66,7 +82,8 @@ impl SchedulerKind {
         SchedulerKind::RoundRobin,
     ];
 
-    /// Short label used in reports ("FCFS", "Random", …).
+    /// Short label used in reports ("FCFS", "Random", …). Doubles as the
+    /// canonical [`PolicyRegistry`] name of the built-in policy.
     pub fn label(self) -> &'static str {
         match self {
             SchedulerKind::Fcfs => "FCFS",
@@ -77,6 +94,22 @@ impl SchedulerKind {
             SchedulerKind::HeaviestFirst => "Heaviest-first",
             SchedulerKind::RoundRobin => "Round-robin",
         }
+    }
+
+    /// Parses a policy name: canonical labels, common CLI spellings, any
+    /// ASCII case. Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<SchedulerKind> {
+        let norm = name.trim().to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "fcfs" | "first-come-first-serve" => SchedulerKind::Fcfs,
+            "random" | "rand" => SchedulerKind::Random,
+            "sjf" | "sjf-only" | "shortest-job-first" => SchedulerKind::SjfOnly,
+            "batch" | "batch-only" => SchedulerKind::BatchOnly,
+            "simt" | "simt-aware" => SchedulerKind::SimtAware,
+            "heaviest" | "heaviest-first" | "ljf" => SchedulerKind::HeaviestFirst,
+            "rr" | "round-robin" | "roundrobin" => SchedulerKind::RoundRobin,
+            _ => return None,
+        })
     }
 
     /// Whether this policy uses per-instruction scores (and therefore needs
@@ -103,35 +136,103 @@ impl std::fmt::Display for SchedulerKind {
     }
 }
 
-/// Stateful selector implementing the policies above.
+/// Error returned when parsing an unknown policy name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownPolicy(pub String);
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown scheduling policy `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = UnknownPolicy;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SchedulerKind::parse(s).ok_or_else(|| UnknownPolicy(s.to_string()))
+    }
+}
+
+/// Stateful selector: the shell around a [`WalkPolicy`].
+///
+/// The shell owns the cross-policy machinery so policies stay small:
+///
+/// 1. it scans the window once per call, copying eligible requests into a
+///    reusable [`Candidate`] buffer (no per-call allocation on the hot
+///    path) and locating the oldest starved request;
+/// 2. starved requests pre-empt the policy's choice when the policy
+///    [honors aging](WalkPolicy::honors_aging);
+/// 3. it performs the aging bookkeeping (every eligible request older than
+///    the pick was bypassed) and notifies the policy of the dispatch.
 #[derive(Debug)]
 pub struct Scheduler {
-    kind: SchedulerKind,
-    /// Instruction of the most recently dispatched walk (batching state).
+    /// The built-in kind, if constructed from one (`None` for custom
+    /// policies installed via [`Scheduler::with_policy`]).
+    kind: Option<SchedulerKind>,
+    policy: Box<dyn WalkPolicy>,
+    /// Instruction of the most recently dispatched walk.
     last_instr: Option<InstrId>,
     /// Bypass count threshold above which a request is force-prioritized.
     aging_threshold: u64,
-    /// Round-robin state: the last instruction granted a turn.
-    rr_last: Option<InstrId>,
-    rng: SplitMix64,
+    /// Reusable candidate buffer; cleared and refilled by every `select`.
+    scratch: Vec<Candidate>,
 }
 
 impl Scheduler {
-    /// Creates a scheduler. `aging_threshold` is the paper's two-million-
-    /// requests starvation bound; `seed` feeds the Random policy.
+    /// Creates a scheduler for a built-in policy. `aging_threshold` is the
+    /// paper's two-million-requests starvation bound; `seed` feeds the
+    /// Random policy.
     pub fn new(kind: SchedulerKind, aging_threshold: u64, seed: u64) -> Self {
+        let params = PolicyParams {
+            aging_threshold,
+            seed,
+        };
+        let policy = PolicyRegistry::builtin()
+            .build(kind.label(), &params)
+            .expect("every SchedulerKind is registered as a builtin policy");
         Scheduler {
-            kind,
+            kind: Some(kind),
+            policy,
             last_instr: None,
             aging_threshold,
-            rr_last: None,
-            rng: SplitMix64::new(seed),
+            scratch: Vec::new(),
         }
     }
 
-    /// The policy in use.
-    pub fn kind(&self) -> SchedulerKind {
+    /// Creates a scheduler around an arbitrary policy — the extension
+    /// point for experiments outside [`SchedulerKind`].
+    pub fn with_policy(policy: Box<dyn WalkPolicy>, aging_threshold: u64) -> Self {
+        Scheduler {
+            kind: None,
+            policy,
+            last_instr: None,
+            aging_threshold,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The built-in policy in use, or `None` for a custom policy.
+    pub fn kind(&self) -> Option<SchedulerKind> {
         self.kind
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Whether the active policy ranks by per-instruction scores (drives
+    /// the IOMMU's arrival-time PWC probe).
+    pub fn uses_scores(&self) -> bool {
+        self.policy.uses_scores()
+    }
+
+    /// Whether the active policy batches same-instruction requests.
+    pub fn batches(&self) -> bool {
+        self.policy.batches()
     }
 
     /// The instruction of the most recently dispatched walk, if any.
@@ -144,123 +245,55 @@ impl Scheduler {
     /// `eligible` filters out requests that cannot start (e.g. their page
     /// is already being walked). Returns `None` when nothing is eligible.
     ///
-    /// On success the batching state is updated and the bypass counters of
-    /// all *older* eligible requests that were passed over are incremented
-    /// (aging bookkeeping).
+    /// On success the policy is notified of the dispatch and the bypass
+    /// counters of all *older* eligible requests that were passed over are
+    /// incremented (aging bookkeeping).
     pub fn select<W>(
         &mut self,
         window: &mut [WalkRequest<W>],
         eligible: impl Fn(&WalkRequest<W>) -> bool,
     ) -> Option<usize> {
-        let candidates: Vec<usize> = window
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| eligible(r))
-            .map(|(i, _)| i)
-            .collect();
-        if candidates.is_empty() {
+        // One pass: gather candidates and the oldest starved request.
+        self.scratch.clear();
+        let mut starved: Option<(u64, usize)> = None;
+        for (i, r) in window.iter().enumerate() {
+            if !eligible(r) {
+                continue;
+            }
+            self.scratch.push(Candidate {
+                index: i,
+                instr: r.instr,
+                seq: r.seq,
+                score: r.score,
+            });
+            if r.is_starved(self.aging_threshold) && starved.is_none_or(|(seq, _)| r.seq < seq) {
+                starved = Some((r.seq, i));
+            }
+        }
+        if self.scratch.is_empty() {
             return None;
         }
 
-        // Starved requests pre-empt every policy except the (already
-        // starvation-free) FCFS baseline; Random is left pure to match the
-        // paper's "naive random" straw-man.
-        let starved = candidates
-            .iter()
-            .copied()
-            .filter(|&i| window[i].is_starved(self.aging_threshold))
-            .min_by_key(|&i| window[i].seq);
-        let choice = if self.kind != SchedulerKind::Fcfs
-            && self.kind != SchedulerKind::Random
-            && starved.is_some()
-        {
-            starved.expect("checked")
-        } else {
-            match self.kind {
-                SchedulerKind::Fcfs => oldest(window, &candidates),
-                SchedulerKind::Random => candidates[self.rng.index(candidates.len())],
-                SchedulerKind::SjfOnly => lowest_score(window, &candidates),
-                SchedulerKind::BatchOnly => self
-                    .same_instr(window, &candidates)
-                    .unwrap_or_else(|| oldest(window, &candidates)),
-                SchedulerKind::SimtAware => self
-                    .same_instr(window, &candidates)
-                    .unwrap_or_else(|| lowest_score(window, &candidates)),
-                SchedulerKind::HeaviestFirst => self
-                    .same_instr(window, &candidates)
-                    .unwrap_or_else(|| highest_score(window, &candidates)),
-                SchedulerKind::RoundRobin => {
-                    // One request per distinct instruction in rotation:
-                    // pick the eligible instruction with the smallest ID
-                    // strictly greater than the last-served one, wrapping.
-                    let mut instrs: Vec<u32> =
-                        candidates.iter().map(|&i| window[i].instr.raw()).collect();
-                    instrs.sort_unstable();
-                    instrs.dedup();
-                    let next = match self.rr_last {
-                        Some(last) => instrs
-                            .iter()
-                            .copied()
-                            .find(|&x| x > last.raw())
-                            .unwrap_or(instrs[0]),
-                        None => instrs[0],
-                    };
-                    self.rr_last = Some(InstrId::new(next));
-                    candidates
-                        .iter()
-                        .copied()
-                        .filter(|&i| window[i].instr.raw() == next)
-                        .min_by_key(|&i| window[i].seq)
-                        .expect("chosen instruction has a candidate")
-                }
-            }
+        // Starved requests pre-empt the policy's choice unless the policy
+        // opts out (FCFS is starvation-free by construction; Random stays
+        // the paper's unmodified "naive random" straw-man).
+        let choice = match starved {
+            Some((_, i)) if self.policy.honors_aging() => i,
+            _ => self.scratch[self.policy.select(&self.scratch)].index,
         };
 
         // Aging: every eligible request older than the choice was bypassed.
         let chosen_seq = window[choice].seq;
-        for &i in &candidates {
-            if window[i].seq < chosen_seq {
-                window[i].bypassed += 1;
+        for c in &self.scratch {
+            if c.seq < chosen_seq {
+                window[c.index].bypassed += 1;
             }
         }
-        self.last_instr = Some(window[choice].instr);
+        let instr = window[choice].instr;
+        self.last_instr = Some(instr);
+        self.policy.on_dispatch(instr);
         Some(choice)
     }
-
-    /// Oldest eligible request from the same instruction as the last
-    /// dispatched walk (action 2-a).
-    fn same_instr<W>(&self, window: &[WalkRequest<W>], candidates: &[usize]) -> Option<usize> {
-        let last = self.last_instr?;
-        candidates
-            .iter()
-            .copied()
-            .filter(|&i| window[i].instr == last)
-            .min_by_key(|&i| window[i].seq)
-    }
-}
-
-fn oldest<W>(window: &[WalkRequest<W>], candidates: &[usize]) -> usize {
-    candidates
-        .iter()
-        .copied()
-        .min_by_key(|&i| window[i].seq)
-        .expect("candidates nonempty")
-}
-
-fn lowest_score<W>(window: &[WalkRequest<W>], candidates: &[usize]) -> usize {
-    candidates
-        .iter()
-        .copied()
-        .min_by_key(|&i| (window[i].score, window[i].seq))
-        .expect("candidates nonempty")
-}
-
-fn highest_score<W>(window: &[WalkRequest<W>], candidates: &[usize]) -> usize {
-    candidates
-        .iter()
-        .copied()
-        .max_by_key(|&i| (window[i].score, u64::MAX - window[i].seq))
-        .expect("candidates nonempty")
 }
 
 #[cfg(test)]
@@ -382,7 +415,7 @@ mod tests {
         let mut s = Scheduler::new(SchedulerKind::Fcfs, 1, 1);
         let mut w = vec![req(1, 0, 1), req(2, 1, 1)];
         w[1].bypassed = 100; // pretend it starved
-        // FCFS still picks the oldest.
+                             // FCFS still picks the oldest.
         assert_eq!(s.select(&mut w, |_| true), Some(0));
     }
 
@@ -451,13 +484,83 @@ mod tests {
         assert!(!SchedulerKind::Fcfs.uses_scores());
         assert!(SchedulerKind::BatchOnly.batches());
     }
+
+    #[test]
+    fn scheduler_flags_delegate_to_policy() {
+        for kind in SchedulerKind::EXTENDED {
+            let s = sched(kind);
+            assert_eq!(s.kind(), Some(kind));
+            assert_eq!(s.policy_name(), kind.label());
+            assert_eq!(s.uses_scores(), kind.uses_scores(), "{kind:?}");
+            assert_eq!(s.batches(), kind.batches(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_labels_and_aliases() {
+        for kind in SchedulerKind::EXTENDED {
+            assert_eq!(SchedulerKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.label().parse::<SchedulerKind>(), Ok(kind));
+        }
+        assert_eq!(SchedulerKind::parse("simt"), Some(SchedulerKind::SimtAware));
+        assert_eq!(SchedulerKind::parse("SJF"), Some(SchedulerKind::SjfOnly));
+        assert_eq!(
+            SchedulerKind::parse(" rr "),
+            Some(SchedulerKind::RoundRobin)
+        );
+        assert_eq!(SchedulerKind::parse("nope"), None);
+        assert!("nope".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn custom_policy_runs_through_the_shell() {
+        // Youngest-first: exists only in this test — no enum edit needed.
+        #[derive(Debug)]
+        struct YoungestFirst;
+        impl WalkPolicy for YoungestFirst {
+            fn name(&self) -> &'static str {
+                "Youngest-first"
+            }
+            fn select(&mut self, candidates: &[Candidate]) -> usize {
+                candidates
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| c.seq)
+                    .map(|(pos, _)| pos)
+                    .expect("nonempty")
+            }
+            fn on_dispatch(&mut self, _instr: InstrId) {}
+        }
+
+        let mut s = Scheduler::with_policy(Box::new(YoungestFirst), 3);
+        assert_eq!(s.kind(), None);
+        assert_eq!(s.policy_name(), "Youngest-first");
+        let mut w = vec![req(1, 0, 1), req(2, 1, 1), req(3, 2, 1)];
+        // Picks the youngest (seq 3)...
+        assert_eq!(s.select(&mut w, |_| true), Some(2));
+        w.remove(2);
+        // ...and the shell's aging still protects the old request: after
+        // enough bypasses, seq 1 is forced despite the policy's preference.
+        for next in 4..=10u64 {
+            w.push(req(next, next as u32, 1));
+            let i = s.select(&mut w, |_| true).unwrap();
+            let served = w.remove(i).seq;
+            if served == 1 {
+                return; // aging pre-empted youngest-first, as required
+            }
+        }
+        panic!("shell aging never pre-empted the custom policy");
+    }
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Randomized invariant tests driven by the in-tree [`SplitMix64`]
+    //! (deterministic, offline — no external property-testing crate).
+
     use super::*;
-    use proptest::prelude::*;
     use ptw_types::addr::VirtPage;
+    use ptw_types::rng::SplitMix64;
     use ptw_types::time::Cycle;
 
     fn req(seq: u64, instr: u32, score: u32) -> WalkRequest<()> {
@@ -473,100 +576,107 @@ mod proptests {
         }
     }
 
-    fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
-        proptest::sample::select(SchedulerKind::EXTENDED.to_vec())
-    }
-
-    proptest! {
-        /// Every policy always returns an eligible in-bounds index (or
-        /// None when nothing is eligible), for arbitrary windows.
-        #[test]
-        fn select_returns_valid_eligible_index(
-            kind in kind_strategy(),
-            entries in proptest::collection::vec((0u32..8, 1u32..300), 1..64),
-            mask in proptest::collection::vec(any::<bool>(), 64),
-        ) {
-            let mut sched = Scheduler::new(kind, 1_000, 42);
-            let mut window: Vec<WalkRequest<()>> = entries
-                .iter()
-                .enumerate()
-                .map(|(i, &(instr, score))| req(i as u64, instr, score))
+    /// Every policy always returns an eligible in-bounds index (or `None`
+    /// when nothing is eligible), for arbitrary windows.
+    #[test]
+    fn select_returns_valid_eligible_index() {
+        let mut rng = SplitMix64::new(0xCA11D1DA7E);
+        for case in 0..256 {
+            let kind = SchedulerKind::EXTENDED[rng.index(SchedulerKind::EXTENDED.len())];
+            let len = 1 + rng.index(63);
+            let mut window: Vec<WalkRequest<()>> = (0..len)
+                .map(|i| {
+                    req(
+                        i as u64,
+                        rng.next_below(8) as u32,
+                        1 + rng.next_below(299) as u32,
+                    )
+                })
                 .collect();
-            let eligible_set: Vec<bool> =
-                window.iter().enumerate().map(|(i, _)| mask[i % mask.len()]).collect();
+            let eligible_set: Vec<bool> = (0..len).map(|_| rng.chance(0.5)).collect();
+            let mut sched = Scheduler::new(kind, 1_000, 42 + case);
             let pick = sched.select(&mut window, |r| eligible_set[r.seq as usize]);
             match pick {
                 Some(i) => {
-                    prop_assert!(i < window.len());
-                    prop_assert!(eligible_set[window[i].seq as usize]);
+                    assert!(i < window.len());
+                    assert!(eligible_set[window[i].seq as usize]);
                 }
-                None => prop_assert!(eligible_set.iter().take(window.len()).all(|&e| !e)),
+                None => assert!(eligible_set.iter().all(|&e| !e)),
             }
         }
+    }
 
-        /// Starvation freedom: draining a continuously refilled window,
-        /// every policy (except pure Random) serves the very first request
-        /// within a bounded number of selections once aging kicks in.
-        #[test]
-        fn aging_bounds_starvation(
-            kind in kind_strategy(),
-            churn in 1u32..6,
-        ) {
-            prop_assume!(kind != SchedulerKind::Random);
-            let threshold = 20u64;
-            let mut sched = Scheduler::new(kind, threshold, 7);
-            // Victim: an expensive old request; competitors: endless cheap ones.
-            let mut window = vec![req(0, 0, 250)];
-            let mut next_seq = 1u64;
-            let mut selections = 0u64;
-            loop {
-                // Top up with cheap young requests from other instructions.
-                while window.len() < 8 {
-                    window.push(req(next_seq, 1 + (next_seq % churn as u64) as u32, 1));
-                    next_seq += 1;
-                }
-                let i = sched.select(&mut window, |_| true).expect("non-empty");
-                let served = window.remove(i);
-                selections += 1;
-                if served.seq == 0 {
-                    break;
-                }
-                prop_assert!(
-                    selections <= threshold + 64,
-                    "{kind:?}: victim starved past the aging bound"
-                );
+    /// Starvation freedom: draining a continuously refilled window, every
+    /// policy (except pure Random) serves the very first request within a
+    /// bounded number of selections once aging kicks in.
+    #[test]
+    fn aging_bounds_starvation() {
+        let mut rng = SplitMix64::new(0x57A47E);
+        for kind in SchedulerKind::EXTENDED {
+            if kind == SchedulerKind::Random {
+                continue;
             }
-        }
-
-        /// Batching policies keep servicing the same instruction while it
-        /// has eligible requests.
-        #[test]
-        fn batching_is_sticky(
-            kind in proptest::sample::select(vec![
-                SchedulerKind::BatchOnly,
-                SchedulerKind::SimtAware,
-                SchedulerKind::HeaviestFirst,
-            ]),
-            instrs in proptest::collection::vec(0u32..4, 8..32),
-        ) {
-            let mut sched = Scheduler::new(kind, 1_000_000, 3);
-            let mut window: Vec<WalkRequest<()>> = instrs
-                .iter()
-                .enumerate()
-                .map(|(i, &instr)| req(i as u64, instr, 1 + instr))
-                .collect();
-            let mut last: Option<u32> = None;
-            while !window.is_empty() {
-                let i = sched.select(&mut window, |_| true).expect("non-empty");
-                let picked = window.remove(i).instr.raw();
-                if let Some(prev) = last {
-                    // If the previous instruction still has requests, the
-                    // batching policy must stay with it.
-                    if window.iter().any(|r| r.instr.raw() == prev) {
-                        prop_assert_eq!(picked, prev, "batch broken under {:?}", kind);
+            for _ in 0..8 {
+                let churn = 1 + rng.next_below(5);
+                let threshold = 20u64;
+                let mut sched = Scheduler::new(kind, threshold, 7);
+                // Victim: an expensive old request; competitors: endless
+                // cheap ones.
+                let mut window = vec![req(0, 0, 250)];
+                let mut next_seq = 1u64;
+                let mut selections = 0u64;
+                loop {
+                    while window.len() < 8 {
+                        window.push(req(next_seq, 1 + (next_seq % churn) as u32, 1));
+                        next_seq += 1;
                     }
+                    let i = sched.select(&mut window, |_| true).expect("non-empty");
+                    let served = window.remove(i);
+                    selections += 1;
+                    if served.seq == 0 {
+                        break;
+                    }
+                    assert!(
+                        selections <= threshold + 64,
+                        "{kind:?}: victim starved past the aging bound"
+                    );
                 }
-                last = Some(picked);
+            }
+        }
+    }
+
+    /// Batching policies keep servicing the same instruction while it has
+    /// eligible requests.
+    #[test]
+    fn batching_is_sticky() {
+        let mut rng = SplitMix64::new(0xBA7C4E);
+        for kind in [
+            SchedulerKind::BatchOnly,
+            SchedulerKind::SimtAware,
+            SchedulerKind::HeaviestFirst,
+        ] {
+            for _ in 0..32 {
+                let len = 8 + rng.index(24);
+                let mut window: Vec<WalkRequest<()>> = (0..len)
+                    .map(|i| {
+                        let instr = rng.next_below(4) as u32;
+                        req(i as u64, instr, 1 + instr)
+                    })
+                    .collect();
+                let mut sched = Scheduler::new(kind, 1_000_000, 3);
+                let mut last: Option<u32> = None;
+                while !window.is_empty() {
+                    let i = sched.select(&mut window, |_| true).expect("non-empty");
+                    let picked = window.remove(i).instr.raw();
+                    if let Some(prev) = last {
+                        // If the previous instruction still has requests,
+                        // the batching policy must stay with it.
+                        if window.iter().any(|r| r.instr.raw() == prev) {
+                            assert_eq!(picked, prev, "batch broken under {kind:?}");
+                        }
+                    }
+                    last = Some(picked);
+                }
             }
         }
     }

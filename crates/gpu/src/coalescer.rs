@@ -79,8 +79,9 @@ mod tests {
     #[test]
     fn page_strided_lanes_fully_diverge() {
         // Lane l accesses base + l * 32 KiB: 64 pages, 64 lines.
-        let addrs: Vec<VirtAddr> =
-            (0..64).map(|l| VirtAddr::new(0x10_0000 + l * 32 * 1024)).collect();
+        let addrs: Vec<VirtAddr> = (0..64)
+            .map(|l| VirtAddr::new(0x10_0000 + l * 32 * 1024))
+            .collect();
         let r = coalesce(&addrs);
         assert_eq!(r.page_divergence(), 64);
         assert_eq!(r.line_divergence(), 64);
@@ -121,35 +122,49 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Randomized invariant tests driven by the in-tree `SplitMix64`.
+
     use super::*;
-    use proptest::prelude::*;
+    use ptw_types::rng::SplitMix64;
     use std::collections::HashSet;
 
-    proptest! {
-        /// Unique pages/lines out never exceed lanes in, and exactly match
-        /// the set-wise unique counts.
-        #[test]
-        fn counts_match_sets(raw in proptest::collection::vec(0u64..1u64 << 24, 1..128)) {
+    fn random_addrs(rng: &mut SplitMix64, max: usize) -> Vec<u64> {
+        (0..(1 + rng.index(max - 1)))
+            .map(|_| rng.next_below(1 << 24))
+            .collect()
+    }
+
+    /// Unique pages/lines out never exceed lanes in, and exactly match the
+    /// set-wise unique counts.
+    #[test]
+    fn counts_match_sets() {
+        let mut rng = SplitMix64::new(0xC0A1);
+        for _ in 0..64 {
+            let raw = random_addrs(&mut rng, 128);
             let addrs: Vec<VirtAddr> = raw.iter().map(|&a| VirtAddr::new(a)).collect();
             let r = coalesce(&addrs);
             let page_set: HashSet<u64> = raw.iter().map(|a| a >> 12).collect();
             let line_set: HashSet<u64> = raw.iter().map(|a| a >> 6).collect();
-            prop_assert_eq!(r.page_divergence(), page_set.len());
-            prop_assert_eq!(r.line_divergence(), line_set.len());
-            prop_assert!(r.page_divergence() <= addrs.len());
+            assert_eq!(r.page_divergence(), page_set.len());
+            assert_eq!(r.line_divergence(), line_set.len());
+            assert!(r.page_divergence() <= addrs.len());
             // A page holds at least one touched line.
-            prop_assert!(r.page_divergence() <= r.line_divergence());
+            assert!(r.page_divergence() <= r.line_divergence());
         }
+    }
 
-        /// Every returned line is line-aligned and belongs to a returned page.
-        #[test]
-        fn lines_are_aligned_and_covered(raw in proptest::collection::vec(0u64..1u64 << 24, 1..64)) {
+    /// Every returned line is line-aligned and belongs to a returned page.
+    #[test]
+    fn lines_are_aligned_and_covered() {
+        let mut rng = SplitMix64::new(0xA119);
+        for _ in 0..64 {
+            let raw = random_addrs(&mut rng, 64);
             let addrs: Vec<VirtAddr> = raw.iter().map(|&a| VirtAddr::new(a)).collect();
             let r = coalesce(&addrs);
             for line in &r.lines {
-                prop_assert_eq!(line.raw() % 64, 0);
-                prop_assert!(r.pages.contains(&line.page()));
+                assert_eq!(line.raw() % 64, 0);
+                assert!(r.pages.contains(&line.page()));
             }
         }
     }

@@ -105,7 +105,12 @@ impl Wavefront {
     ///
     /// Panics unless the wavefront is `Ready`, or if `pages == 0`.
     pub fn issue(&mut self, instr: InstrId, pages: usize, now: Cycle) {
-        assert_eq!(self.phase, WavefrontPhase::Ready, "issue from {:?}", self.phase);
+        assert_eq!(
+            self.phase,
+            WavefrontPhase::Ready,
+            "issue from {:?}",
+            self.phase
+        );
         assert!(pages > 0, "memory instruction touching zero pages");
         self.phase = WavefrontPhase::Translating { outstanding: pages };
         self.current_instr = Some(instr);
@@ -165,7 +170,12 @@ impl Wavefront {
     ///
     /// Panics unless the wavefront is `Computing`.
     pub fn compute_done(&mut self) {
-        assert_eq!(self.phase, WavefrontPhase::Computing, "compute_done in {:?}", self.phase);
+        assert_eq!(
+            self.phase,
+            WavefrontPhase::Computing,
+            "compute_done in {:?}",
+            self.phase
+        );
         self.phase = WavefrontPhase::Ready;
     }
 
@@ -176,7 +186,12 @@ impl Wavefront {
     /// Panics unless the wavefront is `Ready` (streams end at an issue
     /// boundary).
     pub fn retire(&mut self) {
-        assert_eq!(self.phase, WavefrontPhase::Ready, "retire from {:?}", self.phase);
+        assert_eq!(
+            self.phase,
+            WavefrontPhase::Ready,
+            "retire from {:?}",
+            self.phase
+        );
         self.phase = WavefrontPhase::Retired;
     }
 }
@@ -263,39 +278,48 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+mod randomized {
+    //! Randomized invariant tests driven by the in-tree `SplitMix64`.
 
-    proptest! {
-        /// Arbitrary (pages, lines, timing) sequences drive the state
-        /// machine through whole instructions without violating any phase
-        /// invariant, and blocked-cycle accounting equals the sum of the
-        /// memory windows.
-        #[test]
-        fn lifecycle_accounting(
-            instrs in proptest::collection::vec((1usize..64, 1usize..64, 1u64..500), 1..20),
-        ) {
+    use super::*;
+    use ptw_types::rng::SplitMix64;
+
+    /// Arbitrary (pages, lines, timing) sequences drive the state machine
+    /// through whole instructions without violating any phase invariant,
+    /// and blocked-cycle accounting equals the sum of the memory windows.
+    #[test]
+    fn lifecycle_accounting() {
+        let mut rng = SplitMix64::new(0x11FE);
+        for _ in 0..64 {
+            let instrs: Vec<(usize, usize, u64)> = (0..(1 + rng.index(19)))
+                .map(|_| {
+                    (
+                        1 + rng.index(63),
+                        1 + rng.index(63),
+                        1 + rng.next_below(499),
+                    )
+                })
+                .collect();
             let mut w = Wavefront::new(WavefrontId(0), CuId(0));
             let mut t = 0u64;
             let mut expected_blocked = 0u64;
             for (i, &(pages, lines, mem_time)) in instrs.iter().enumerate() {
                 w.issue(InstrId::new(i as u32), pages, Cycle::new(t));
                 for k in 0..pages {
-                    prop_assert_eq!(w.translation_done(lines), k == pages - 1);
+                    assert_eq!(w.translation_done(lines), k == pages - 1);
                 }
                 let done_at = t + mem_time;
                 for k in 0..lines {
-                    prop_assert_eq!(w.fetch_done(Cycle::new(done_at)), k == lines - 1);
+                    assert_eq!(w.fetch_done(Cycle::new(done_at)), k == lines - 1);
                 }
                 expected_blocked += mem_time;
-                prop_assert_eq!(w.phase(), WavefrontPhase::Computing);
+                assert_eq!(w.phase(), WavefrontPhase::Computing);
                 w.compute_done();
                 t = done_at + 40;
             }
             w.retire();
-            prop_assert_eq!(w.issued_instructions(), instrs.len() as u64);
-            prop_assert_eq!(w.blocked_cycles(), expected_blocked);
+            assert_eq!(w.issued_instructions(), instrs.len() as u64);
+            assert_eq!(w.blocked_cycles(), expected_blocked);
         }
     }
 }

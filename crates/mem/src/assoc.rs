@@ -83,9 +83,15 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
     /// Panics if `sets` or `ways` is zero, or if `TreePlru` is requested
     /// with a non-power-of-two way count.
     pub fn with_seed(sets: usize, ways: usize, policy: Replacement, seed: u64) -> Self {
-        assert!(sets > 0 && ways > 0, "AssocArray dimensions must be positive");
+        assert!(
+            sets > 0 && ways > 0,
+            "AssocArray dimensions must be positive"
+        );
         if policy == Replacement::TreePlru {
-            assert!(ways.is_power_of_two(), "TreePlru requires power-of-two ways");
+            assert!(
+                ways.is_power_of_two(),
+                "TreePlru requires power-of-two ways"
+            );
             assert!(ways <= 64, "TreePlru supports at most 64 ways");
         }
         let mut entries = Vec::with_capacity(sets * ways);
@@ -95,7 +101,14 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
             ways,
             entries,
             policy,
-            plru_bits: vec![0; if policy == Replacement::TreePlru { sets } else { 0 }],
+            plru_bits: vec![
+                0;
+                if policy == Replacement::TreePlru {
+                    sets
+                } else {
+                    0
+                }
+            ],
             tick: 0,
             rng: ptw_types::rng::SplitMix64::new(seed),
         }
@@ -242,14 +255,22 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
         // Prefer an invalid way.
         if let Some(way) = (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none()) {
             let slot = self.slot(set, way);
-            self.entries[slot] = Some(Way { key, value, stamp: 0 });
+            self.entries[slot] = Some(Way {
+                key,
+                value,
+                stamp: 0,
+            });
             self.touch(set, way);
             return None;
         }
         let way = self.victim_way(set, &pinned);
         let slot = self.slot(set, way);
         let old = self.entries[slot].take().map(|e| (e.key, e.value));
-        self.entries[slot] = Some(Way { key, value, stamp: 0 });
+        self.entries[slot] = Some(Way {
+            key,
+            value,
+            stamp: 0,
+        });
         self.touch(set, way);
         old
     }
@@ -320,9 +341,10 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
 
     /// Iterates over all valid `(set, key, value)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &K, &V)> + '_ {
-        self.entries.iter().enumerate().filter_map(move |(i, e)| {
-            e.as_ref().map(|e| (i / self.ways, &e.key, &e.value))
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, e)| e.as_ref().map(|e| (i / self.ways, &e.key, &e.value)))
     }
 }
 
@@ -469,7 +491,10 @@ mod tests {
                 }
             }
         }
-        assert!(hits > 100, "random replacement degraded to LRU-like thrash: {hits}");
+        assert!(
+            hits > 100,
+            "random replacement degraded to LRU-like thrash: {hits}"
+        );
     }
 
     #[test]
@@ -491,8 +516,7 @@ mod tests {
         let mut a: AssocArray<u64, u32> = AssocArray::new(2, 2, Replacement::Lru);
         a.fill(0, 1, 10);
         a.fill(1, 2, 20);
-        let mut items: Vec<(usize, u64, u32)> =
-            a.iter().map(|(s, &k, &v)| (s, k, v)).collect();
+        let mut items: Vec<(usize, u64, u32)> = a.iter().map(|(s, &k, &v)| (s, k, v)).collect();
         items.sort_unstable();
         assert_eq!(items, vec![(0, 1, 10), (1, 2, 20)]);
     }

@@ -29,12 +29,18 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table I GPU L1 data cache: 32 KiB, 16-way, 64 B blocks.
     pub fn paper_l1() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 16 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 16,
+        }
     }
 
     /// Table I GPU L2 data cache: 4 MiB, 16-way, 64 B blocks.
     pub fn paper_l2() -> Self {
-        CacheConfig { size_bytes: 4 * 1024 * 1024, ways: 16 }
+        CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            ways: 16,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -45,7 +51,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes / LINE_SIZE;
         assert!(
-            lines % self.ways == 0 && lines > 0,
+            lines > 0 && lines.is_multiple_of(self.ways),
             "cache of {} bytes does not divide into {} ways of 64B lines",
             self.size_bytes,
             self.ways
@@ -161,7 +167,10 @@ pub struct Mshr<W> {
 
 impl<W> Default for Mshr<W> {
     fn default() -> Self {
-        Mshr { entries: HashMap::new(), peak: 0 }
+        Mshr {
+            entries: HashMap::new(),
+            peak: 0,
+        }
     }
 }
 
@@ -223,12 +232,19 @@ mod tests {
     #[test]
     #[should_panic]
     fn indivisible_geometry_panics() {
-        let _ = CacheConfig { size_bytes: 100, ways: 3 }.sets();
+        let _ = CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+        }
+        .sets();
     }
 
     #[test]
     fn miss_fill_hit_cycle() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 2 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            ways: 2,
+        });
         let l = LineAddr::new(0x40);
         assert!(!c.access(l));
         assert!(c.fill(l).is_none());
@@ -240,7 +256,10 @@ mod tests {
     #[test]
     fn eviction_on_conflict() {
         // 2 sets × 2 ways; lines 0, 2*64, 4*64 all map to set 0.
-        let mut c = Cache::new(CacheConfig { size_bytes: 256, ways: 2 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+        });
         let l0 = LineAddr::new(0);
         let l2 = LineAddr::new(128);
         let l4 = LineAddr::new(256);
@@ -255,7 +274,10 @@ mod tests {
 
     #[test]
     fn invalidate_removes_line() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 256, ways: 2 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+        });
         let l = LineAddr::new(64);
         c.fill(l);
         c.invalidate(l);
@@ -294,7 +316,10 @@ mod tests {
 
     #[test]
     fn working_set_larger_than_cache_thrashes() {
-        let cfg = CacheConfig { size_bytes: 4096, ways: 2 }; // 64 lines
+        let cfg = CacheConfig {
+            size_bytes: 4096,
+            ways: 2,
+        }; // 64 lines
         let mut c = Cache::new(cfg);
         // Stream 128 distinct lines twice: second pass still misses (LRU
         // streaming pattern evicts everything before reuse).

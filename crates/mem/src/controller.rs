@@ -265,12 +265,13 @@ impl MemoryController {
     /// requests that have completed by `now`, in completion order.
     pub fn advance(&mut self, now: Cycle) -> Vec<MemCompletion> {
         for channel in 0..self.channels.len() {
-            loop {
-                let Some(t) = self.channel_ready_time(channel) else { break };
+            while let Some(t) = self.channel_ready_time(channel) {
                 if t > now {
                     break;
                 }
-                let Some(idx) = self.pick(channel, t) else { break };
+                let Some(idx) = self.pick(channel, t) else {
+                    break;
+                };
                 let p = self.channels[channel]
                     .queue
                     .remove(idx)

@@ -62,13 +62,19 @@ impl DramConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.channels == 0 || !self.channels.is_power_of_two() {
-            return Err(format!("channels must be a positive power of two, got {}", self.channels));
+            return Err(format!(
+                "channels must be a positive power of two, got {}",
+                self.channels
+            ));
         }
         if self.banks_per_channel() == 0 || !self.banks_per_channel().is_power_of_two() {
             return Err("banks per channel must be a positive power of two".into());
         }
         if self.row_bytes < 64 || !self.row_bytes.is_power_of_two() {
-            return Err(format!("row_bytes must be a power of two >= 64, got {}", self.row_bytes));
+            return Err(format!(
+                "row_bytes must be a power of two >= 64, got {}",
+                self.row_bytes
+            ));
         }
         if self.row_hit_cycles == 0 || self.row_conflict_cycles < self.row_hit_cycles {
             return Err("row timings must satisfy 0 < hit <= conflict".into());

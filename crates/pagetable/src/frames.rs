@@ -75,7 +75,13 @@ impl FrameAllocator {
             );
         }
         let offset = seed.wrapping_mul(SCRAMBLE_MULTIPLIER);
-        FrameAllocator { base, capacity, next: 0, layout, offset }
+        FrameAllocator {
+            base,
+            capacity,
+            next: 0,
+            layout,
+            offset,
+        }
     }
 
     /// Allocator for a machine with `bytes` of physical memory above a
@@ -117,7 +123,8 @@ impl FrameAllocator {
         let off = match self.layout {
             FrameLayout::Sequential => i,
             FrameLayout::Scrambled => {
-                i.wrapping_mul(SCRAMBLE_MULTIPLIER).wrapping_add(self.offset)
+                i.wrapping_mul(SCRAMBLE_MULTIPLIER)
+                    .wrapping_add(self.offset)
                     & (self.capacity - 1)
             }
         };
@@ -192,7 +199,10 @@ mod seed_tests {
             let mut a = FrameAllocator::with_seed(0, cap, FrameLayout::Scrambled, seed);
             let mut seen = HashSet::new();
             for _ in 0..cap {
-                assert!(seen.insert(a.alloc().raw()), "duplicate frame (seed {seed})");
+                assert!(
+                    seen.insert(a.alloc().raw()),
+                    "duplicate frame (seed {seed})"
+                );
             }
         }
     }

@@ -41,14 +41,18 @@ impl PwcConfig {
     /// in line with published MMU-cache designs (Bhattacharjee, MICRO'13),
     /// with counter pinning enabled.
     pub fn paper_baseline() -> Self {
-        PwcConfig { entries_per_level: 32, ways: 32, counter_pinning: true }
+        PwcConfig {
+            entries_per_level: 32,
+            ways: 32,
+            counter_pinning: true,
+        }
     }
 
     fn sets(&self) -> usize {
         assert!(
             self.entries_per_level > 0
                 && self.ways > 0
-                && self.entries_per_level % self.ways == 0,
+                && self.entries_per_level.is_multiple_of(self.ways),
             "PWC geometry {}x{} invalid",
             self.entries_per_level,
             self.ways
@@ -140,7 +144,11 @@ impl PageWalkCache {
     pub fn new(cfg: PwcConfig) -> Self {
         let sets = cfg.sets();
         let mk = || AssocArray::new(sets, cfg.ways, Replacement::Lru);
-        PageWalkCache { cfg, levels: [mk(), mk(), mk()], stats: PwcStats::default() }
+        PageWalkCache {
+            cfg,
+            levels: [mk(), mk(), mk()],
+            stats: PwcStats::default(),
+        }
     }
 
     /// The configuration in use.
@@ -159,15 +167,12 @@ impl PageWalkCache {
 
     /// Finds the deepest cached level for `page` without touching recency.
     fn deepest_hit(&self, page: VirtPage) -> Option<u8> {
-        PWC_LEVELS
-            .iter()
-            .copied()
-            .find(|&level| {
-                let key = page.prefix(level);
-                self.levels[level_slot(level)]
-                    .probe(self.set_of(key), key)
-                    .is_some()
-            })
+        PWC_LEVELS.iter().copied().find(|&level| {
+            let key = page.prefix(level);
+            self.levels[level_slot(level)]
+                .probe(self.set_of(key), key)
+                .is_some()
+        })
     }
 
     fn hit_to_accesses(deepest: Option<u8>) -> u8 {
@@ -195,7 +200,10 @@ impl PageWalkCache {
                 }
             }
         }
-        PwcHit { deepest, accesses: Self::hit_to_accesses(deepest) }
+        PwcHit {
+            deepest,
+            accesses: Self::hit_to_accesses(deepest),
+        }
     }
 
     /// Scheduler action **2-b**: performs the walk-time PWC lookup and
@@ -226,7 +234,13 @@ impl PageWalkCache {
         };
         let levels: Vec<u8> = (1..=start).rev().collect();
         let pte_reads = levels.iter().map(|&l| path.pte_addr(l)).collect();
-        Some(WalkPlan { page, pte_reads, levels, frame: path.frame, path })
+        Some(WalkPlan {
+            page,
+            pte_reads,
+            levels,
+            frame: path.frame,
+            path,
+        })
     }
 
     /// Installs PWC entries for every upper level the finished walk read.
@@ -241,7 +255,10 @@ impl PageWalkCache {
             let key = plan.page.prefix(level);
             let set = self.set_of(key);
             let slot = level_slot(level);
-            let entry = PwcEntry { child: plan.path.child_frame(level), counter: 0 };
+            let entry = PwcEntry {
+                child: plan.path.child_frame(level),
+                counter: 0,
+            };
             self.stats.fills += 1;
             if self.cfg.counter_pinning {
                 // Count redirections for diagnostics: did pinning change
@@ -250,9 +267,7 @@ impl PageWalkCache {
                     let arr = &self.levels[slot];
                     arr.probe(set, key).is_none()
                         && arr.iter().filter(|(s, ..)| *s == set).count() == arr.ways()
-                        && arr
-                            .iter()
-                            .any(|(s, _, e)| s == set && e.counter > 0)
+                        && arr.iter().any(|(s, _, e)| s == set && e.counter > 0)
                 };
                 if would_evict_pinned {
                     self.stats.pin_saves += 1;
@@ -387,8 +402,7 @@ mod tests {
         });
         // Three pages in three different 2MiB regions → 3 distinct level-2
         // entries competing for 2 ways.
-        let pages: Vec<VirtPage> =
-            (0..3).map(|i| map(&mut alloc, &mut pt, i << 9)).collect();
+        let pages: Vec<VirtPage> = (0..3).map(|i| map(&mut alloc, &mut pt, i << 9)).collect();
         let plan0 = pwc.begin_walk(&pt, pages[0]).unwrap();
         pwc.complete_walk(&plan0);
         pwc.estimate(pages[0]); // pin page 0's entries
@@ -398,7 +412,7 @@ mod tests {
         }
         // Page 0's level-2 entry must have survived (it was pinned), so
         // its pending walk still needs only 1 access.
-        assert_eq!(pwc.cached_child(pages[0], 2).is_some(), true);
+        assert!(pwc.cached_child(pages[0], 2).is_some());
     }
 
     #[test]
@@ -410,8 +424,7 @@ mod tests {
             ways: 2,
             counter_pinning: false,
         });
-        let pages: Vec<VirtPage> =
-            (0..3).map(|i| map(&mut alloc, &mut pt, i << 9)).collect();
+        let pages: Vec<VirtPage> = (0..3).map(|i| map(&mut alloc, &mut pt, i << 9)).collect();
         let plan0 = pwc.begin_walk(&pt, pages[0]).unwrap();
         pwc.complete_walk(&plan0);
         pwc.estimate(pages[0]);

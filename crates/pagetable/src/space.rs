@@ -36,7 +36,11 @@ impl Buffer {
     ///
     /// Panics in debug builds if `offset >= len`.
     pub fn at(&self, offset: u64) -> VirtAddr {
-        debug_assert!(offset < self.len, "offset {offset} out of buffer {}", self.name);
+        debug_assert!(
+            offset < self.len,
+            "offset {offset} out of buffer {}",
+            self.name
+        );
         self.base + offset
     }
 
@@ -92,7 +96,11 @@ impl AddressSpace {
                 .expect("fresh VA range cannot be double-mapped");
         }
         self.next_va += (pages + GUARD_PAGES) * PAGE_SIZE as u64;
-        let buf = Buffer { name: name.to_owned(), base, len };
+        let buf = Buffer {
+            name: name.to_owned(),
+            base,
+            len,
+        };
         self.buffers.push(buf.clone());
         buf
     }
@@ -110,7 +118,10 @@ impl AddressSpace {
     /// Total mapped data footprint in bytes (whole pages, excluding
     /// page-table nodes) — the quantity Table II reports.
     pub fn footprint_bytes(&self) -> u64 {
-        self.buffers.iter().map(|b| b.pages() * PAGE_SIZE as u64).sum()
+        self.buffers
+            .iter()
+            .map(|b| b.pages() * PAGE_SIZE as u64)
+            .sum()
     }
 
     /// Functional (zero-time) translation of a data virtual address.

@@ -51,7 +51,10 @@ struct Node {
 
 impl Node {
     fn new(frame: PhysFrame) -> Self {
-        Node { frame, children: Box::new([None; NODE_ENTRIES]) }
+        Node {
+            frame,
+            children: Box::new([None; NODE_ENTRIES]),
+        }
     }
 }
 
@@ -207,7 +210,11 @@ impl PageTable {
         node_frames[3] = self.nodes[node].frame;
         pte_addrs[3] = self.nodes[node].frame.addr_at(leaf_idx as u64 * PTE_BYTES);
         let frame = PhysFrame::new(self.nodes[node].children[leaf_idx]?);
-        Some(WalkPath { pte_addrs, node_frames, frame })
+        Some(WalkPath {
+            pte_addrs,
+            node_frames,
+            frame,
+        })
     }
 }
 
@@ -238,7 +245,10 @@ mod tests {
         let page = VirtPage::new(7);
         let f = alloc.alloc();
         pt.map(page, f, &mut alloc).unwrap();
-        assert_eq!(pt.map(page, f, &mut alloc), Err(MapError::AlreadyMapped(page)));
+        assert_eq!(
+            pt.map(page, f, &mut alloc),
+            Err(MapError::AlreadyMapped(page))
+        );
     }
 
     #[test]
@@ -266,10 +276,7 @@ mod tests {
         let f = alloc.alloc();
         pt.map(page, f, &mut alloc).unwrap();
         let path = pt.walk_path(page).unwrap();
-        assert_eq!(
-            path.pte_addr(4),
-            pt.root_frame().addr_at(3 * PTE_BYTES)
-        );
+        assert_eq!(path.pte_addr(4), pt.root_frame().addr_at(3 * PTE_BYTES));
         // Leaf PTE is at index 5 in the level-1 node.
         assert_eq!(path.pte_addr(1).page_offset(), 5 * PTE_BYTES);
     }
@@ -341,17 +348,30 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Randomized invariant tests driven by the in-tree `SplitMix64`.
+
     use super::*;
     use crate::frames::{FrameAllocator, FrameLayout};
-    use proptest::prelude::*;
-    use std::collections::HashMap;
+    use ptw_types::rng::SplitMix64;
+    use std::collections::{HashMap, HashSet};
 
-    proptest! {
-        /// Mapping arbitrary distinct pages: every translation round-trips
-        /// and the hardware walk path agrees with the functional lookup.
-        #[test]
-        fn map_translate_walk_agree(vpns in proptest::collection::hash_set(0u64..1 << 36, 1..64)) {
+    fn random_vpns(rng: &mut SplitMix64, bits: u32, max: usize) -> HashSet<u64> {
+        let n = 1 + rng.index(max - 1);
+        let mut vpns = HashSet::new();
+        while vpns.len() < n {
+            vpns.insert(rng.next_below(1 << bits));
+        }
+        vpns
+    }
+
+    /// Mapping arbitrary distinct pages: every translation round-trips and
+    /// the hardware walk path agrees with the functional lookup.
+    #[test]
+    fn map_translate_walk_agree() {
+        let mut rng = SplitMix64::new(0x7AB1E);
+        for _ in 0..32 {
+            let vpns = random_vpns(&mut rng, 36, 64);
             let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
             let mut pt = PageTable::new(&mut alloc);
             let mut expected = HashMap::new();
@@ -360,35 +380,39 @@ mod proptests {
                 pt.map(VirtPage::new(vpn), frame, &mut alloc).unwrap();
                 expected.insert(vpn, frame);
             }
-            prop_assert_eq!(pt.mapped_pages(), vpns.len());
+            assert_eq!(pt.mapped_pages(), vpns.len());
             for (&vpn, &frame) in &expected {
                 let page = VirtPage::new(vpn);
-                prop_assert_eq!(pt.translate(page), Some(frame));
+                assert_eq!(pt.translate(page), Some(frame));
                 let path = pt.walk_path(page).expect("mapped");
-                prop_assert_eq!(path.frame, frame);
+                assert_eq!(path.frame, frame);
                 // The four PTE reads live in four distinct frames, rooted
                 // at CR3.
-                prop_assert_eq!(path.node_frames[0], pt.root_frame());
+                assert_eq!(path.node_frames[0], pt.root_frame());
                 for level in 1..=4u8 {
                     let pte = path.pte_addr(level);
-                    prop_assert_eq!(pte.frame(), path.node_frames[(4 - level) as usize]);
+                    assert_eq!(pte.frame(), path.node_frames[(4 - level) as usize]);
                 }
             }
         }
+    }
 
-        /// Node count is bounded by the radix-tree structure: at most
-        /// 1 root + 3 interior nodes per mapped page (and at least the
-        /// depth of one path).
-        #[test]
-        fn node_count_is_bounded(vpns in proptest::collection::hash_set(0u64..1 << 30, 1..40)) {
+    /// Node count is bounded by the radix-tree structure: at most 1 root +
+    /// 3 interior nodes per mapped page (and at least the depth of one
+    /// path).
+    #[test]
+    fn node_count_is_bounded() {
+        let mut rng = SplitMix64::new(0xB0B);
+        for _ in 0..32 {
+            let vpns = random_vpns(&mut rng, 30, 40);
             let mut alloc = FrameAllocator::new(0x1000, 1 << 22, FrameLayout::Sequential);
             let mut pt = PageTable::new(&mut alloc);
             for &vpn in &vpns {
                 let frame = alloc.alloc();
                 pt.map(VirtPage::new(vpn), frame, &mut alloc).unwrap();
             }
-            prop_assert!(pt.node_count() >= 4);
-            prop_assert!(pt.node_count() <= 1 + 3 * vpns.len());
+            assert!(pt.node_count() >= 4);
+            assert!(pt.node_count() <= 1 + 3 * vpns.len());
         }
     }
 }

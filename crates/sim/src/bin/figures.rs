@@ -2,26 +2,29 @@
 //!
 //! ```text
 //! figures [NAMES...] [--scale small|medium|paper] [--seed N] [--quiet]
-//!         [--csv DIR]
+//!         [--csv DIR] [--jobs N | --serial]
 //!
 //! NAMES: table1 table2 fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11
-//!        fig12 fig13 fig14 ablation all        (default: all)
+//!        fig12 fig13 fig14 ablation followon seeds stats all (default: all)
 //! ```
 //!
 //! Output is a sequence of markdown tables, one per figure, each with a
 //! `paper` row citing the value the paper reports so measured-vs-paper can
 //! be compared at a glance.
+//!
+//! The simulation runs behind the requested figures are prefetched on a
+//! thread pool (default: one worker per hardware thread; `--jobs N` to
+//! pin, `--serial` for the single-threaded order). Runs are deterministic
+//! and merged in spec order, so every table is byte-identical whatever the
+//! worker count.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use ptw_sim::figures;
 use ptw_sim::runner::Lab;
+use ptw_sim::sweep::SweepExecutor;
 use ptw_workloads::Scale;
-
-const ALL: [&str; 18] = [
-    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "ablation", "followon", "seeds", "stats",
-];
 
 fn main() -> ExitCode {
     let mut names: Vec<String> = Vec::new();
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
     let mut seed = 0xC0FFEE_u64;
     let mut verbose = true;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut exec = SweepExecutor::auto();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -39,7 +43,10 @@ fn main() -> ExitCode {
                     Some("medium") => Scale::Medium,
                     Some("paper") => Scale::Paper,
                     other => {
-                        eprintln!("unknown scale {other:?}");
+                        eprintln!(
+                            "--scale needs one of small|medium|paper, got {}",
+                            other.unwrap_or("nothing")
+                        );
                         return ExitCode::FAILURE;
                     }
                 }
@@ -59,16 +66,25 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => exec = SweepExecutor::new(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--serial" => exec = SweepExecutor::serial(),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [NAMES...] [--scale small|medium|paper] [--seed N] [--quiet]\n\
+                    "usage: figures [NAMES...] [--scale small|medium|paper] [--seed N] \
+                     [--quiet] [--csv DIR] [--jobs N | --serial]\n\
                      names: {} all",
-                    ALL.join(" ")
+                    figures::NAMES.join(" ")
                 );
                 return ExitCode::SUCCESS;
             }
-            "all" => names.extend(ALL.iter().map(|s| (*s).to_owned())),
-            name if ALL.contains(&name) => names.push(name.to_owned()),
+            "all" => names.extend(figures::NAMES.iter().map(|s| (*s).to_owned())),
+            name if figures::NAMES.contains(&name) => names.push(name.to_owned()),
             other => {
                 eprintln!("unknown figure {other:?}; try --help");
                 return ExitCode::FAILURE;
@@ -76,11 +92,19 @@ fn main() -> ExitCode {
         }
     }
     if names.is_empty() {
-        names.extend(ALL.iter().map(|s| (*s).to_owned()));
+        names.extend(figures::NAMES.iter().map(|s| (*s).to_owned()));
     }
 
+    let started = Instant::now();
     let mut lab = Lab::new(scale, seed);
     lab.verbose = verbose;
+    // Fan the requested figures' runs out across the executor up front;
+    // rendering below then hits only the lab cache.
+    let wanted: Vec<_> = names
+        .iter()
+        .flat_map(|n| figures::prefetch_keys(n))
+        .collect();
+    lab.prefetch(&exec, wanted);
     for name in &names {
         let table = match name.as_str() {
             "table1" => figures::table1(),
@@ -100,7 +124,7 @@ fn main() -> ExitCode {
             "ablation" => figures::ablation(&mut lab),
             "stats" => figures::stats(&mut lab),
             "followon" => figures::followon(&mut lab),
-            "seeds" => figures::seeds(&lab),
+            "seeds" => figures::seeds(&lab, &exec),
             _ => unreachable!("validated above"),
         };
         println!("{table}");
@@ -114,7 +138,12 @@ fn main() -> ExitCode {
         }
     }
     if verbose {
-        eprintln!("[lab] {} simulation runs executed", lab.executed);
+        eprintln!(
+            "[lab] {} simulation runs executed on {} worker(s) in {:.1}s",
+            lab.executed,
+            exec.workers(),
+            started.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

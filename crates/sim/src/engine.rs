@@ -93,7 +93,11 @@ impl<E: Eq> EventQueue<E> {
     /// Panics if `at` is earlier than the current time — an event cannot
     /// fire in the past.
     pub fn schedule(&mut self, at: Cycle, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Scheduled { at, seq, event }));

@@ -21,6 +21,89 @@ use ptw_workloads::{build, BenchmarkId};
 
 use crate::report::{percent, ratio, Table};
 use crate::runner::{ConfigVariant, Lab};
+use crate::sweep::SweepExecutor;
+
+/// Every figure/table name, in presentation order (the `figures` binary's
+/// name list and the full-sweep prefetch set).
+pub const NAMES: [&str; 18] = [
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "ablation", "followon", "seeds", "stats",
+];
+
+/// The `(benchmark, scheduler, variant)` runs the named figure reads from
+/// the [`Lab`], for [`Lab::prefetch`]. Figures that do not consume lab
+/// runs (`table1`, `table2`, `fig4`, `seeds`) return an empty list.
+pub fn prefetch_keys(name: &str) -> Vec<(BenchmarkId, SchedulerKind, ConfigVariant)> {
+    use ConfigVariant as V;
+    use SchedulerKind as K;
+    let base = V::Baseline;
+    let mut keys = Vec::new();
+    let both = |keys: &mut Vec<_>, id, variant| {
+        keys.push((id, K::Fcfs, variant));
+        keys.push((id, K::SimtAware, variant));
+    };
+    match name {
+        "fig2" => {
+            for id in BenchmarkId::MOTIVATION {
+                for kind in [K::Random, K::Fcfs, K::SimtAware] {
+                    keys.push((id, kind, base));
+                }
+            }
+        }
+        "fig3" | "fig5" | "fig6" => {
+            for id in BenchmarkId::MOTIVATION {
+                keys.push((id, K::Fcfs, base));
+            }
+        }
+        "fig8" | "fig9" => {
+            for id in BenchmarkId::ALL {
+                both(&mut keys, id, base);
+            }
+        }
+        "fig10" | "fig11" | "fig12" => {
+            for id in BenchmarkId::IRREGULAR {
+                both(&mut keys, id, base);
+            }
+        }
+        "fig13" => {
+            for id in BenchmarkId::IRREGULAR {
+                for v in [V::BigTlb, V::MoreWalkers, V::BigTlbMoreWalkers] {
+                    both(&mut keys, id, v);
+                }
+            }
+        }
+        "fig14" => {
+            for id in BenchmarkId::IRREGULAR {
+                for v in [V::SmallBuffer, V::Baseline, V::BigBuffer] {
+                    both(&mut keys, id, v);
+                }
+            }
+        }
+        "ablation" => {
+            for id in BenchmarkId::IRREGULAR {
+                for kind in [K::Fcfs, K::SjfOnly, K::BatchOnly, K::SimtAware] {
+                    keys.push((id, kind, base));
+                }
+                keys.push((id, K::SimtAware, V::NoPinning));
+            }
+        }
+        "followon" => {
+            for id in [BenchmarkId::Mvt, BenchmarkId::Xsb] {
+                keys.push((id, K::Fcfs, base));
+                for kind in K::EXTENDED {
+                    keys.push((id, kind, base));
+                }
+            }
+        }
+        "stats" => {
+            for id in BenchmarkId::ALL {
+                keys.push((id, K::Fcfs, base));
+            }
+        }
+        _ => {}
+    }
+    keys
+}
 
 /// Table I: the baseline system configuration (echoed from the config
 /// structs so drift between code and documentation is impossible).
@@ -39,12 +122,20 @@ pub fn table1() -> Table {
     );
     row(
         "L1 data cache",
-        format!("{} KiB, {}-way", c.l1_cache.size_bytes / 1024, c.l1_cache.ways),
+        format!(
+            "{} KiB, {}-way",
+            c.l1_cache.size_bytes / 1024,
+            c.l1_cache.ways
+        ),
         "32KB, 16-way, 64B block",
     );
     row(
         "L2 data cache",
-        format!("{} MiB, {}-way", c.l2_cache.size_bytes / (1024 * 1024), c.l2_cache.ways),
+        format!(
+            "{} MiB, {}-way",
+            c.l2_cache.size_bytes / (1024 * 1024),
+            c.l2_cache.ways
+        ),
         "4MB, 16-way, 64B block",
     );
     row(
@@ -54,17 +145,17 @@ pub fn table1() -> Table {
     );
     row(
         "L2 TLB",
-        format!("{} entries, {}-way", c.gpu_l2_tlb.entries, c.gpu_l2_tlb.ways),
+        format!(
+            "{} entries, {}-way",
+            c.gpu_l2_tlb.entries, c.gpu_l2_tlb.ways
+        ),
         "512 entries, 16-way",
     );
     row(
         "IOMMU",
         format!(
             "{} buffer entries, {} walkers, {}/{} TLB",
-            c.iommu.buffer_entries,
-            c.iommu.walkers,
-            c.iommu.l1_tlb.entries,
-            c.iommu.l2_tlb.entries
+            c.iommu.buffer_entries, c.iommu.walkers, c.iommu.l1_tlb.entries, c.iommu.l2_tlb.entries
         ),
         "256 buffer, 8 walkers, 32/256 TLBs, FCFS",
     );
@@ -90,10 +181,18 @@ pub fn table2(lab: &Lab) -> Table {
         let w = build(id, lab.scale(), 0);
         t.row(vec![
             id.abbrev().into(),
-            if id.is_irregular() { "irregular" } else { "regular" }.into(),
+            if id.is_irregular() {
+                "irregular"
+            } else {
+                "regular"
+            }
+            .into(),
             id.description().into(),
             format!("{:.2}", id.paper_footprint_mb()),
-            format!("{:.2}", w.space().footprint_bytes() as f64 / (1024.0 * 1024.0)),
+            format!(
+                "{:.2}",
+                w.space().footprint_bytes() as f64 / (1024.0 * 1024.0)
+            ),
         ]);
     }
     t
@@ -109,7 +208,12 @@ pub fn fig2(lab: &mut Lab) -> Table {
     for id in BenchmarkId::MOTIVATION {
         let fcfs = lab.speedup(id, SchedulerKind::Fcfs, SchedulerKind::Random);
         let simt = lab.speedup(id, SchedulerKind::SimtAware, SchedulerKind::Random);
-        t.row(vec![id.abbrev().into(), ratio(1.0), ratio(fcfs), ratio(simt)]);
+        t.row(vec![
+            id.abbrev().into(),
+            ratio(1.0),
+            ratio(fcfs),
+            ratio(simt),
+        ]);
     }
     t.row(vec![
         "paper".into(),
@@ -125,10 +229,16 @@ pub fn fig2(lab: &mut Lab) -> Table {
 pub fn fig3(lab: &mut Lab) -> Table {
     let mut t = Table::new(
         "Figure 3: fraction of SIMD instructions by page-walk memory accesses",
-        &["bench", "1-16", "17-32", "33-48", "49-64", "65-80", "81-256"],
+        &[
+            "bench", "1-16", "17-32", "33-48", "49-64", "65-80", "81-256",
+        ],
     );
     for id in BenchmarkId::MOTIVATION {
-        let hist = lab.result(id, SchedulerKind::Fcfs).metrics.work_hist.clone();
+        let hist = lab
+            .result(id, SchedulerKind::Fcfs)
+            .metrics
+            .work_hist
+            .clone();
         let f = hist.fractions();
         let mut row = vec![id.abbrev().to_owned()];
         row.extend(f.iter().map(|&x| percent(x)));
@@ -191,18 +301,37 @@ fn interleaving_scenario(kind: SchedulerKind) -> (u64, u64) {
     let mut reads = iommu.start_walkers(&table, Cycle::ZERO);
 
     // Interleaved arrivals: A0 B0 B1 A1 B2 A2 B3 B4 (A = instr 0, B = 1).
-    let arrivals: [(u8, usize); 8] =
-        [(0, 0), (1, 0), (1, 1), (0, 1), (1, 2), (0, 2), (1, 3), (1, 4)];
+    let arrivals: [(u8, usize); 8] = [
+        (0, 0),
+        (1, 0),
+        (1, 1),
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (1, 3),
+        (1, 4),
+    ];
     for (i, &(instr, idx)) in arrivals.iter().enumerate() {
-        let page = if instr == 0 { a_pages[idx] } else { b_pages[idx] };
-        iommu.translate(page, InstrId::new(instr as u32), instr, Cycle::new(1 + i as u64));
+        let page = if instr == 0 {
+            a_pages[idx]
+        } else {
+            b_pages[idx]
+        };
+        iommu.translate(
+            page,
+            InstrId::new(instr as u32),
+            instr,
+            Cycle::new(1 + i as u64),
+        );
     }
 
     let (mut a_left, mut b_left) = (3u32, 5u32);
     let (mut a_done, mut b_done) = (0u64, 0u64);
     let mut t = Cycle::ZERO;
     while a_left > 0 || b_left > 0 {
-        let read = if !reads.is_empty() { reads.remove(0) } else {
+        let read = if !reads.is_empty() {
+            reads.remove(0)
+        } else {
             let r = iommu.start_walkers(&table, t);
             assert!(!r.is_empty(), "walker starved with work pending");
             let mut r = r;
@@ -243,7 +372,10 @@ pub fn fig5(lab: &mut Lab) -> Table {
         &["bench", "interleaved"],
     );
     for id in BenchmarkId::MOTIVATION {
-        let f = lab.result(id, SchedulerKind::Fcfs).metrics.interleaved_fraction;
+        let f = lab
+            .result(id, SchedulerKind::Fcfs)
+            .metrics
+            .interleaved_fraction;
         t.row(vec![id.abbrev().into(), percent(f)]);
     }
     t.row(vec!["paper".into(), "45-77%".into()]);
@@ -259,7 +391,11 @@ pub fn fig6(lab: &mut Lab) -> Table {
     );
     for id in BenchmarkId::MOTIVATION {
         let m = &lab.result(id, SchedulerKind::Fcfs).metrics;
-        t.row(vec![id.abbrev().into(), ratio(1.0), ratio(m.last_over_first())]);
+        t.row(vec![
+            id.abbrev().into(),
+            ratio(1.0),
+            ratio(m.last_over_first()),
+        ]);
     }
     t.row(vec!["paper".into(), ratio(1.0), "often 2-3x".into()]);
     t
@@ -278,7 +414,12 @@ pub fn fig8(lab: &mut Lab) -> Table {
         groups[if id.is_irregular() { 0 } else { 1 }].push(s);
         t.row(vec![
             id.abbrev().into(),
-            if id.is_irregular() { "irregular" } else { "regular" }.into(),
+            if id.is_irregular() {
+                "irregular"
+            } else {
+                "regular"
+            }
+            .into(),
             ratio(s),
         ]);
     }
@@ -378,7 +519,12 @@ pub fn fig12(lab: &mut Lab) -> Table {
 pub fn fig13(lab: &mut Lab) -> Table {
     let mut t = Table::new(
         "Figure 13: SIMT-aware speedup over FCFS under bigger TLB / more walkers",
-        &["bench", "1024 TLB/8 walkers", "512 TLB/16 walkers", "1024 TLB/16 walkers"],
+        &[
+            "bench",
+            "1024 TLB/8 walkers",
+            "512 TLB/16 walkers",
+            "1024 TLB/16 walkers",
+        ],
     );
     let variants = [
         ConfigVariant::BigTlb,
@@ -419,7 +565,12 @@ pub fn fig13(lab: &mut Lab) -> Table {
 pub fn fig14(lab: &mut Lab) -> Table {
     let mut t = Table::new(
         "Figure 14: SIMT-aware speedup over FCFS vs IOMMU buffer size",
-        &["bench", "128 entries", "256 entries (baseline)", "512 entries"],
+        &[
+            "bench",
+            "128 entries",
+            "256 entries (baseline)",
+            "512 entries",
+        ],
     );
     let variants = [
         ConfigVariant::SmallBuffer,
@@ -447,7 +598,12 @@ pub fn fig14(lab: &mut Lab) -> Table {
         ratio(geometric_mean(&means[1])),
         ratio(geometric_mean(&means[2])),
     ]);
-    t.row(vec!["paper".into(), "1.13x".into(), "1.30x".into(), "1.50x".into()]);
+    t.row(vec![
+        "paper".into(),
+        "1.13x".into(),
+        "1.30x".into(),
+        "1.50x".into(),
+    ]);
     t
 }
 
@@ -458,7 +614,13 @@ pub fn fig14(lab: &mut Lab) -> Table {
 pub fn followon(lab: &mut Lab) -> Table {
     let mut t = Table::new(
         "Follow-on: performance and fairness of extended walk schedulers",
-        &["scheduler", "MVT speedup", "MVT fairness", "XSB speedup", "XSB fairness"],
+        &[
+            "scheduler",
+            "MVT speedup",
+            "MVT fairness",
+            "XSB speedup",
+            "XSB fairness",
+        ],
     );
     let fairness = |lab: &mut Lab, id, sched| lab.result(id, sched).finish_spread;
     for kind in SchedulerKind::EXTENDED {
@@ -487,8 +649,11 @@ pub fn followon(lab: &mut Lab) -> Table {
 /// Robustness study: the Figure 8 headline re-measured over several
 /// workload seeds (not a paper figure — the paper reports single gem5
 /// runs; we quantify our synthetic workloads' run-to-run spread).
-pub fn seeds(lab: &Lab) -> Table {
-    use crate::runner::{run_benchmark, RunSpec};
+///
+/// These runs bypass the [`Lab`] cache (they vary the workload seed, which
+/// the cache does not key on), so they go straight through `exec`.
+pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> Table {
+    use crate::runner::RunSpec;
     use crate::SystemConfig;
 
     let mut t = Table::new(
@@ -496,30 +661,38 @@ pub fn seeds(lab: &Lab) -> Table {
         &["bench", "seed A", "seed B", "seed C", "min..max"],
     );
     let seeds = [0xC0FFEE_u64, 0xBEEF, 0x5EED];
+    // One flat spec list (bench-major, FCFS/SIMT-aware pairs per seed) so
+    // the whole study fans out in a single sweep.
+    let mut specs = Vec::new();
+    for id in BenchmarkId::IRREGULAR {
+        for &seed in &seeds {
+            for kind in [SchedulerKind::Fcfs, SchedulerKind::SimtAware] {
+                specs.push(RunSpec {
+                    benchmark: id,
+                    scheduler: kind,
+                    scale: lab.scale(),
+                    seed,
+                    config: SystemConfig::paper_baseline(),
+                });
+            }
+        }
+    }
+    let results = exec.run(&specs);
+    let mut pairs = results.chunks_exact(2);
     let mut all: Vec<f64> = Vec::new();
     for id in BenchmarkId::IRREGULAR {
         let mut row = vec![id.abbrev().to_owned()];
         let mut vals = Vec::new();
-        for &seed in &seeds {
-            let run = |sched| {
-                run_benchmark(&RunSpec {
-                    benchmark: id,
-                    scheduler: sched,
-                    scale: lab.scale(),
-                    seed,
-                    config: SystemConfig::paper_baseline(),
-                })
-                .metrics
-                .cycles as f64
-            };
-            let s = run(SchedulerKind::Fcfs) / run(SchedulerKind::SimtAware);
+        for _ in &seeds {
+            let pair = pairs.next().expect("one FCFS/SIMT-aware pair per seed");
+            let s = pair[0].metrics.cycles as f64 / pair[1].metrics.cycles as f64;
             vals.push(s);
             row.push(ratio(s));
         }
         all.extend(vals.iter().copied());
-        let (min, max) = vals
-            .iter()
-            .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let (min, max) = vals.iter().fold((f64::INFINITY, 0.0_f64), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
         row.push(format!("{min:.2}..{max:.2}"));
         t.row(row);
     }
@@ -539,8 +712,18 @@ pub fn stats(lab: &mut Lab) -> Table {
     let mut t = Table::new(
         "Diagnostics: FCFS baseline run summaries",
         &[
-            "bench", "cycles", "instrs", "walks", "perf'd", "L1 TLB", "L2 TLB", "peak buf",
-            "multi-walk", "interleaved", "avg walk lat", "stall%",
+            "bench",
+            "cycles",
+            "instrs",
+            "walks",
+            "perf'd",
+            "L1 TLB",
+            "L2 TLB",
+            "peak buf",
+            "multi-walk",
+            "interleaved",
+            "avg walk lat",
+            "stall%",
         ],
     );
     for id in BenchmarkId::ALL {
@@ -557,9 +740,7 @@ pub fn stats(lab: &mut Lab) -> Table {
             r.metrics.multi_walk_instructions.to_string(),
             percent(r.metrics.interleaved_fraction),
             format!("{:.0}", r.iommu.avg_walk_latency()),
-            percent(
-                r.metrics.cu_stall_cycles as f64 / (r.metrics.cycles as f64 * 8.0),
-            ),
+            percent(r.metrics.cu_stall_cycles as f64 / (r.metrics.cycles as f64 * 8.0)),
         ]);
     }
     t
@@ -570,7 +751,13 @@ pub fn stats(lab: &mut Lab) -> Table {
 pub fn ablation(lab: &mut Lab) -> Table {
     let mut t = Table::new(
         "Ablation: speedup over FCFS of each design ingredient",
-        &["bench", "SJF-only", "Batch-only", "SIMT-aware", "SIMT-aware w/o pinning"],
+        &[
+            "bench",
+            "SJF-only",
+            "Batch-only",
+            "SIMT-aware",
+            "SIMT-aware w/o pinning",
+        ],
     );
     let mut cols: [Vec<f64>; 4] = Default::default();
     for id in BenchmarkId::IRREGULAR {
@@ -627,7 +814,10 @@ mod tests {
         // delaying the overall completion.
         let first_fcfs = a_fcfs.min(b_fcfs);
         let first_simt = a_simt.min(b_simt);
-        assert!(first_simt < first_fcfs, "batching {first_simt} vs FCFS {first_fcfs}");
+        assert!(
+            first_simt < first_fcfs,
+            "batching {first_simt} vs FCFS {first_fcfs}"
+        );
         assert!(a_simt.max(b_simt) <= a_fcfs.max(b_fcfs));
     }
 }

@@ -6,6 +6,7 @@
 //! * [`system`] — the wired-up machine (GPU + TLBs + IOMMU + caches + DRAM);
 //! * [`metrics`] — per-figure metric collection;
 //! * [`runner`] — one-call experiment execution;
+//! * [`sweep`] — parallel fan-out of independent runs across threads;
 //! * [`figures`] — regeneration of every table and figure;
 //! * [`report`] — plain-text table rendering.
 //!
@@ -32,9 +33,11 @@ pub mod figures;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod system;
 
 pub use config::SystemConfig;
 pub use metrics::RunMetrics;
 pub use runner::{run_benchmark, RunSpec};
+pub use sweep::SweepExecutor;
 pub use system::{RunResult, System};

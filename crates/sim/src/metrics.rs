@@ -157,7 +157,8 @@ impl MetricsCollector {
             .expect("non-empty");
         self.first_latency.add(first.latency as f64);
         self.last_latency.add(last.latency as f64);
-        self.latency_gap.add((last.completed_at.raw() - first.completed_at.raw()) as f64);
+        self.latency_gap
+            .add((last.completed_at.raw() - first.completed_at.raw()) as f64);
 
         // Interleaving: the instruction's own walks occupy a span of the
         // global walk service order; foreign walks in that span mean the
@@ -195,9 +196,12 @@ impl MetricsCollector {
             }
         }
         if std::env::var("PTW_DEBUG_SPANS").is_ok() {
-            eprintln!("[spans] n={} interleaved={} sample={:?}",
-                self.instr_spans.len(), self.interleaved_instructions,
-                &self.instr_spans[..self.instr_spans.len().min(12)]);
+            eprintln!(
+                "[spans] n={} interleaved={} sample={:?}",
+                self.instr_spans.len(),
+                self.interleaved_instructions,
+                &self.instr_spans[..self.instr_spans.len().min(12)]
+            );
         }
         RunMetrics {
             cycles,
@@ -223,7 +227,11 @@ impl MetricsCollector {
 }
 
 /// The frozen metrics of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field exactly (including the `f64` means) —
+/// the determinism tests rely on bit-identical results across serial and
+/// parallel execution.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     /// Total cycles until the last wavefront retired (performance).
     pub cycles: u64,

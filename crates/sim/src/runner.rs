@@ -11,6 +11,7 @@ use ptw_core::sched::SchedulerKind;
 use ptw_workloads::{build, BenchmarkId, Scale};
 
 use crate::config::SystemConfig;
+use crate::sweep::SweepExecutor;
 use crate::system::{RunResult, System};
 
 /// A fully specified simulation run.
@@ -78,9 +79,7 @@ impl ConfigVariant {
             ConfigVariant::Baseline => base,
             ConfigVariant::BigTlb => base.with_gpu_l2_tlb_entries(1024),
             ConfigVariant::MoreWalkers => base.with_walkers(16),
-            ConfigVariant::BigTlbMoreWalkers => {
-                base.with_gpu_l2_tlb_entries(1024).with_walkers(16)
-            }
+            ConfigVariant::BigTlbMoreWalkers => base.with_gpu_l2_tlb_entries(1024).with_walkers(16),
             ConfigVariant::SmallBuffer => base.with_iommu_buffer(128),
             ConfigVariant::BigBuffer => base.with_iommu_buffer(512),
             ConfigVariant::NoPinning => {
@@ -126,7 +125,13 @@ pub struct Lab {
 impl Lab {
     /// Creates a lab running workloads at `scale` with `seed`.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        Lab { scale, seed, cache: HashMap::new(), executed: 0, verbose: false }
+        Lab {
+            scale,
+            seed,
+            cache: HashMap::new(),
+            executed: 0,
+            verbose: false,
+        }
     }
 
     /// The workload scale in use.
@@ -149,7 +154,10 @@ impl Lab {
         let key = (benchmark, scheduler, variant);
         if !self.cache.contains_key(&key) {
             if self.verbose {
-                eprintln!("[lab] running {benchmark} / {scheduler} / {}", variant.label());
+                eprintln!(
+                    "[lab] running {benchmark} / {scheduler} / {}",
+                    variant.label()
+                );
             }
             let spec = RunSpec {
                 benchmark,
@@ -163,6 +171,64 @@ impl Lab {
             self.cache.insert(key, result);
         }
         &self.cache[&key]
+    }
+
+    /// Runs every not-yet-cached `(benchmark, scheduler, variant)` key on
+    /// `exec` and stores the results, so later `result`/`result_with`
+    /// calls are cache hits. Returns the number of runs executed.
+    ///
+    /// Duplicate keys are executed once; insertion order is the first
+    /// occurrence in `keys`, so the cache contents (and `executed`) are
+    /// independent of the executor's worker count.
+    pub fn prefetch(
+        &mut self,
+        exec: &SweepExecutor,
+        keys: impl IntoIterator<Item = (BenchmarkId, SchedulerKind, ConfigVariant)>,
+    ) -> usize {
+        let mut missing: Vec<(BenchmarkId, SchedulerKind, ConfigVariant)> = Vec::new();
+        for key in keys {
+            if !self.cache.contains_key(&key) && !missing.contains(&key) {
+                missing.push(key);
+            }
+        }
+        if missing.is_empty() {
+            return 0;
+        }
+        if self.verbose {
+            eprintln!(
+                "[lab] prefetching {} runs on {} worker(s)",
+                missing.len(),
+                exec.workers()
+            );
+        }
+        let specs: Vec<RunSpec> = missing
+            .iter()
+            .map(|&(benchmark, scheduler, variant)| RunSpec {
+                benchmark,
+                scheduler,
+                scale: self.scale,
+                seed: self.seed,
+                config: variant.config(),
+            })
+            .collect();
+        let results = exec.run(&specs);
+        let executed = missing.len();
+        for (key, result) in missing.into_iter().zip(results) {
+            self.executed += 1;
+            self.cache.insert(key, result);
+        }
+        executed
+    }
+
+    /// Prefetches every run the full figures sweep ([`crate::figures`])
+    /// consumes, in parallel on `exec`. Returns the number of runs
+    /// executed.
+    pub fn prefetch_figures(&mut self, exec: &SweepExecutor) -> usize {
+        let keys: Vec<_> = crate::figures::NAMES
+            .iter()
+            .flat_map(|name| crate::figures::prefetch_keys(name))
+            .collect();
+        self.prefetch(exec, keys)
     }
 
     /// Speedup of `scheduler` over `baseline` for `benchmark` (ratio of
@@ -186,9 +252,15 @@ mod tests {
     #[test]
     fn lab_caches_runs() {
         let mut lab = Lab::new(Scale::Small, 1);
-        let a = lab.result(BenchmarkId::Kmn, SchedulerKind::Fcfs).metrics.cycles;
+        let a = lab
+            .result(BenchmarkId::Kmn, SchedulerKind::Fcfs)
+            .metrics
+            .cycles;
         assert_eq!(lab.executed, 1);
-        let b = lab.result(BenchmarkId::Kmn, SchedulerKind::Fcfs).metrics.cycles;
+        let b = lab
+            .result(BenchmarkId::Kmn, SchedulerKind::Fcfs)
+            .metrics
+            .cycles;
         assert_eq!(lab.executed, 1); // cached
         assert_eq!(a, b);
     }
@@ -198,6 +270,49 @@ mod tests {
         let mut lab = Lab::new(Scale::Small, 1);
         let s = lab.speedup(BenchmarkId::Kmn, SchedulerKind::Fcfs, SchedulerKind::Fcfs);
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_fills_the_cache_once() {
+        let mut lab = Lab::new(Scale::Small, 1);
+        let keys = [
+            (
+                BenchmarkId::Kmn,
+                SchedulerKind::Fcfs,
+                ConfigVariant::Baseline,
+            ),
+            (
+                BenchmarkId::Kmn,
+                SchedulerKind::SimtAware,
+                ConfigVariant::Baseline,
+            ),
+            // Duplicate: must be executed once.
+            (
+                BenchmarkId::Kmn,
+                SchedulerKind::Fcfs,
+                ConfigVariant::Baseline,
+            ),
+        ];
+        let ran = lab.prefetch(&SweepExecutor::new(2), keys);
+        assert_eq!(ran, 2);
+        assert_eq!(lab.executed, 2);
+        // Subsequent lookups are cache hits...
+        let cycles = lab
+            .result(BenchmarkId::Kmn, SchedulerKind::Fcfs)
+            .metrics
+            .cycles;
+        assert_eq!(lab.executed, 2);
+        // ...and match a serial lab exactly.
+        let mut serial = Lab::new(Scale::Small, 1);
+        assert_eq!(
+            cycles,
+            serial
+                .result(BenchmarkId::Kmn, SchedulerKind::Fcfs)
+                .metrics
+                .cycles
+        );
+        // Prefetching already-cached keys is free.
+        assert_eq!(lab.prefetch(&SweepExecutor::serial(), keys), 0);
     }
 
     #[test]

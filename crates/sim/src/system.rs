@@ -67,7 +67,10 @@ enum Event {
 }
 
 /// Everything a finished run reports.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is exact (f64 fields included): two runs of the same spec
+/// must produce bit-identical results however they were executed.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// The per-figure metrics.
     pub metrics: RunMetrics,
@@ -205,7 +208,10 @@ impl System {
         for r in reads {
             self.queue.schedule(
                 r.issue_at.max(now),
-                Event::WalkerIssue { walker: r.walker.0, addr: r.addr },
+                Event::WalkerIssue {
+                    walker: r.walker.0,
+                    addr: r.addr,
+                },
             );
         }
     }
@@ -246,7 +252,8 @@ impl System {
             // granted in arrival order, in the arrival handler below.
             let cu_grant = self.l1_miss_free[cu].max(now + g.l1_tlb_cycles);
             self.l1_miss_free[cu] = cu_grant + g.l1_tlb_miss_port_cycles;
-            self.queue.schedule(cu_grant, Event::L2TlbArrive { wf, page });
+            self.queue
+                .schedule(cu_grant, Event::L2TlbArrive { wf, page });
         }
     }
 
@@ -322,7 +329,10 @@ impl System {
                         WalkerStep::Read(r) => {
                             self.queue.schedule(
                                 r.issue_at.max(now),
-                                Event::WalkerIssue { walker: r.walker.0, addr: r.addr },
+                                Event::WalkerIssue {
+                                    walker: r.walker.0,
+                                    addr: r.addr,
+                                },
                             );
                         }
                         WalkerStep::Done(translations) => {
@@ -416,7 +426,9 @@ impl System {
         }
         let cu = self.cu_of(wf);
         self.cus[cu].wavefront_unblocked(now);
-        let entry = self.inflight[wfi].take().expect("line done for idle wavefront");
+        let entry = self.inflight[wfi]
+            .take()
+            .expect("line done for idle wavefront");
         self.metrics.instruction_done(&entry.walk_log);
         self.queue
             .schedule(now + self.cfg.gpu.compute_delay, Event::WfReady(wf));
@@ -444,9 +456,7 @@ impl System {
                 Event::L2TlbArrive { wf, page } => self.handle_l2_tlb_arrive(wf, page, now),
                 Event::L2TlbLookup { wf, page } => self.handle_l2_tlb_lookup(wf, page, now),
                 Event::IommuArrival { wf, page } => self.handle_iommu_arrival(wf, page, now),
-                Event::WalkerIssue { walker, addr } => {
-                    self.handle_walker_issue(walker, addr, now)
-                }
+                Event::WalkerIssue { walker, addr } => self.handle_walker_issue(walker, addr, now),
                 Event::DataSubmit { line } => self.handle_data_submit(line, now),
                 Event::LineDone { wf } => self.handle_line_done(wf, now),
                 Event::MemTick => self.handle_mem_tick(now),
@@ -476,27 +486,41 @@ impl System {
             iommu_stats.walks_performed,
         );
         let l1_tlb_rate = {
-            let (h, t) = self
-                .gpu_l1_tlbs
-                .iter()
-                .fold((0u64, 0u64), |(h, t), tlb| {
-                    (h + tlb.stats().hits(), t + tlb.stats().total())
-                });
-            if t == 0 { 0.0 } else { h as f64 / t as f64 }
+            let (h, t) = self.gpu_l1_tlbs.iter().fold((0u64, 0u64), |(h, t), tlb| {
+                (h + tlb.stats().hits(), t + tlb.stats().total())
+            });
+            if t == 0 {
+                0.0
+            } else {
+                h as f64 / t as f64
+            }
         };
         let l1_cache_rate = {
             let (h, t) = self.l1_caches.iter().fold((0u64, 0u64), |(h, t), c| {
                 (h + c.stats().hits(), t + c.stats().total())
             });
-            if t == 0 { 0.0 } else { h as f64 / t as f64 }
+            if t == 0 {
+                0.0
+            } else {
+                h as f64 / t as f64
+            }
         };
         let finish_spread = if self.finish_times.is_empty() {
             1.0
         } else {
-            let max = self.finish_times.iter().map(|t| t.raw()).max().expect("non-empty");
+            let max = self
+                .finish_times
+                .iter()
+                .map(|t| t.raw())
+                .max()
+                .expect("non-empty");
             let mean = self.finish_times.iter().map(|t| t.raw()).sum::<u64>() as f64
                 / self.finish_times.len() as f64;
-            if mean == 0.0 { 1.0 } else { max as f64 / mean }
+            if mean == 0.0 {
+                1.0
+            } else {
+                max as f64 / mean
+            }
         };
         RunResult {
             metrics,
@@ -536,13 +560,21 @@ mod tests {
     fn regular_workload_hits_tlbs() {
         let r = run(BenchmarkId::Hot, SchedulerKind::Fcfs);
         // Coalesced streaming: almost every translation is an L1 TLB hit.
-        assert!(r.gpu_l1_tlb_hit_rate > 0.5, "rate {}", r.gpu_l1_tlb_hit_rate);
+        assert!(
+            r.gpu_l1_tlb_hit_rate > 0.5,
+            "rate {}",
+            r.gpu_l1_tlb_hit_rate
+        );
     }
 
     #[test]
     fn irregular_workload_generates_walks() {
         let r = run(BenchmarkId::Mvt, SchedulerKind::Fcfs);
-        assert!(r.metrics.walk_requests > 1000, "{}", r.metrics.walk_requests);
+        assert!(
+            r.metrics.walk_requests > 1000,
+            "{}",
+            r.metrics.walk_requests
+        );
         assert!(r.metrics.instructions_with_walks > 0);
         assert!(r.metrics.mean_last_latency >= r.metrics.mean_first_latency);
     }

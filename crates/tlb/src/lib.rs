@@ -53,29 +53,49 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// Table I GPU L1 TLB: 32 entries, fully associative.
     pub fn paper_gpu_l1() -> Self {
-        TlbConfig { entries: 32, ways: 32, policy: Replacement::Random }
+        TlbConfig {
+            entries: 32,
+            ways: 32,
+            policy: Replacement::Random,
+        }
     }
 
     /// Table I GPU shared L2 TLB: 512 entries, 16-way set associative.
     pub fn paper_gpu_l2() -> Self {
-        TlbConfig { entries: 512, ways: 16, policy: Replacement::Random }
+        TlbConfig {
+            entries: 512,
+            ways: 16,
+            policy: Replacement::Random,
+        }
     }
 
     /// Table I IOMMU L1 TLB: 32 entries (fully associative).
     pub fn paper_iommu_l1() -> Self {
-        TlbConfig { entries: 32, ways: 32, policy: Replacement::Random }
+        TlbConfig {
+            entries: 32,
+            ways: 32,
+            policy: Replacement::Random,
+        }
     }
 
     /// Table I IOMMU L2 TLB: 256 entries (16-way).
     pub fn paper_iommu_l2() -> Self {
-        TlbConfig { entries: 256, ways: 16, policy: Replacement::Random }
+        TlbConfig {
+            entries: 256,
+            ways: 16,
+            policy: Replacement::Random,
+        }
     }
 
     /// A GPU L2 TLB with `entries` total entries (sensitivity sweeps,
     /// Figure 13), keeping 16-way associativity where possible.
     pub fn gpu_l2_with_entries(entries: usize) -> Self {
         let ways = if entries >= 16 { 16 } else { entries };
-        TlbConfig { entries, ways, policy: Replacement::Random }
+        TlbConfig {
+            entries,
+            ways,
+            policy: Replacement::Random,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -85,7 +105,7 @@ impl TlbConfig {
     /// Panics if `entries` is not a positive multiple of `ways`.
     pub fn sets(&self) -> usize {
         assert!(
-            self.ways > 0 && self.entries > 0 && self.entries % self.ways == 0,
+            self.ways > 0 && self.entries > 0 && self.entries.is_multiple_of(self.ways),
             "TLB geometry {}x{} invalid",
             self.entries,
             self.ways
@@ -214,7 +234,11 @@ mod tests {
 
     #[test]
     fn capacity_is_bounded() {
-        let mut t = Tlb::new(TlbConfig { entries: 4, ways: 4, policy: Replacement::Lru });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 4,
+            policy: Replacement::Lru,
+        });
         for i in 0..100 {
             t.fill(page(i), frame(i));
         }
@@ -223,7 +247,11 @@ mod tests {
 
     #[test]
     fn lru_eviction_order() {
-        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, policy: Replacement::Lru });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 2,
+            policy: Replacement::Lru,
+        });
         t.fill(page(1), frame(1));
         t.fill(page(2), frame(2));
         t.lookup(page(1)); // 2 becomes LRU
@@ -234,7 +262,11 @@ mod tests {
     #[test]
     fn set_mapping_isolates_conflicts() {
         // 2 sets × 1 way: pages 0 and 2 conflict (set 0); page 1 does not.
-        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 1, policy: Replacement::Lru });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 1,
+            policy: Replacement::Lru,
+        });
         t.fill(page(0), frame(0));
         t.fill(page(1), frame(1));
         t.fill(page(2), frame(2)); // evicts page 0
@@ -245,7 +277,11 @@ mod tests {
 
     #[test]
     fn probe_does_not_touch_stats_or_recency() {
-        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, policy: Replacement::Lru });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 2,
+            policy: Replacement::Lru,
+        });
         t.fill(page(1), frame(1));
         t.fill(page(2), frame(2));
         t.probe(page(1));
@@ -265,7 +301,11 @@ mod tests {
 
     #[test]
     fn refill_same_page_updates_frame_in_place() {
-        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, policy: Replacement::Lru });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 2,
+            policy: Replacement::Lru,
+        });
         t.fill(page(1), frame(1));
         assert_eq!(t.fill(page(1), frame(9)), None);
         assert_eq!(t.probe(page(1)), Some(frame(9)));
@@ -283,45 +323,75 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Randomized invariant tests driven by the in-tree `SplitMix64`.
+
     use super::*;
-    use proptest::prelude::*;
+    use ptw_types::rng::SplitMix64;
     use std::collections::HashSet;
 
-    proptest! {
-        /// Residency never exceeds capacity.
-        #[test]
-        fn residency_bounded(ops in proptest::collection::vec((0u64..64, 0u64..1000), 1..200)) {
-            let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2, policy: Replacement::Lru });
-            for (vpn, f) in ops {
-                t.fill(VirtPage::new(vpn), PhysFrame::new(f));
-                prop_assert!(t.resident() <= 8);
+    /// Residency never exceeds capacity.
+    #[test]
+    fn residency_bounded() {
+        let mut rng = SplitMix64::new(0x71B1);
+        for _ in 0..64 {
+            let mut t = Tlb::new(TlbConfig {
+                entries: 8,
+                ways: 2,
+                policy: Replacement::Lru,
+            });
+            for _ in 0..(1 + rng.index(199)) {
+                t.fill(
+                    VirtPage::new(rng.next_below(64)),
+                    PhysFrame::new(rng.next_below(1000)),
+                );
+                assert!(t.resident() <= 8);
             }
         }
+    }
 
-        /// A fill is immediately visible, regardless of prior history.
-        #[test]
-        fn fill_then_lookup_hits(history in proptest::collection::vec(0u64..32, 0..100), vpn in 0u64..32) {
-            let mut t = Tlb::new(TlbConfig { entries: 4, ways: 4, policy: Replacement::Lru });
-            for h in history {
+    /// A fill is immediately visible, regardless of prior history.
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut rng = SplitMix64::new(0xF177);
+        for _ in 0..64 {
+            let mut t = Tlb::new(TlbConfig {
+                entries: 4,
+                ways: 4,
+                policy: Replacement::Lru,
+            });
+            for _ in 0..rng.index(100) {
+                let h = rng.next_below(32);
                 t.fill(VirtPage::new(h), PhysFrame::new(h));
             }
+            let vpn = rng.next_below(32);
             t.fill(VirtPage::new(vpn), PhysFrame::new(777));
-            prop_assert_eq!(t.lookup(VirtPage::new(vpn)), Some(PhysFrame::new(777)));
+            assert_eq!(t.lookup(VirtPage::new(vpn)), Some(PhysFrame::new(777)));
         }
+    }
 
-        /// The TLB holds no duplicate VPNs: the number of distinct probe
-        /// hits equals the number of resident entries.
-        #[test]
-        fn no_duplicate_vpns(ops in proptest::collection::vec(0u64..16, 1..100)) {
-            let mut t = Tlb::new(TlbConfig { entries: 8, ways: 4, policy: Replacement::Lru });
+    /// The TLB holds no duplicate VPNs: the number of distinct probe hits
+    /// equals the number of resident entries.
+    #[test]
+    fn no_duplicate_vpns() {
+        let mut rng = SplitMix64::new(0xD0D0);
+        for _ in 0..64 {
+            let mut t = Tlb::new(TlbConfig {
+                entries: 8,
+                ways: 4,
+                policy: Replacement::Lru,
+            });
             let mut filled = HashSet::new();
-            for vpn in ops {
+            for _ in 0..(1 + rng.index(99)) {
+                let vpn = rng.next_below(16);
                 t.fill(VirtPage::new(vpn), PhysFrame::new(vpn));
                 filled.insert(vpn);
             }
-            let hits = filled.iter().filter(|&&v| t.probe(VirtPage::new(v)).is_some()).count();
-            prop_assert_eq!(hits, t.resident());
+            let hits = filled
+                .iter()
+                .filter(|&&v| t.probe(VirtPage::new(v)).is_some())
+                .count();
+            assert_eq!(hits, t.resident());
         }
     }
 }

@@ -127,7 +127,10 @@ impl VirtPage {
     ///
     /// Panics if `level` is not in `1..=4`.
     pub fn table_index(self, level: u8) -> usize {
-        assert!((1..=4).contains(&level), "page table level {level} out of range");
+        assert!(
+            (1..=4).contains(&level),
+            "page table level {level} out of range"
+        );
         ((self.0 >> (9 * (level - 1) as u32)) & 0x1ff) as usize
     }
 
@@ -141,7 +144,10 @@ impl VirtPage {
     ///
     /// Panics if `level` is not in `1..=4`.
     pub fn prefix(self, level: u8) -> u64 {
-        assert!((1..=4).contains(&level), "page table level {level} out of range");
+        assert!(
+            (1..=4).contains(&level),
+            "page table level {level} out of range"
+        );
         self.0 >> (9 * (level as u32 - 1))
     }
 }

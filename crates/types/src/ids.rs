@@ -119,7 +119,9 @@ mod tests {
 
     #[test]
     fn allocator_wraps() {
-        let mut a = InstrIdAllocator { next: InstrId::MASK };
+        let mut a = InstrIdAllocator {
+            next: InstrId::MASK,
+        };
         assert_eq!(a.next_id().raw(), InstrId::MASK);
         assert_eq!(a.next_id().raw(), 0);
     }

@@ -116,17 +116,32 @@ impl Kernel {
             return None;
         }
         Some(match self {
-            Kernel::Strided { buffer, rows, row_stride, elem, skew, .. } => {
+            Kernel::Strided {
+                buffer,
+                rows,
+                row_stride,
+                elem,
+                skew,
+                ..
+            } => {
                 let row_elems = row_stride / elem;
                 (0..LANES)
                     .map(|lane| {
                         let row = (wf.0 as u64 * LANES + lane) % rows;
-                        let col = if *skew { (idx + lane) % row_elems } else { idx % row_elems };
+                        let col = if *skew {
+                            (idx + lane) % row_elems
+                        } else {
+                            idx % row_elems
+                        };
                         buffer.at(row * row_stride + col * elem)
                     })
                     .collect()
             }
-            Kernel::Coalesced { buffer, elem, iters } => {
+            Kernel::Coalesced {
+                buffer,
+                elem,
+                iters,
+            } => {
                 let elems = buffer.len / elem;
                 // Wrapping keeps the math well-defined for the effectively
                 // unbounded secondary kernels inside `Interleaved`.
@@ -138,7 +153,13 @@ impl Kernel {
                     })
                     .collect()
             }
-            Kernel::Gather { buffer, elem, groups, seed, .. } => {
+            Kernel::Gather {
+                buffer,
+                elem,
+                groups,
+                seed,
+                ..
+            } => {
                 let elems = buffer.len / elem;
                 let mut rng = SplitMix64::new(
                     seed ^ (wf.0 as u64).wrapping_mul(0x9e37_79b9_97f4_a7c1)
@@ -154,7 +175,11 @@ impl Kernel {
                     })
                     .collect()
             }
-            Kernel::Interleaved { primary, secondary, period } => {
+            Kernel::Interleaved {
+                primary,
+                secondary,
+                period,
+            } => {
                 debug_assert!(*period >= 2, "interleave period must be >= 2");
                 if idx % period == period - 1 {
                     let sec_idx = (idx / period) % secondary.iters();
@@ -172,7 +197,10 @@ mod tests {
     use ptw_gpu::coalesce;
 
     fn buf(base: u64, len: u64) -> BufferRef {
-        BufferRef { base: VirtAddr::new(base), len }
+        BufferRef {
+            base: VirtAddr::new(base),
+            len,
+        }
     }
 
     #[test]
@@ -227,17 +255,29 @@ mod tests {
 
     #[test]
     fn coalesced_touches_one_or_two_pages() {
-        let k = Kernel::Coalesced { buffer: buf(0x20_0000, 1 << 20), elem: 8, iters: 100 };
+        let k = Kernel::Coalesced {
+            buffer: buf(0x20_0000, 1 << 20),
+            elem: 8,
+            iters: 100,
+        };
         for idx in 0..100 {
             let addrs = k.instruction(WavefrontId(3), idx).unwrap();
             let r = coalesce(&addrs);
-            assert!(r.page_divergence() <= 2, "idx {idx}: {}", r.page_divergence());
+            assert!(
+                r.page_divergence() <= 2,
+                "idx {idx}: {}",
+                r.page_divergence()
+            );
         }
     }
 
     #[test]
     fn coalesced_streams_forward() {
-        let k = Kernel::Coalesced { buffer: buf(0, 1 << 20), elem: 8, iters: 100 };
+        let k = Kernel::Coalesced {
+            buffer: buf(0, 1 << 20),
+            elem: 8,
+            iters: 100,
+        };
         let a = k.instruction(WavefrontId(0), 0).unwrap();
         let b = k.instruction(WavefrontId(0), 1).unwrap();
         assert_eq!(b[0] - a[0], 64 * 8);
@@ -300,7 +340,11 @@ mod tests {
             iters: 20,
             skew: false,
         };
-        let secondary = Kernel::Coalesced { buffer: buf(0x8000_0000, 1 << 16), elem: 8, iters: 20 };
+        let secondary = Kernel::Coalesced {
+            buffer: buf(0x8000_0000, 1 << 16),
+            elem: 8,
+            iters: 20,
+        };
         let k = Kernel::Interleaved {
             primary: Box::new(primary),
             secondary: Box::new(secondary),
@@ -319,7 +363,11 @@ mod tests {
 
     #[test]
     fn iteration_bounds_are_respected() {
-        let k = Kernel::Coalesced { buffer: buf(0, 1 << 20), elem: 8, iters: 3 };
+        let k = Kernel::Coalesced {
+            buffer: buf(0, 1 << 20),
+            elem: 8,
+            iters: 3,
+        };
         assert!(k.instruction(WavefrontId(0), 2).is_some());
         assert!(k.instruction(WavefrontId(0), 3).is_none());
     }

@@ -243,13 +243,18 @@ pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> Workload {
     let mut space = AddressSpace::new(&mut alloc);
     let mut mk = |name: &str, len: u64| -> BufferRef {
         let b = space.alloc_buffer(name, len, &mut alloc);
-        BufferRef { base: b.base, len: b.len }
+        BufferRef {
+            base: b.base,
+            len: b.len,
+        }
     };
 
     let matrix_len = d.rows * d.row_stride;
     let vec_len = (d.rows * 8).max(4096);
     let table_len = |mb: f64| -> u64 {
-        (((mb * 1024.0 * 1024.0) as u64) >> d.table_shift).next_power_of_two().max(1 << 21)
+        (((mb * 1024.0 * 1024.0) as u64) >> d.table_shift)
+            .next_power_of_two()
+            .max(1 << 21)
     };
     let strided = |buffer: BufferRef, iters: u64, skew: bool| Kernel::Strided {
         buffer,
@@ -261,7 +266,11 @@ pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> Workload {
     };
     let with_vector = |primary: Kernel, vector: BufferRef| Kernel::Interleaved {
         primary: Box::new(primary),
-        secondary: Box::new(Kernel::Coalesced { buffer: vector, elem: 8, iters: u64::MAX / 2 }),
+        secondary: Box::new(Kernel::Coalesced {
+            buffer: vector,
+            elem: 8,
+            iters: u64::MAX / 2,
+        }),
         period: 8,
     };
 
@@ -276,7 +285,11 @@ pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> Workload {
             let a2 = mk("A-stream", matrix_len / 4);
             vec![
                 with_vector(strided(a, d.iters, false), y1),
-                Kernel::Coalesced { buffer: a2, elem: 8, iters: d.iters / 4 },
+                Kernel::Coalesced {
+                    buffer: a2,
+                    elem: 8,
+                    iters: d.iters / 4,
+                },
             ]
         }
         BenchmarkId::Atx => {
@@ -287,7 +300,11 @@ pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> Workload {
             let a2 = mk("A-stream", matrix_len / 8);
             vec![
                 with_vector(strided(a, d.iters * 3 / 4, false), x),
-                Kernel::Coalesced { buffer: a2, elem: 8, iters: d.iters / 4 },
+                Kernel::Coalesced {
+                    buffer: a2,
+                    elem: 8,
+                    iters: d.iters / 4,
+                },
             ]
         }
         BenchmarkId::Bcg => {
@@ -297,7 +314,11 @@ pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> Workload {
             let a2 = mk("A-stream", matrix_len / 4);
             vec![
                 with_vector(strided(a, d.iters, false), p),
-                Kernel::Coalesced { buffer: a2, elem: 8, iters: d.iters / 4 },
+                Kernel::Coalesced {
+                    buffer: a2,
+                    elem: 8,
+                    iters: d.iters / 4,
+                },
             ]
         }
         BenchmarkId::Gev => {
@@ -426,12 +447,15 @@ impl Kernel {
                 let inner = std::mem::replace(
                     primary.as_mut(),
                     Kernel::Coalesced {
-                        buffer: BufferRef { base: ptw_types::addr::VirtAddr::new(0), len: 1 },
+                        buffer: BufferRef {
+                            base: ptw_types::addr::VirtAddr::new(0),
+                            len: 1,
+                        },
                         elem: 1,
                         iters: 0,
                     },
                 );
-                *primary = Box::new(inner.with_iters(n));
+                **primary = inner.with_iters(n);
             }
         }
         self
@@ -447,7 +471,10 @@ mod tests {
     #[test]
     fn registry_covers_table_two() {
         assert_eq!(BenchmarkId::ALL.len(), 12);
-        assert_eq!(BenchmarkId::IRREGULAR.len() + BenchmarkId::REGULAR.len(), 12);
+        assert_eq!(
+            BenchmarkId::IRREGULAR.len() + BenchmarkId::REGULAR.len(),
+            12
+        );
         for id in BenchmarkId::ALL {
             assert!(!id.abbrev().is_empty());
             assert!(id.paper_footprint_mb() > 0.0);
@@ -487,7 +514,10 @@ mod tests {
             }
             let avg = total_pages as f64 / n as f64;
             if id.is_irregular() {
-                assert!(avg > 16.0, "{id}: avg divergence {avg} too low for irregular");
+                assert!(
+                    avg > 16.0,
+                    "{id}: avg divergence {avg} too low for irregular"
+                );
             } else {
                 assert!(avg < 4.0, "{id}: avg divergence {avg} too high for regular");
             }

@@ -26,8 +26,14 @@ fn build_spmv(seed: u64) -> Workload {
     // row-per-lane, and a dense x-vector gathered by column index.
     let values = space.alloc_buffer("csr-values", 4 << 20, &mut alloc);
     let x = space.alloc_buffer("x-vector", 2 << 20, &mut alloc);
-    let values = BufferRef { base: values.base, len: values.len };
-    let x = BufferRef { base: x.base, len: x.len };
+    let values = BufferRef {
+        base: values.base,
+        len: values.len,
+    };
+    let x = BufferRef {
+        base: x.base,
+        len: x.len,
+    };
 
     let kernels = vec![Kernel::Interleaved {
         // Each lane walks its own row of nonzeros: 64 distinct pages per

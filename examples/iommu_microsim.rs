@@ -46,8 +46,14 @@ fn scenario(kind: SchedulerKind) -> (u64, u64) {
     // Interleaved arrivals, exactly like the IOMMU buffer in Figure 4a:
     // A0 B0 B1 A1 B2 A2 B3 B4.
     let arrivals = [
-        ('A', a[0]), ('B', b[0]), ('B', b[1]), ('A', a[1]),
-        ('B', b[2]), ('A', a[2]), ('B', b[3]), ('B', b[4]),
+        ('A', a[0]),
+        ('B', b[0]),
+        ('B', b[1]),
+        ('A', a[1]),
+        ('B', b[2]),
+        ('A', a[2]),
+        ('B', b[3]),
+        ('B', b[4]),
     ];
     for (i, &(who, page)) in arrivals.iter().enumerate() {
         let instr = InstrId::new(if who == 'A' { 0 } else { 1 });

@@ -42,7 +42,5 @@ fn main() {
         benchmark.abbrev(),
         speedup
     );
-    println!(
-        "(the paper reports 30% on average across irregular workloads, up to 41%)"
-    );
+    println!("(the paper reports 30% on average across irregular workloads, up to 41%)");
 }

@@ -52,5 +52,8 @@ fn main() {
             r.iommu.avg_walk_latency(),
         );
     }
-    println!("\n(speedups are relative to {}, the first row)", SchedulerKind::ALL[0].label());
+    println!(
+        "\n(speedups are relative to {}, the first row)",
+        SchedulerKind::ALL[0].label()
+    );
 }

@@ -14,14 +14,20 @@ use ptw_workloads::{build, BenchmarkId, Scale};
 fn speedup(cfg: &SystemConfig, benchmark: BenchmarkId) -> f64 {
     let run = |sched| {
         let cfg = cfg.clone().with_scheduler(sched);
-        System::new(cfg, build(benchmark, Scale::Small, 5)).run().metrics.cycles as f64
+        System::new(cfg, build(benchmark, Scale::Small, 5))
+            .run()
+            .metrics
+            .cycles as f64
     };
     run(SchedulerKind::Fcfs) / run(SchedulerKind::SimtAware)
 }
 
 fn main() {
     let benchmark = BenchmarkId::Mvt;
-    println!("SIMT-aware speedup over FCFS on {} as resources scale\n", benchmark.abbrev());
+    println!(
+        "SIMT-aware speedup over FCFS on {} as resources scale\n",
+        benchmark.abbrev()
+    );
 
     println!("walkers  speedup   (512-entry L2 TLB)");
     for walkers in [2usize, 4, 8, 16, 32] {

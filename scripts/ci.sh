@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, release build, tier-1 tests.
+#
+# Everything here runs without network access (the workspace has no
+# third-party dependencies). The full workspace suite is `cargo test
+# --workspace`; tier-1 (the gate) is the root package's integration tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test (tier-1)"
+cargo test -q
+
+echo "CI OK"

@@ -24,7 +24,11 @@ fn every_benchmark_completes_under_every_scheduler() {
 
 #[test]
 fn runs_are_bit_deterministic() {
-    for sched in [SchedulerKind::Fcfs, SchedulerKind::Random, SchedulerKind::SimtAware] {
+    for sched in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Random,
+        SchedulerKind::SimtAware,
+    ] {
         let a = run(BenchmarkId::Gev, sched, 9);
         let b = run(BenchmarkId::Gev, sched, 9);
         assert_eq!(a.metrics.cycles, b.metrics.cycles, "{sched}: cycles differ");

@@ -1,88 +1,81 @@
-//! Property-based integration tests: system-level invariants that must
-//! hold for any workload, seed or scheduler.
+//! Randomized integration tests: system-level invariants that must hold
+//! for any workload, seed or scheduler. Driven by the in-tree
+//! [`SplitMix64`] so the suite is deterministic and needs no external
+//! property-testing crate (the sandbox has no registry access).
 
-use proptest::prelude::*;
 use ptw_core::sched::SchedulerKind;
 use ptw_sim::config::SystemConfig;
 use ptw_sim::system::System;
+use ptw_types::rng::SplitMix64;
 use ptw_workloads::{build, BenchmarkId, Scale};
 
 /// A fast subset of benchmarks for property tests (full sims are a few
 /// hundred milliseconds each; these are the cheapest three).
 const FAST: [BenchmarkId; 3] = [BenchmarkId::Kmn, BenchmarkId::Ssp, BenchmarkId::Atx];
 
-fn sched_strategy() -> impl Strategy<Value = SchedulerKind> {
-    prop_oneof![
-        Just(SchedulerKind::Fcfs),
-        Just(SchedulerKind::Random),
-        Just(SchedulerKind::SjfOnly),
-        Just(SchedulerKind::BatchOnly),
-        Just(SchedulerKind::SimtAware),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Whatever the scheduler and seed, a run completes with coherent
-    /// accounting.
-    #[test]
-    fn run_invariants(
-        bench_idx in 0usize..FAST.len(),
-        sched in sched_strategy(),
-        seed in 0u64..1000,
-    ) {
-        let id = FAST[bench_idx];
+/// Whatever the scheduler and seed, a run completes with coherent
+/// accounting.
+#[test]
+fn run_invariants() {
+    let mut rng = SplitMix64::new(0x117);
+    for _ in 0..8 {
+        let id = FAST[rng.index(FAST.len())];
+        let sched = SchedulerKind::ALL[rng.index(SchedulerKind::ALL.len())];
+        let seed = rng.next_below(1000);
         let cfg = SystemConfig::paper_baseline().with_scheduler(sched);
         let r = System::new(cfg, build(id, Scale::Small, seed)).run();
 
         // Time and work happened.
-        prop_assert!(r.metrics.cycles > 0);
-        prop_assert!(r.metrics.instructions > 0);
+        assert!(r.metrics.cycles > 0);
+        assert!(r.metrics.instructions > 0);
 
         // Request conservation.
-        prop_assert_eq!(r.iommu.completed_requests, r.iommu.walk_requests);
-        prop_assert_eq!(
+        assert_eq!(r.iommu.completed_requests, r.iommu.walk_requests);
+        assert_eq!(
             r.iommu.walks_performed + r.iommu.merged_completions,
             r.iommu.walk_requests
         );
 
         // Each walk performs 1..=4 memory accesses.
-        prop_assert!(r.iommu.total_walk_accesses >= r.iommu.walks_performed);
-        prop_assert!(r.iommu.total_walk_accesses <= 4 * r.iommu.walks_performed);
+        assert!(r.iommu.total_walk_accesses >= r.iommu.walks_performed);
+        assert!(r.iommu.total_walk_accesses <= 4 * r.iommu.walks_performed);
 
         // Fractions and rates are proper fractions.
-        prop_assert!((0.0..=1.0).contains(&r.metrics.interleaved_fraction));
-        prop_assert!((0.0..=1.0).contains(&r.gpu_l1_tlb_hit_rate));
-        prop_assert!((0.0..=1.0).contains(&r.gpu_l2_tlb_hit_rate));
-        prop_assert!((0.0..=1.0).contains(&r.l2_cache_hit_rate));
+        assert!((0.0..=1.0).contains(&r.metrics.interleaved_fraction));
+        assert!((0.0..=1.0).contains(&r.gpu_l1_tlb_hit_rate));
+        assert!((0.0..=1.0).contains(&r.gpu_l2_tlb_hit_rate));
+        assert!((0.0..=1.0).contains(&r.l2_cache_hit_rate));
 
         // Stalls cannot exceed total CU-cycles.
-        prop_assert!(r.metrics.cu_stall_cycles <= 8 * r.metrics.cycles);
+        assert!(r.metrics.cu_stall_cycles <= 8 * r.metrics.cycles);
 
         // The Figure 3 histogram covers exactly the walk-generating
         // instructions.
-        prop_assert_eq!(
+        assert_eq!(
             r.metrics.work_hist.total() + r.metrics.work_hist.overflow(),
             r.metrics.instructions_with_walks + r.metrics.work_hist.overflow()
         );
-        prop_assert!(r.metrics.instructions_with_walks <= r.metrics.instructions);
-        prop_assert!(r.metrics.multi_walk_instructions <= r.metrics.instructions_with_walks);
+        assert!(r.metrics.instructions_with_walks <= r.metrics.instructions);
+        assert!(r.metrics.multi_walk_instructions <= r.metrics.instructions_with_walks);
 
         // Last-completed can never beat first-completed.
-        prop_assert!(r.metrics.mean_last_latency >= r.metrics.mean_first_latency);
+        assert!(r.metrics.mean_last_latency >= r.metrics.mean_first_latency);
     }
+}
 
-    /// The DRAM controller serves every submitted request exactly once.
-    #[test]
-    fn dram_conservation(
-        lines in proptest::collection::vec(0u64..1u64 << 22, 1..200),
-    ) {
-        use ptw_mem::controller::{MemSchedPolicy, MemSource, MemoryController};
-        use ptw_mem::dram::DramConfig;
-        use ptw_types::addr::LineAddr;
-        use ptw_types::time::Cycle;
+/// The DRAM controller serves every submitted request exactly once.
+#[test]
+fn dram_conservation() {
+    use ptw_mem::controller::{MemSchedPolicy, MemSource, MemoryController};
+    use ptw_mem::dram::DramConfig;
+    use ptw_types::addr::LineAddr;
+    use ptw_types::time::Cycle;
 
+    let mut rng = SplitMix64::new(0xD4A);
+    for _ in 0..16 {
+        let lines: Vec<u64> = (0..(1 + rng.index(199)))
+            .map(|_| rng.next_below(1 << 22))
+            .collect();
         let mut mc = MemoryController::new(DramConfig::paper_baseline(), MemSchedPolicy::FrFcfs);
         let mut ids = std::collections::HashSet::new();
         for (i, &l) in lines.iter().enumerate() {
@@ -92,11 +85,11 @@ proptest! {
         let mut guard = 0;
         while let Some(t) = mc.next_event_time() {
             guard += 1;
-            prop_assert!(guard < 100_000);
+            assert!(guard < 100_000);
             for c in mc.advance(t) {
-                prop_assert!(served.insert(c.id), "request served twice");
+                assert!(served.insert(c.id), "request served twice");
             }
         }
-        prop_assert_eq!(served, ids);
+        assert_eq!(served, ids);
     }
 }

@@ -43,10 +43,14 @@ impl Rig {
     /// cycle) pairs in completion order.
     fn drain(&mut self, start: Cycle) -> Vec<(u32, Cycle)> {
         let mut done = Vec::new();
-        let mut outstanding: std::collections::HashMap<ptw_mem::MemReqId, ptw_types::ids::WalkerId> =
-            std::collections::HashMap::new();
+        let mut outstanding: std::collections::HashMap<
+            ptw_mem::MemReqId,
+            ptw_types::ids::WalkerId,
+        > = std::collections::HashMap::new();
         for read in self.iommu.start_walkers(&self.table, start) {
-            let id = self.mem.submit(read.addr.line(), MemSource::PageWalk, read.issue_at);
+            let id = self
+                .mem
+                .submit(read.addr.line(), MemSource::PageWalk, read.issue_at);
             outstanding.insert(id, read.walker);
         }
         let mut guard = 0;
@@ -57,9 +61,11 @@ impl Rig {
                 let walker = outstanding.remove(&c.id).expect("unknown mem completion");
                 match self.iommu.memory_done(walker, c.at) {
                     WalkerStep::Read(next) => {
-                        let id = self
-                            .mem
-                            .submit(next.addr.line(), MemSource::PageWalk, next.issue_at.max(c.at));
+                        let id = self.mem.submit(
+                            next.addr.line(),
+                            MemSource::PageWalk,
+                            next.issue_at.max(c.at),
+                        );
                         outstanding.insert(id, next.walker);
                     }
                     WalkerStep::Done(completions) => {
@@ -104,7 +110,8 @@ fn pwc_cuts_the_second_walk_to_one_read() {
     rig.iommu.translate(a, InstrId::new(1), 1, Cycle::ZERO);
     rig.drain(Cycle::ZERO);
     let reads_before = rig.mem.stats().walk_requests;
-    rig.iommu.translate(b, InstrId::new(2), 2, Cycle::new(100_000));
+    rig.iommu
+        .translate(b, InstrId::new(2), 2, Cycle::new(100_000));
     rig.drain(Cycle::new(100_000));
     assert_eq!(
         rig.mem.stats().walk_requests - reads_before,
@@ -119,7 +126,10 @@ fn iommu_tlb_absorbs_repeat_translations_entirely() {
     let page = rig.map(0x12_3456);
     rig.iommu.translate(page, InstrId::new(1), 1, Cycle::ZERO);
     rig.drain(Cycle::ZERO);
-    match rig.iommu.translate(page, InstrId::new(2), 2, Cycle::new(50_000)) {
+    match rig
+        .iommu
+        .translate(page, InstrId::new(2), 2, Cycle::new(50_000))
+    {
         TranslationOutcome::Hit { ready_at, .. } => {
             assert_eq!(ready_at.raw() - 50_000, 8, "L1 TLB hit latency");
         }
@@ -134,7 +144,8 @@ fn eight_walkers_overlap_independent_walks() {
     // chain; parallel walkers overlap them.
     let pages: Vec<VirtPage> = (0..8).map(|i| rig.map(0x100_0000 + i * 0x4_0000)).collect();
     for (i, &p) in pages.iter().enumerate() {
-        rig.iommu.translate(p, InstrId::new(i as u32), i as u32, Cycle::ZERO);
+        rig.iommu
+            .translate(p, InstrId::new(i as u32), i as u32, Cycle::ZERO);
     }
     let done = rig.drain(Cycle::ZERO);
     assert_eq!(done.len(), 8);
@@ -152,8 +163,9 @@ fn simt_aware_reorders_but_completes_the_same_set() {
         let mut rig = Rig::new(sched);
         // One blocker to force buffering, then 12 requests from 3
         // instructions with different walk footprints.
-        let blocker = rig.map(0xdead_0);
-        rig.iommu.translate(blocker, InstrId::new(9), 999, Cycle::ZERO);
+        let blocker = rig.map(0xdead0);
+        rig.iommu
+            .translate(blocker, InstrId::new(9), 999, Cycle::ZERO);
         // Round-robin arrivals from 3 instructions with different walk
         // counts (2, 6, 10), like interleaved streams from different CUs.
         let counts = [2u64, 6, 10];
