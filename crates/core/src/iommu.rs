@@ -211,6 +211,111 @@ enum WalkerState<W> {
     },
 }
 
+/// One pending buffer entry as captured by [`Iommu::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingWalkSnapshot {
+    /// Raw virtual page number.
+    pub page: u64,
+    /// Raw instruction id.
+    pub instr: u32,
+    /// Arrival sequence number.
+    pub seq: u64,
+    /// Shared per-instruction score.
+    pub score: u32,
+    /// Aging bypass counter.
+    pub bypassed: u64,
+}
+
+/// One walker's state as captured by [`Iommu::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkerSnapshot {
+    /// The walker has no walk in flight.
+    Idle,
+    /// The walker is mid-walk.
+    Busy {
+        /// Raw virtual page number being walked.
+        page: u64,
+        /// Raw id of the instruction that requested the walk.
+        instr: u32,
+        /// PTE reads already completed.
+        reads_done: usize,
+        /// PTE reads the walk needs in total.
+        reads_total: usize,
+    },
+}
+
+/// A diagnostic freeze-frame of the scheduling state, attached to livelock
+/// and budget-exhaustion errors so a wedged run explains itself: how many
+/// requests are queued and for which instructions, the oldest entries in
+/// arrival order, and what every walker is doing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IommuSnapshot {
+    /// Requests waiting in the buffer.
+    pub pending: usize,
+    /// Pending request count per instruction (raw id, count), sorted by
+    /// instruction id.
+    pub pending_per_instr: Vec<(u32, usize)>,
+    /// The oldest pending entries in arrival order (capped at
+    /// [`IommuSnapshot::OLDEST_CAP`] to bound diagnostic size).
+    pub oldest: Vec<PendingWalkSnapshot>,
+    /// Every walker's state, indexed by walker id.
+    pub walkers: Vec<WalkerSnapshot>,
+}
+
+impl IommuSnapshot {
+    /// Maximum buffer entries reproduced verbatim in [`IommuSnapshot::oldest`].
+    pub const OLDEST_CAP: usize = 8;
+
+    /// Number of walkers captured mid-walk.
+    pub fn busy_walkers(&self) -> usize {
+        self.walkers
+            .iter()
+            .filter(|w| matches!(w, WalkerSnapshot::Busy { .. }))
+            .count()
+    }
+}
+
+impl std::fmt::Display for IommuSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} pending walk request(s), {}/{} walkers busy",
+            self.pending,
+            self.busy_walkers(),
+            self.walkers.len()
+        )?;
+        if !self.pending_per_instr.is_empty() {
+            write!(f, "  pending per instruction:")?;
+            for (instr, n) in &self.pending_per_instr {
+                write!(f, " i{instr}x{n}")?;
+            }
+            writeln!(f)?;
+        }
+        for p in &self.oldest {
+            writeln!(
+                f,
+                "  oldest: seq={} page={:#x} instr={} score={} bypassed={}",
+                p.seq, p.page, p.instr, p.score, p.bypassed
+            )?;
+        }
+        for (i, w) in self.walkers.iter().enumerate() {
+            match w {
+                WalkerSnapshot::Idle => writeln!(f, "  walker {i}: idle")?,
+                WalkerSnapshot::Busy {
+                    page,
+                    instr,
+                    reads_done,
+                    reads_total,
+                } => writeln!(
+                    f,
+                    "  walker {i}: page {page:#x} instr {instr} ({reads_done}/{reads_total} reads)"
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The IOMMU.
 ///
 /// Generic over the caller's waiter token `W`, returned when the
@@ -230,6 +335,13 @@ pub struct Iommu<W> {
     next_seq: u64,
     next_service_seq: u64,
     stats: IommuStats,
+    /// Debug-build bookkeeping for the score invariant: how many scored
+    /// requests each instruction has contributed since its accumulated
+    /// score last restarted from zero. The paper's scoring adds one PWC
+    /// estimate in `1..=4` per scored arrival, so after `n` such arrivals
+    /// the shared score must sit in `n..=4n`.
+    #[cfg(debug_assertions)]
+    debug_scored: HashMap<u32, u32>,
 }
 
 impl<W> Iommu<W> {
@@ -255,6 +367,8 @@ impl<W> Iommu<W> {
             next_seq: 0,
             next_service_seq: 0,
             stats: IommuStats::default(),
+            #[cfg(debug_assertions)]
+            debug_scored: HashMap::new(),
         }
     }
 
@@ -293,6 +407,54 @@ impl<W> Iommu<W> {
 
     fn has_free_walker(&self) -> bool {
         self.busy_walkers() < self.walkers.len()
+    }
+
+    /// Captures a diagnostic freeze-frame of buffer and walker state for
+    /// attachment to livelock / budget-exhaustion errors.
+    pub fn snapshot(&self) -> IommuSnapshot {
+        let mut per_instr: HashMap<u32, usize> = HashMap::new();
+        for r in &self.buffer {
+            *per_instr.entry(r.instr.raw()).or_insert(0) += 1;
+        }
+        let mut pending_per_instr: Vec<(u32, usize)> = per_instr.into_iter().collect();
+        pending_per_instr.sort_unstable();
+        let mut oldest: Vec<PendingWalkSnapshot> = self
+            .buffer
+            .iter()
+            .map(|r| PendingWalkSnapshot {
+                page: r.page.raw(),
+                instr: r.instr.raw(),
+                seq: r.seq,
+                score: r.score,
+                bypassed: r.bypassed,
+            })
+            .collect();
+        oldest.sort_unstable_by_key(|p| p.seq);
+        oldest.truncate(IommuSnapshot::OLDEST_CAP);
+        let walkers = self
+            .walkers
+            .iter()
+            .map(|w| match w {
+                WalkerState::Idle => WalkerSnapshot::Idle,
+                WalkerState::Busy {
+                    request,
+                    plan,
+                    reads_done,
+                    ..
+                } => WalkerSnapshot::Busy {
+                    page: request.page.raw(),
+                    instr: request.instr.raw(),
+                    reads_done: *reads_done,
+                    reads_total: plan.pte_reads.len(),
+                },
+            })
+            .collect();
+        IommuSnapshot {
+            pending: self.buffer.len(),
+            pending_per_instr,
+            oldest,
+            walkers,
+        }
     }
 
     /// A translation request (one coalesced page of one SIMD instruction)
@@ -344,6 +506,20 @@ impl<W> Iommu<W> {
             score = prior + own_estimate as u32;
             for r in self.buffer.iter_mut().filter(|r| r.instr == instr) {
                 r.score = score;
+            }
+            #[cfg(debug_assertions)]
+            {
+                // `prior == 0` means no scored contribution of this
+                // instruction is still pending, so accumulation restarts.
+                let n = self
+                    .debug_scored
+                    .entry(instr.raw())
+                    .and_modify(|n| *n = if prior == 0 { 1 } else { *n + 1 })
+                    .or_insert(1);
+                debug_assert!(
+                    (*n..=4 * *n).contains(&score),
+                    "instr {instr:?} score {score} outside {n}..=4*{n} after {n} scored walks",
+                );
             }
         }
 

@@ -289,6 +289,22 @@ impl Scheduler {
                 window[c.index].bypassed += 1;
             }
         }
+        // Aging bound: under an aging-honoring policy the oldest starved
+        // request pre-empts the pick, so no eligible request can ever be
+        // bypassed past the threshold — it would have been chosen (or be
+        // younger than the chosen starved request, and left untouched).
+        #[cfg(debug_assertions)]
+        if self.policy.honors_aging() {
+            for c in &self.scratch {
+                debug_assert!(
+                    window[c.index].bypassed <= self.aging_threshold,
+                    "request seq {} bypassed {} times, past the aging threshold {}",
+                    c.seq,
+                    window[c.index].bypassed,
+                    self.aging_threshold,
+                );
+            }
+        }
         let instr = window[choice].instr;
         self.last_instr = Some(instr);
         self.policy.on_dispatch(instr);

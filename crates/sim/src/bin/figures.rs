@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [NAMES...] [--scale small|medium|paper] [--seed N] [--quiet]
-//!         [--csv DIR] [--jobs N | --serial]
+//!         [--csv DIR] [--jobs N | --serial] [--resume FILE]
+//!         [--inject-fault BENCH:SCHED:KIND@EVENT] [--fail-fast]
 //!
 //! NAMES: table1 table2 fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11
 //!        fig12 fig13 fig14 ablation followon seeds stats all (default: all)
@@ -17,14 +18,47 @@
 //! pin, `--serial` for the single-threaded order). Runs are deterministic
 //! and merged in spec order, so every table is byte-identical whatever the
 //! worker count.
+//!
+//! # Fault tolerance
+//!
+//! A failed run (panic, exhausted event budget, livelock) does not abort
+//! the sweep: its cells render as `FAILED`, a summary of every failure
+//! goes to stderr, and the process exits nonzero. `--fail-fast` instead
+//! stops at the first failure. `--resume FILE` (alias `--checkpoint`)
+//! persists every completed run to a JSONL checkpoint; rerunning with the
+//! same file, scale and seed re-executes only the missing cells.
+//! `--inject-fault kmn:fcfs:panic@1000` forces a deterministic fault into
+//! one cell's run — the fault-injection hook the robustness tests and CI
+//! smoke run use.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use ptw_core::sched::SchedulerKind;
+use ptw_sim::config::{FaultInjection, FaultKind};
 use ptw_sim::figures;
-use ptw_sim::runner::Lab;
+use ptw_sim::runner::{ConfigVariant, Lab};
 use ptw_sim::sweep::SweepExecutor;
-use ptw_workloads::Scale;
+use ptw_workloads::{BenchmarkId, Scale};
+
+/// Parses `BENCH:SCHED:KIND@EVENT` (case-insensitive), e.g.
+/// `kmn:fcfs:panic@1000` or `mvt:simt-aware:livelock@50000`.
+fn parse_fault(s: &str) -> Option<(BenchmarkId, SchedulerKind, FaultInjection)> {
+    let (head, at) = s.rsplit_once('@')?;
+    let at_event: u64 = at.parse().ok()?;
+    let mut parts = head.split(':');
+    let bench = BenchmarkId::parse(parts.next()?)?;
+    let sched = SchedulerKind::parse(parts.next()?)?;
+    let kind = match parts.next()?.to_ascii_lowercase().as_str() {
+        "panic" => FaultKind::Panic,
+        "livelock" => FaultKind::Livelock,
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((bench, sched, FaultInjection { kind, at_event }))
+}
 
 fn main() -> ExitCode {
     let mut names: Vec<String> = Vec::new();
@@ -33,20 +67,18 @@ fn main() -> ExitCode {
     let mut verbose = true;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut exec = SweepExecutor::auto();
+    let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut fault: Option<(BenchmarkId, SchedulerKind, FaultInjection)> = None;
+    let mut fail_fast = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                scale = match args.next().as_deref() {
-                    Some("small") => Scale::Small,
-                    Some("medium") => Scale::Medium,
-                    Some("paper") => Scale::Paper,
-                    other => {
-                        eprintln!(
-                            "--scale needs one of small|medium|paper, got {}",
-                            other.unwrap_or("nothing")
-                        );
+                scale = match args.next().as_deref().and_then(Scale::parse) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--scale needs one of small|medium|paper");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -74,10 +106,30 @@ fn main() -> ExitCode {
                 }
             },
             "--serial" => exec = SweepExecutor::serial(),
+            "--resume" | "--checkpoint" => match args.next() {
+                Some(path) => checkpoint = Some(path.into()),
+                None => {
+                    eprintln!("{a} needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--inject-fault" => match args.next().as_deref().and_then(parse_fault) {
+                Some(f) => fault = Some(f),
+                None => {
+                    eprintln!(
+                        "--inject-fault needs BENCH:SCHED:KIND@EVENT \
+                         (e.g. kmn:fcfs:panic@1000; KIND is panic or livelock)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fail-fast" => fail_fast = true,
+            "--keep-going" => fail_fast = false,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [NAMES...] [--scale small|medium|paper] [--seed N] \
-                     [--quiet] [--csv DIR] [--jobs N | --serial]\n\
+                     [--quiet] [--csv DIR] [--jobs N | --serial] [--resume FILE] \
+                     [--inject-fault BENCH:SCHED:KIND@EVENT] [--fail-fast | --keep-going]\n\
                      names: {} all",
                     figures::NAMES.join(" ")
                 );
@@ -98,13 +150,47 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let mut lab = Lab::new(scale, seed);
     lab.verbose = verbose;
+    if let Some(path) = &checkpoint {
+        match lab.attach_checkpoint(path) {
+            Ok(resumed) if verbose => {
+                eprintln!(
+                    "[lab] checkpoint {}: {resumed} run(s) resumed",
+                    path.display()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("cannot open checkpoint {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some((bench, sched, inj)) = fault {
+        lab.set_fault((bench, sched, ConfigVariant::Baseline), inj);
+        if verbose {
+            eprintln!(
+                "[lab] injecting {} into {bench} / {} at event {}",
+                inj.kind.label(),
+                sched.label(),
+                inj.at_event
+            );
+        }
+    }
     // Fan the requested figures' runs out across the executor up front;
-    // rendering below then hits only the lab cache.
+    // rendering below then hits only the lab cache (or its failure ledger).
     let wanted: Vec<_> = names
         .iter()
         .flat_map(|n| figures::prefetch_keys(n))
         .collect();
     lab.prefetch(&exec, wanted);
+    let mut extra_failures: Vec<String> = Vec::new();
+    if fail_fast && lab.has_failures() {
+        eprintln!(
+            "[figures] aborting (--fail-fast):\n{}",
+            lab.failure_summary()
+        );
+        return ExitCode::FAILURE;
+    }
     for name in &names {
         let table = match name.as_str() {
             "table1" => figures::table1(),
@@ -124,10 +210,21 @@ fn main() -> ExitCode {
             "ablation" => figures::ablation(&mut lab),
             "stats" => figures::stats(&mut lab),
             "followon" => figures::followon(&mut lab),
-            "seeds" => figures::seeds(&lab, &exec),
+            "seeds" => {
+                let (t, failures) = figures::seeds(&lab, &exec);
+                extra_failures.extend(failures);
+                t
+            }
             _ => unreachable!("validated above"),
         };
         println!("{table}");
+        if fail_fast && lab.has_failures() {
+            eprintln!(
+                "[figures] aborting (--fail-fast):\n{}",
+                lab.failure_summary()
+            );
+            return ExitCode::FAILURE;
+        }
         if let Some(dir) = &csv_dir {
             if let Err(e) = std::fs::create_dir_all(dir)
                 .and_then(|()| std::fs::write(dir.join(format!("{name}.csv")), table.to_csv()))
@@ -144,6 +241,18 @@ fn main() -> ExitCode {
             exec.workers(),
             started.elapsed().as_secs_f64()
         );
+    }
+    let failed = lab.failures().len() + extra_failures.len();
+    if failed > 0 {
+        eprintln!("[figures] {failed} cell(s) FAILED:");
+        let summary = lab.failure_summary();
+        if !summary.is_empty() {
+            eprintln!("{summary}");
+        }
+        for line in &extra_failures {
+            eprintln!("{line}");
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -7,6 +7,121 @@ use ptw_mem::cache::CacheConfig;
 use ptw_mem::controller::MemSchedPolicy;
 use ptw_mem::dram::DramConfig;
 use ptw_tlb::TlbConfig;
+use ptw_types::rng::SplitMix64;
+
+use crate::error::ConfigError;
+
+/// Largest accepted Figure 12 epoch length (in GPU L2 TLB accesses); an
+/// epoch longer than this could never complete at our workload scales.
+pub const MAX_EPOCH_ACCESSES: u64 = 1 << 30;
+
+/// Livelock-watchdog thresholds.
+///
+/// Every `check_events` processed events the watchdog samples the retired
+/// instruction count; `stall_epochs` consecutive samples without progress
+/// abort the run with [`SimError::Livelock`](crate::error::SimError).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Events between progress samples (0 disables the watchdog).
+    pub check_events: u64,
+    /// Consecutive no-progress samples before the run is declared
+    /// livelocked.
+    pub stall_epochs: u64,
+}
+
+impl WatchdogConfig {
+    /// Default thresholds: a healthy medium-scale run retires an
+    /// instruction every few thousand events, so 2M events × 8 epochs of
+    /// zero retirement is far outside normal jitter yet trips long before
+    /// the 2G event budget.
+    pub fn paper_baseline() -> Self {
+        WatchdogConfig {
+            check_events: 2_000_000,
+            stall_epochs: 8,
+        }
+    }
+
+    /// A disabled watchdog (never fires).
+    pub fn disabled() -> Self {
+        WatchdogConfig {
+            check_events: 0,
+            stall_epochs: 8,
+        }
+    }
+
+    /// Whether the watchdog is active.
+    pub fn enabled(&self) -> bool {
+        self.check_events > 0
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// Which failure a [`FaultInjection`] forces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic when the trigger event is processed.
+    Panic,
+    /// From the trigger event on, swallow every popped event and reschedule
+    /// it one cycle later: events keep flowing but no instruction ever
+    /// retires again — exactly the signature the watchdog exists to catch.
+    Livelock,
+}
+
+impl FaultKind {
+    /// Lower-case name used by the `--inject-fault` CLI syntax.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Livelock => "livelock",
+        }
+    }
+}
+
+/// A deterministic fault-injection hook: force a run to panic or livelock
+/// once the event counter reaches `at_event`.
+///
+/// Exists so tests (and the CI smoke run) can prove the fault-tolerance
+/// layer end-to-end on demand instead of waiting for a real bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Which failure to force.
+    pub kind: FaultKind,
+    /// Event count at which the fault triggers.
+    pub at_event: u64,
+}
+
+impl FaultInjection {
+    /// A panic at event `at_event`.
+    pub fn panic_at(at_event: u64) -> Self {
+        FaultInjection {
+            kind: FaultKind::Panic,
+            at_event,
+        }
+    }
+
+    /// A livelock starting at event `at_event`.
+    pub fn livelock_at(at_event: u64) -> Self {
+        FaultInjection {
+            kind: FaultKind::Livelock,
+            at_event,
+        }
+    }
+
+    /// A fault at a SplitMix64-derived event in `1..=max_event`, so
+    /// randomized tests hit reproducible but arbitrary trigger points.
+    pub fn seeded(kind: FaultKind, seed: u64, max_event: u64) -> Self {
+        assert!(max_event > 0, "need a positive trigger range");
+        FaultInjection {
+            kind,
+            at_event: 1 + SplitMix64::new(seed).next_below(max_event),
+        }
+    }
+}
 
 /// The complete configuration of the simulated system.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +146,10 @@ pub struct SystemConfig {
     pub max_events: u64,
     /// Epoch length, in GPU L2 TLB accesses, for the Figure 12 metric.
     pub epoch_accesses: u64,
+    /// Livelock-watchdog thresholds.
+    pub watchdog: WatchdogConfig,
+    /// Optional deterministic fault injection (tests / CI smoke only).
+    pub fault: Option<FaultInjection>,
 }
 
 impl SystemConfig {
@@ -47,7 +166,67 @@ impl SystemConfig {
             mem_policy: MemSchedPolicy::FrFcfs,
             max_events: 2_000_000_000,
             epoch_accesses: 1024,
+            watchdog: WatchdogConfig::paper_baseline(),
+            fault: None,
         }
+    }
+
+    /// Baseline with different watchdog thresholds.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Baseline with a fault injected (tests / CI smoke only).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Rejects configurations that cannot describe a real machine, before
+    /// any simulation state is built.
+    ///
+    /// Checks: nonzero walker pool and IOMMU buffer, nonzero CU count,
+    /// well-formed TLB geometries (entries a positive multiple of ways,
+    /// power-of-two set count), epoch length in `1..=`
+    /// [`MAX_EPOCH_ACCESSES`], and watchdog thresholds that can fire.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.iommu.walkers == 0 {
+            return Err(ConfigError::ZeroWalkers);
+        }
+        if self.iommu.buffer_entries == 0 {
+            return Err(ConfigError::ZeroBufferEntries);
+        }
+        if self.gpu.cus == 0 {
+            return Err(ConfigError::ZeroCus);
+        }
+        for (name, tlb) in [
+            ("gpu-l1", &self.gpu_l1_tlb),
+            ("gpu-l2", &self.gpu_l2_tlb),
+            ("iommu-l1", &self.iommu.l1_tlb),
+            ("iommu-l2", &self.iommu.l2_tlb),
+        ] {
+            let bad = tlb.entries == 0
+                || tlb.ways == 0
+                || tlb.entries % tlb.ways != 0
+                || !(tlb.entries / tlb.ways).is_power_of_two();
+            if bad {
+                return Err(ConfigError::TlbGeometry {
+                    tlb: name,
+                    entries: tlb.entries,
+                    ways: tlb.ways,
+                });
+            }
+        }
+        if self.epoch_accesses == 0 || self.epoch_accesses > MAX_EPOCH_ACCESSES {
+            return Err(ConfigError::EpochAccessesOutOfRange {
+                got: self.epoch_accesses,
+            });
+        }
+        if self.watchdog.enabled() && self.watchdog.stall_epochs == 0 {
+            return Err(ConfigError::WatchdogStallEpochsZero);
+        }
+        Ok(())
     }
 
     /// Baseline with a different page-walk scheduler.

@@ -1,0 +1,243 @@
+//! Typed failure taxonomy of the run layer.
+//!
+//! A figures sweep is dozens of long, independent simulations; one bad run
+//! must fail *as data*, not as a process abort. Three layers of errors:
+//!
+//! * [`ConfigError`] — the configuration was rejected before the system
+//!   was even built ([`SystemConfig::validate`](crate::SystemConfig::validate));
+//! * [`SimError`] — a running simulation aborted itself (event budget
+//!   exhausted, watchdog-detected livelock, drained-queue deadlock), each
+//!   carrying an [`IommuSnapshot`] so a wedged run explains itself;
+//! * [`RunError`] — everything one sweep cell can report upward: a config
+//!   or simulation error, or a panic caught at the sweep boundary.
+
+use ptw_core::iommu::IommuSnapshot;
+
+/// A [`SystemConfig`](crate::SystemConfig) that cannot describe a real
+/// machine, rejected before any simulation state is built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The IOMMU walker pool is empty; no walk could ever be serviced.
+    ZeroWalkers,
+    /// The IOMMU buffer holds zero entries; no walk could ever be queued.
+    ZeroBufferEntries,
+    /// The GPU has zero compute units; no wavefront could ever run.
+    ZeroCus,
+    /// A TLB's geometry is degenerate: zero entries, zero ways, a way
+    /// count not dividing the entry count, or a non-power-of-two set
+    /// count (the index function requires power-of-two sets).
+    TlbGeometry {
+        /// Which TLB ("gpu-l1", "gpu-l2", "iommu-l1", "iommu-l2").
+        tlb: &'static str,
+        /// The offending entry count.
+        entries: usize,
+        /// The offending way count.
+        ways: usize,
+    },
+    /// The Figure 12 epoch length is zero or implausibly large.
+    EpochAccessesOutOfRange {
+        /// The rejected value.
+        got: u64,
+    },
+    /// The watchdog is enabled (`check_events > 0`) but would never fire
+    /// because `stall_epochs` is zero.
+    WatchdogStallEpochsZero,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWalkers => write!(f, "IOMMU needs at least one page-table walker"),
+            ConfigError::ZeroBufferEntries => {
+                write!(f, "IOMMU buffer needs at least one entry")
+            }
+            ConfigError::ZeroCus => write!(f, "GPU needs at least one compute unit"),
+            ConfigError::TlbGeometry { tlb, entries, ways } => write!(
+                f,
+                "{tlb} TLB geometry invalid: {entries} entries / {ways} ways \
+                 (need entries a positive multiple of ways and a power-of-two set count)"
+            ),
+            ConfigError::EpochAccessesOutOfRange { got } => write!(
+                f,
+                "epoch length {got} out of range (need 1..={})",
+                crate::config::MAX_EPOCH_ACCESSES
+            ),
+            ConfigError::WatchdogStallEpochsZero => write!(
+                f,
+                "watchdog enabled but stall_epochs is zero; it would never fire"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A simulation that aborted itself mid-run.
+///
+/// Each variant carries the event count and cycle at abort plus an
+/// [`IommuSnapshot`] of the scheduling state, so the diagnostic names the
+/// stuck instructions and walkers instead of just "it hung".
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The run exceeded `cfg.max_events` — the coarse safety valve.
+    EventBudgetExhausted {
+        /// Events processed when the budget tripped.
+        events: u64,
+        /// Simulated cycle at abort.
+        now: u64,
+        /// Scheduling state at abort.
+        snapshot: Box<IommuSnapshot>,
+    },
+    /// The watchdog saw events advancing while retired instructions stood
+    /// still for `stalled_epochs` consecutive check intervals.
+    Livelock {
+        /// Events processed when the watchdog fired.
+        events: u64,
+        /// Simulated cycle at abort.
+        now: u64,
+        /// Consecutive no-progress check intervals observed.
+        stalled_epochs: u64,
+        /// Instructions retired when progress stopped.
+        retired_instructions: u64,
+        /// Scheduling state at abort.
+        snapshot: Box<IommuSnapshot>,
+    },
+    /// The event queue drained with unretired wavefronts — the machine
+    /// stopped dead rather than spinning.
+    Deadlock {
+        /// Simulated cycle when the queue drained.
+        now: u64,
+        /// Wavefronts left unretired.
+        unretired_wavefronts: usize,
+        /// Scheduling state at abort.
+        snapshot: Box<IommuSnapshot>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EventBudgetExhausted {
+                events,
+                now,
+                snapshot,
+            } => write!(
+                f,
+                "event budget exhausted at cycle {now} ({events} events)\n{snapshot}"
+            ),
+            SimError::Livelock {
+                events,
+                now,
+                stalled_epochs,
+                retired_instructions,
+                snapshot,
+            } => write!(
+                f,
+                "livelock at cycle {now}: {retired_instructions} instructions retired, \
+                 none for {stalled_epochs} watchdog epochs ({events} events)\n{snapshot}"
+            ),
+            SimError::Deadlock {
+                now,
+                unretired_wavefronts,
+                snapshot,
+            } => write!(
+                f,
+                "deadlock: event queue drained at cycle {now} with \
+                 {unretired_wavefronts} unretired wavefront(s)\n{snapshot}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Everything one sweep cell can report upward.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The configuration was rejected before the run started.
+    Config(ConfigError),
+    /// The simulation aborted itself with a typed diagnostic.
+    Sim(SimError),
+    /// The run panicked; the payload was caught at the sweep boundary.
+    Panicked {
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+    },
+}
+
+impl RunError {
+    /// Whether retrying the same spec could plausibly succeed.
+    ///
+    /// The simulator is deterministic, so a retry only helps when the
+    /// retry changes something — the sweep executor escalates the event
+    /// budget between attempts, which cures exactly one failure mode:
+    /// a budget set too low for a slow-but-progressing run.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RunError::Sim(SimError::EventBudgetExhausted { .. }))
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(e) => write!(f, "invalid config: {e}"),
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Panicked { message } => write!(f, "run panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_budget_exhaustion_is_retryable() {
+        let snap = Box::new(IommuSnapshot::default());
+        let budget = RunError::Sim(SimError::EventBudgetExhausted {
+            events: 10,
+            now: 100,
+            snapshot: snap.clone(),
+        });
+        assert!(budget.is_retryable());
+        let livelock = RunError::Sim(SimError::Livelock {
+            events: 10,
+            now: 100,
+            stalled_epochs: 3,
+            retired_instructions: 7,
+            snapshot: snap.clone(),
+        });
+        assert!(!livelock.is_retryable());
+        assert!(!RunError::Config(ConfigError::ZeroWalkers).is_retryable());
+        assert!(!RunError::Panicked {
+            message: "boom".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = RunError::Config(ConfigError::TlbGeometry {
+            tlb: "gpu-l2",
+            entries: 12,
+            ways: 5,
+        });
+        let s = e.to_string();
+        assert!(s.contains("gpu-l2"), "{s}");
+        assert!(s.contains("12"), "{s}");
+    }
+}

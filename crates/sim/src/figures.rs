@@ -23,6 +23,28 @@ use crate::report::{percent, ratio, Table};
 use crate::runner::{ConfigVariant, Lab};
 use crate::sweep::SweepExecutor;
 
+/// Rendered in place of any value whose underlying run failed: figures
+/// degrade cell-by-cell instead of aborting the whole sweep.
+pub const FAILED_CELL: &str = "FAILED";
+
+fn ratio_or_failed(v: Option<f64>) -> String {
+    v.map_or_else(|| FAILED_CELL.to_owned(), ratio)
+}
+
+fn percent_or_failed(v: Option<f64>) -> String {
+    v.map_or_else(|| FAILED_CELL.to_owned(), percent)
+}
+
+/// Geometric-mean cell over the runs that succeeded; `-` when every
+/// contributing run failed.
+fn gmean_cell(vals: &[f64]) -> String {
+    if vals.is_empty() {
+        "-".to_owned()
+    } else {
+        ratio(geometric_mean(vals))
+    }
+}
+
 /// Every figure/table name, in presentation order (the `figures` binary's
 /// name list and the full-sweep prefetch set).
 pub const NAMES: [&str; 18] = [
@@ -206,13 +228,13 @@ pub fn fig2(lab: &mut Lab) -> Table {
         &["bench", "Random", "FCFS", "SIMT-aware"],
     );
     for id in BenchmarkId::MOTIVATION {
-        let fcfs = lab.speedup(id, SchedulerKind::Fcfs, SchedulerKind::Random);
-        let simt = lab.speedup(id, SchedulerKind::SimtAware, SchedulerKind::Random);
+        let fcfs = lab.try_speedup(id, SchedulerKind::Fcfs, SchedulerKind::Random);
+        let simt = lab.try_speedup(id, SchedulerKind::SimtAware, SchedulerKind::Random);
         t.row(vec![
             id.abbrev().into(),
             ratio(1.0),
-            ratio(fcfs),
-            ratio(simt),
+            ratio_or_failed(fcfs),
+            ratio_or_failed(simt),
         ]);
     }
     t.row(vec![
@@ -234,14 +256,11 @@ pub fn fig3(lab: &mut Lab) -> Table {
         ],
     );
     for id in BenchmarkId::MOTIVATION {
-        let hist = lab
-            .result(id, SchedulerKind::Fcfs)
-            .metrics
-            .work_hist
-            .clone();
-        let f = hist.fractions();
         let mut row = vec![id.abbrev().to_owned()];
-        row.extend(f.iter().map(|&x| percent(x)));
+        match lab.try_result(id, SchedulerKind::Fcfs) {
+            Some(r) => row.extend(r.metrics.work_hist.fractions().iter().map(|&x| percent(x))),
+            None => row.extend((0..6).map(|_| FAILED_CELL.to_owned())),
+        }
         t.row(row);
     }
     t.row(vec![
@@ -373,10 +392,9 @@ pub fn fig5(lab: &mut Lab) -> Table {
     );
     for id in BenchmarkId::MOTIVATION {
         let f = lab
-            .result(id, SchedulerKind::Fcfs)
-            .metrics
-            .interleaved_fraction;
-        t.row(vec![id.abbrev().into(), percent(f)]);
+            .try_result(id, SchedulerKind::Fcfs)
+            .map(|r| r.metrics.interleaved_fraction);
+        t.row(vec![id.abbrev().into(), percent_or_failed(f)]);
     }
     t.row(vec!["paper".into(), "45-77%".into()]);
     t
@@ -390,12 +408,10 @@ pub fn fig6(lab: &mut Lab) -> Table {
         &["bench", "first", "last"],
     );
     for id in BenchmarkId::MOTIVATION {
-        let m = &lab.result(id, SchedulerKind::Fcfs).metrics;
-        t.row(vec![
-            id.abbrev().into(),
-            ratio(1.0),
-            ratio(m.last_over_first()),
-        ]);
+        let last = lab
+            .try_result(id, SchedulerKind::Fcfs)
+            .map(|r| r.metrics.last_over_first());
+        t.row(vec![id.abbrev().into(), ratio(1.0), ratio_or_failed(last)]);
     }
     t.row(vec!["paper".into(), ratio(1.0), "often 2-3x".into()]);
     t
@@ -410,8 +426,10 @@ pub fn fig8(lab: &mut Lab) -> Table {
     );
     let mut groups: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
     for id in BenchmarkId::ALL {
-        let s = lab.speedup(id, SchedulerKind::SimtAware, SchedulerKind::Fcfs);
-        groups[if id.is_irregular() { 0 } else { 1 }].push(s);
+        let s = lab.try_speedup(id, SchedulerKind::SimtAware, SchedulerKind::Fcfs);
+        if let Some(s) = s {
+            groups[if id.is_irregular() { 0 } else { 1 }].push(s);
+        }
         t.row(vec![
             id.abbrev().into(),
             if id.is_irregular() {
@@ -420,18 +438,18 @@ pub fn fig8(lab: &mut Lab) -> Table {
                 "regular"
             }
             .into(),
-            ratio(s),
+            ratio_or_failed(s),
         ]);
     }
     t.row(vec![
         "gmean".into(),
         "irregular".into(),
-        ratio(geometric_mean(&groups[0])),
+        gmean_cell(&groups[0]),
     ]);
     t.row(vec![
         "gmean".into(),
         "regular".into(),
-        ratio(geometric_mean(&groups[1])),
+        gmean_cell(&groups[1]),
     ]);
     t.row(vec![
         "paper".into(),
@@ -454,13 +472,21 @@ fn normalized_metric(
     let mut t = Table::new(title, &["bench", header]);
     let mut vals = Vec::new();
     for &id in benchmarks {
-        let base = metric(&lab.result(id, SchedulerKind::Fcfs).metrics);
-        let simt = metric(&lab.result(id, SchedulerKind::SimtAware).metrics);
-        let norm = if base == 0.0 { 1.0 } else { simt / base };
-        vals.push(norm.max(1e-9));
-        t.row(vec![id.abbrev().into(), ratio(norm)]);
+        let base = lab
+            .try_result(id, SchedulerKind::Fcfs)
+            .map(|r| metric(&r.metrics));
+        let simt = lab
+            .try_result(id, SchedulerKind::SimtAware)
+            .map(|r| metric(&r.metrics));
+        let norm = base
+            .zip(simt)
+            .map(|(b, s)| if b == 0.0 { 1.0 } else { s / b });
+        if let Some(n) = norm {
+            vals.push(n.max(1e-9));
+        }
+        t.row(vec![id.abbrev().into(), ratio_or_failed(norm)]);
     }
-    t.row(vec!["gmean".into(), ratio(geometric_mean(&vals))]);
+    t.row(vec!["gmean".into(), gmean_cell(&vals)]);
     t.row(vec!["paper".into(), paper.into()]);
     t
 }
@@ -535,22 +561,25 @@ pub fn fig13(lab: &mut Lab) -> Table {
     for id in BenchmarkId::IRREGULAR {
         let mut row = vec![id.abbrev().to_owned()];
         for (i, v) in variants.iter().enumerate() {
-            let base = lab.result_with(id, SchedulerKind::Fcfs, *v).metrics.cycles as f64;
+            let base = lab
+                .try_result_with(id, SchedulerKind::Fcfs, *v)
+                .map(|r| r.metrics.cycles as f64);
             let simt = lab
-                .result_with(id, SchedulerKind::SimtAware, *v)
-                .metrics
-                .cycles as f64;
-            let s = base / simt;
-            means[i].push(s);
-            row.push(ratio(s));
+                .try_result_with(id, SchedulerKind::SimtAware, *v)
+                .map(|r| r.metrics.cycles as f64);
+            let s = base.zip(simt).map(|(b, s)| b / s);
+            if let Some(s) = s {
+                means[i].push(s);
+            }
+            row.push(ratio_or_failed(s));
         }
         t.row(row);
     }
     t.row(vec![
         "gmean".into(),
-        ratio(geometric_mean(&means[0])),
-        ratio(geometric_mean(&means[1])),
-        ratio(geometric_mean(&means[2])),
+        gmean_cell(&means[0]),
+        gmean_cell(&means[1]),
+        gmean_cell(&means[2]),
     ]);
     t.row(vec![
         "paper".into(),
@@ -581,22 +610,25 @@ pub fn fig14(lab: &mut Lab) -> Table {
     for id in BenchmarkId::IRREGULAR {
         let mut row = vec![id.abbrev().to_owned()];
         for (i, v) in variants.iter().enumerate() {
-            let base = lab.result_with(id, SchedulerKind::Fcfs, *v).metrics.cycles as f64;
+            let base = lab
+                .try_result_with(id, SchedulerKind::Fcfs, *v)
+                .map(|r| r.metrics.cycles as f64);
             let simt = lab
-                .result_with(id, SchedulerKind::SimtAware, *v)
-                .metrics
-                .cycles as f64;
-            let s = base / simt;
-            means[i].push(s);
-            row.push(ratio(s));
+                .try_result_with(id, SchedulerKind::SimtAware, *v)
+                .map(|r| r.metrics.cycles as f64);
+            let s = base.zip(simt).map(|(b, s)| b / s);
+            if let Some(s) = s {
+                means[i].push(s);
+            }
+            row.push(ratio_or_failed(s));
         }
         t.row(row);
     }
     t.row(vec![
         "gmean".into(),
-        ratio(geometric_mean(&means[0])),
-        ratio(geometric_mean(&means[1])),
-        ratio(geometric_mean(&means[2])),
+        gmean_cell(&means[0]),
+        gmean_cell(&means[1]),
+        gmean_cell(&means[2]),
     ]);
     t.row(vec![
         "paper".into(),
@@ -622,18 +654,22 @@ pub fn followon(lab: &mut Lab) -> Table {
             "XSB fairness",
         ],
     );
-    let fairness = |lab: &mut Lab, id, sched| lab.result(id, sched).finish_spread;
+    let fairness = |lab: &mut Lab, id, sched| {
+        lab.try_result(id, sched)
+            .map(|r| r.finish_spread)
+            .map_or_else(|| FAILED_CELL.to_owned(), |f| format!("{f:.2}"))
+    };
     for kind in SchedulerKind::EXTENDED {
-        let mvt = lab.speedup(BenchmarkId::Mvt, kind, SchedulerKind::Fcfs);
+        let mvt = lab.try_speedup(BenchmarkId::Mvt, kind, SchedulerKind::Fcfs);
         let mvt_fair = fairness(lab, BenchmarkId::Mvt, kind);
-        let xsb = lab.speedup(BenchmarkId::Xsb, kind, SchedulerKind::Fcfs);
+        let xsb = lab.try_speedup(BenchmarkId::Xsb, kind, SchedulerKind::Fcfs);
         let xsb_fair = fairness(lab, BenchmarkId::Xsb, kind);
         t.row(vec![
             kind.label().into(),
-            ratio(mvt),
-            format!("{mvt_fair:.2}"),
-            ratio(xsb),
-            format!("{xsb_fair:.2}"),
+            ratio_or_failed(mvt),
+            mvt_fair,
+            ratio_or_failed(xsb),
+            xsb_fair,
         ]);
     }
     t.row(vec![
@@ -651,8 +687,11 @@ pub fn followon(lab: &mut Lab) -> Table {
 /// runs; we quantify our synthetic workloads' run-to-run spread).
 ///
 /// These runs bypass the [`Lab`] cache (they vary the workload seed, which
-/// the cache does not key on), so they go straight through `exec`.
-pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> Table {
+/// the cache does not key on), so they go straight through `exec`. Because
+/// of that they also bypass the lab's failure ledger: the second element of
+/// the return value lists any cells that failed (empty when all ran
+/// cleanly), one summary line each.
+pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
     use crate::runner::RunSpec;
     use crate::SystemConfig;
 
@@ -677,23 +716,41 @@ pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> Table {
             }
         }
     }
-    let results = exec.run(&specs);
-    let mut pairs = results.chunks_exact(2);
+    let report = exec.try_run(&specs);
+    let failures: Vec<String> = report
+        .failed()
+        .map(|c| {
+            let err = c.result.as_ref().expect_err("failed() yields errors");
+            format!("{} (seed study) failed: {err}", c.label)
+        })
+        .collect();
+    let mut pairs = report.cells.chunks_exact(2);
     let mut all: Vec<f64> = Vec::new();
     for id in BenchmarkId::IRREGULAR {
         let mut row = vec![id.abbrev().to_owned()];
         let mut vals = Vec::new();
         for _ in &seeds {
             let pair = pairs.next().expect("one FCFS/SIMT-aware pair per seed");
-            let s = pair[0].metrics.cycles as f64 / pair[1].metrics.cycles as f64;
-            vals.push(s);
-            row.push(ratio(s));
+            let s = match (&pair[0].result, &pair[1].result) {
+                (Ok(fcfs), Ok(simt)) => {
+                    Some(fcfs.metrics.cycles as f64 / simt.metrics.cycles as f64)
+                }
+                _ => None,
+            };
+            if let Some(s) = s {
+                vals.push(s);
+            }
+            row.push(ratio_or_failed(s));
         }
         all.extend(vals.iter().copied());
-        let (min, max) = vals.iter().fold((f64::INFINITY, 0.0_f64), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
-        row.push(format!("{min:.2}..{max:.2}"));
+        if vals.is_empty() {
+            row.push(FAILED_CELL.to_owned());
+        } else {
+            let (min, max) = vals.iter().fold((f64::INFINITY, 0.0_f64), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+            row.push(format!("{min:.2}..{max:.2}"));
+        }
         t.row(row);
     }
     t.row(vec![
@@ -701,9 +758,9 @@ pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> Table {
         "-".into(),
         "-".into(),
         "-".into(),
-        ratio(geometric_mean(&all)),
+        gmean_cell(&all),
     ]);
-    t
+    (t, failures)
 }
 
 /// Diagnostic summary of every benchmark under FCFS (not a paper figure;
@@ -727,7 +784,12 @@ pub fn stats(lab: &mut Lab) -> Table {
         ],
     );
     for id in BenchmarkId::ALL {
-        let r = lab.result(id, SchedulerKind::Fcfs).clone();
+        let Some(r) = lab.try_result(id, SchedulerKind::Fcfs).cloned() else {
+            let mut row = vec![id.abbrev().to_owned()];
+            row.extend((0..11).map(|_| FAILED_CELL.to_owned()));
+            t.row(row);
+            continue;
+        };
         t.row(vec![
             id.abbrev().into(),
             r.metrics.cycles.to_string(),
@@ -761,32 +823,41 @@ pub fn ablation(lab: &mut Lab) -> Table {
     );
     let mut cols: [Vec<f64>; 4] = Default::default();
     for id in BenchmarkId::IRREGULAR {
-        let base = lab.result(id, SchedulerKind::Fcfs).metrics.cycles as f64;
+        let base = lab
+            .try_result(id, SchedulerKind::Fcfs)
+            .map(|r| r.metrics.cycles as f64);
         let mut row = vec![id.abbrev().to_owned()];
-        let mut push = |i: usize, cycles: f64, row: &mut Vec<String>| {
-            let s = base / cycles;
-            cols[i].push(s);
-            row.push(ratio(s));
+        let mut push = |i: usize, cycles: Option<f64>, row: &mut Vec<String>| {
+            let s = base.zip(cycles).map(|(b, c)| b / c);
+            if let Some(s) = s {
+                cols[i].push(s);
+            }
+            row.push(ratio_or_failed(s));
         };
-        let sjf = lab.result(id, SchedulerKind::SjfOnly).metrics.cycles as f64;
+        let sjf = lab
+            .try_result(id, SchedulerKind::SjfOnly)
+            .map(|r| r.metrics.cycles as f64);
         push(0, sjf, &mut row);
-        let batch = lab.result(id, SchedulerKind::BatchOnly).metrics.cycles as f64;
+        let batch = lab
+            .try_result(id, SchedulerKind::BatchOnly)
+            .map(|r| r.metrics.cycles as f64);
         push(1, batch, &mut row);
-        let simt = lab.result(id, SchedulerKind::SimtAware).metrics.cycles as f64;
+        let simt = lab
+            .try_result(id, SchedulerKind::SimtAware)
+            .map(|r| r.metrics.cycles as f64);
         push(2, simt, &mut row);
         let nopin = lab
-            .result_with(id, SchedulerKind::SimtAware, ConfigVariant::NoPinning)
-            .metrics
-            .cycles as f64;
+            .try_result_with(id, SchedulerKind::SimtAware, ConfigVariant::NoPinning)
+            .map(|r| r.metrics.cycles as f64);
         push(3, nopin, &mut row);
         t.row(row);
     }
     t.row(vec![
         "gmean".into(),
-        ratio(geometric_mean(&cols[0])),
-        ratio(geometric_mean(&cols[1])),
-        ratio(geometric_mean(&cols[2])),
-        ratio(geometric_mean(&cols[3])),
+        gmean_cell(&cols[0]),
+        gmean_cell(&cols[1]),
+        gmean_cell(&cols[2]),
+        gmean_cell(&cols[3]),
     ]);
     t
 }

@@ -4,9 +4,11 @@
 //! * [`engine`] — deterministic discrete-event queue;
 //! * [`config`] — Table I system configuration and sensitivity variants;
 //! * [`system`] — the wired-up machine (GPU + TLBs + IOMMU + caches + DRAM);
+//! * [`error`] — the typed failure taxonomy (config / sim / run errors);
 //! * [`metrics`] — per-figure metric collection;
 //! * [`runner`] — one-call experiment execution;
-//! * [`sweep`] — parallel fan-out of independent runs across threads;
+//! * [`sweep`] — panic-isolated parallel fan-out of independent runs;
+//! * [`checkpoint`] — crash-safe JSONL persistence of sweep results;
 //! * [`figures`] — regeneration of every table and figure;
 //! * [`report`] — plain-text table rendering.
 //!
@@ -27,8 +29,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod figures;
 pub mod metrics;
 pub mod report;
@@ -37,7 +41,8 @@ pub mod sweep;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use error::{ConfigError, RunError, SimError};
 pub use metrics::RunMetrics;
 pub use runner::{run_benchmark, RunSpec};
-pub use sweep::SweepExecutor;
+pub use sweep::{SweepExecutor, SweepReport};
 pub use system::{RunResult, System};

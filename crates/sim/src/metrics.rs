@@ -120,6 +120,12 @@ impl MetricsCollector {
         }
     }
 
+    /// Instructions retired so far — the progress signal the livelock
+    /// watchdog samples between event epochs.
+    pub fn instructions_completed(&self) -> u64 {
+        self.instructions_completed
+    }
+
     /// Records one GPU shared-L2-TLB access by wavefront `wf` (Figure 12).
     pub fn l2_tlb_access(&mut self, wf: u32) {
         self.l2_tlb_accesses += 1;

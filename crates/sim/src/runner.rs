@@ -4,13 +4,27 @@
 //! figures share the same runs (e.g. the FCFS and SIMT-aware baselines feed
 //! Figures 8–12). [`Lab`] memoizes results so the `figures` binary performs
 //! each run once.
+//!
+//! # Fault tolerance
+//!
+//! Every run the lab performs goes through the panic-isolated
+//! [`SweepExecutor`] path, so a crashing or diverging simulation becomes a
+//! recorded [`CellFailure`] instead of killing the whole figures sweep.
+//! Failures are *sticky*: once a cell fails, later lookups return `None`
+//! (or panic, for the strict accessors) without re-running it. Attaching a
+//! [`SweepCheckpoint`] persists every completed result so an interrupted
+//! sweep resumes where it stopped.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 
 use ptw_core::sched::SchedulerKind;
 use ptw_workloads::{build, BenchmarkId, Scale};
 
-use crate::config::SystemConfig;
+use crate::checkpoint::{CellKey, SweepCheckpoint};
+use crate::config::{FaultInjection, SystemConfig};
+use crate::error::RunError;
 use crate::sweep::SweepExecutor;
 use crate::system::{RunResult, System};
 
@@ -41,13 +55,29 @@ impl RunSpec {
             config: SystemConfig::paper_baseline(),
         }
     }
+
+    /// Human-readable identity for error reports: names the benchmark,
+    /// scheduler and scale so a failure message pinpoints the cell.
+    pub fn label(&self) -> String {
+        format!(
+            "{} / {} @ {}",
+            self.benchmark,
+            self.scheduler.label(),
+            self.scale.label()
+        )
+    }
 }
 
-/// Executes one run.
-pub fn run_benchmark(spec: &RunSpec) -> RunResult {
+/// Executes one run, returning the result or a typed failure.
+///
+/// Configuration problems surface as [`RunError::Config`] before any event
+/// executes; runtime divergence (budget exhaustion, livelock, deadlock) as
+/// [`RunError::Sim`]. Panics are *not* caught here — callers who need
+/// isolation go through [`SweepExecutor`].
+pub fn run_benchmark(spec: &RunSpec) -> Result<RunResult, RunError> {
     let cfg = spec.config.clone().with_scheduler(spec.scheduler);
     let workload = build(spec.benchmark, spec.scale, spec.seed);
-    System::new(cfg, workload).run()
+    Ok(System::try_new(cfg, workload)?.try_run()?)
 }
 
 /// System variants used by the sensitivity studies.
@@ -72,6 +102,18 @@ pub enum ConfigVariant {
 }
 
 impl ConfigVariant {
+    /// Every variant, in presentation order.
+    pub const ALL: [ConfigVariant; 8] = [
+        ConfigVariant::Baseline,
+        ConfigVariant::BigTlb,
+        ConfigVariant::MoreWalkers,
+        ConfigVariant::BigTlbMoreWalkers,
+        ConfigVariant::SmallBuffer,
+        ConfigVariant::BigBuffer,
+        ConfigVariant::NoPinning,
+        ConfigVariant::MemFcfs,
+    ];
+
     /// Builds the corresponding system configuration.
     pub fn config(self) -> SystemConfig {
         let base = SystemConfig::paper_baseline();
@@ -108,6 +150,39 @@ impl ConfigVariant {
             ConfigVariant::MemFcfs => "FCFS memory controller",
         }
     }
+
+    /// Stable machine key: used in checkpoint files, so it must never
+    /// change for an existing variant.
+    pub fn key(self) -> &'static str {
+        match self {
+            ConfigVariant::Baseline => "baseline",
+            ConfigVariant::BigTlb => "big-tlb",
+            ConfigVariant::MoreWalkers => "more-walkers",
+            ConfigVariant::BigTlbMoreWalkers => "big-tlb-more-walkers",
+            ConfigVariant::SmallBuffer => "small-buffer",
+            ConfigVariant::BigBuffer => "big-buffer",
+            ConfigVariant::NoPinning => "no-pinning",
+            ConfigVariant::MemFcfs => "mem-fcfs",
+        }
+    }
+
+    /// Parses a [`key`](Self::key) back into a variant (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|v| v.key().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Why one lab cell has no result.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// Human-readable spec label (benchmark / scheduler / scale).
+    pub label: String,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// The typed failure of the final attempt.
+    pub error: RunError,
 }
 
 /// Memoizing run executor shared by all figures.
@@ -115,7 +190,13 @@ impl ConfigVariant {
 pub struct Lab {
     scale: Scale,
     seed: u64,
-    cache: HashMap<(BenchmarkId, SchedulerKind, ConfigVariant), RunResult>,
+    cache: HashMap<CellKey, RunResult>,
+    /// Cells that failed, by key — sticky so a bad cell runs at most once.
+    failures: HashMap<CellKey, CellFailure>,
+    /// When attached, every completed result is appended here.
+    checkpoint: Option<SweepCheckpoint>,
+    /// Deterministic fault injected into exactly one cell's runs.
+    fault: Option<(CellKey, FaultInjection)>,
     /// Runs actually executed (for progress reporting).
     pub executed: u64,
     /// Whether to print progress lines to stderr.
@@ -129,6 +210,9 @@ impl Lab {
             scale,
             seed,
             cache: HashMap::new(),
+            failures: HashMap::new(),
+            checkpoint: None,
+            fault: None,
             executed: 0,
             verbose: false,
         }
@@ -139,12 +223,135 @@ impl Lab {
         self.scale
     }
 
+    /// Attaches a crash-safe checkpoint file: previously persisted results
+    /// for this `(scale, seed)` are loaded into the cache (so they are not
+    /// re-run) and every future completed run is appended. Returns how many
+    /// results were resumed from the file.
+    pub fn attach_checkpoint(&mut self, path: impl Into<PathBuf>) -> io::Result<usize> {
+        let (cp, loaded) = SweepCheckpoint::open(path, self.scale, self.seed)?;
+        let n = loaded.len();
+        for (key, result) in loaded {
+            self.cache.entry(key).or_insert(result);
+        }
+        if self.verbose && n > 0 {
+            eprintln!("[lab] resumed {n} run(s) from {}", cp.path().display());
+        }
+        self.checkpoint = Some(cp);
+        Ok(n)
+    }
+
+    /// Injects a deterministic fault into every run of `key`'s cell
+    /// (the fault-injection hook of the robustness test harness).
+    pub fn set_fault(&mut self, key: CellKey, fault: FaultInjection) {
+        self.fault = Some((key, fault));
+    }
+
+    /// Failed cells, by key.
+    pub fn failures(&self) -> &HashMap<CellKey, CellFailure> {
+        &self.failures
+    }
+
+    /// Whether any cell has failed so far.
+    pub fn has_failures(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// One line per failed cell (sorted by label, so the output is
+    /// deterministic), suitable for stderr.
+    pub fn failure_summary(&self) -> String {
+        let mut lines: Vec<String> = self
+            .failures
+            .values()
+            .map(|f| {
+                format!(
+                    "{} failed after {} attempt(s): {}",
+                    f.label, f.attempts, f.error
+                )
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+
+    fn spec_for(&self, key: CellKey) -> RunSpec {
+        let (benchmark, scheduler, variant) = key;
+        let mut config = variant.config();
+        if let Some((fault_key, fault)) = self.fault {
+            if fault_key == key {
+                config = config.with_fault(fault);
+            }
+        }
+        RunSpec {
+            benchmark,
+            scheduler,
+            scale: self.scale,
+            seed: self.seed,
+            config,
+        }
+    }
+
+    fn persist(&mut self, key: CellKey, result: &RunResult) {
+        if let Some(cp) = &mut self.checkpoint {
+            if let Err(e) = cp.append(key, result) {
+                // Losing the checkpoint must not fail the sweep itself.
+                eprintln!(
+                    "[lab] warning: checkpoint append to {} failed: {e}",
+                    cp.path().display()
+                );
+            }
+        }
+    }
+
+    /// Runs `key` if it is neither cached nor already failed.
+    fn ensure(&mut self, key: CellKey) {
+        if self.cache.contains_key(&key) || self.failures.contains_key(&key) {
+            return;
+        }
+        let (benchmark, scheduler, variant) = key;
+        if self.verbose {
+            eprintln!(
+                "[lab] running {benchmark} / {scheduler} / {}",
+                variant.label()
+            );
+        }
+        let spec = self.spec_for(key);
+        let report = SweepExecutor::serial().try_run(std::slice::from_ref(&spec));
+        let cell = report.cells.into_iter().next().expect("one spec, one cell");
+        self.executed += 1;
+        match cell.result {
+            Ok(result) => {
+                self.persist(key, &result);
+                self.cache.insert(key, result);
+            }
+            Err(error) => {
+                self.failures.insert(
+                    key,
+                    CellFailure {
+                        label: cell.label,
+                        attempts: cell.attempts,
+                        error,
+                    },
+                );
+            }
+        }
+    }
+
     /// Result of `(benchmark, scheduler)` on the baseline system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run failed; use [`try_result`](Self::try_result) to
+    /// degrade instead.
     pub fn result(&mut self, benchmark: BenchmarkId, scheduler: SchedulerKind) -> &RunResult {
         self.result_with(benchmark, scheduler, ConfigVariant::Baseline)
     }
 
     /// Result of `(benchmark, scheduler)` on a system variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run failed; use
+    /// [`try_result_with`](Self::try_result_with) to degrade instead.
     pub fn result_with(
         &mut self,
         benchmark: BenchmarkId,
@@ -152,42 +359,60 @@ impl Lab {
         variant: ConfigVariant,
     ) -> &RunResult {
         let key = (benchmark, scheduler, variant);
-        if !self.cache.contains_key(&key) {
-            if self.verbose {
-                eprintln!(
-                    "[lab] running {benchmark} / {scheduler} / {}",
-                    variant.label()
-                );
-            }
-            let spec = RunSpec {
-                benchmark,
-                scheduler,
-                scale: self.scale,
-                seed: self.seed,
-                config: variant.config(),
-            };
-            let result = run_benchmark(&spec);
-            self.executed += 1;
-            self.cache.insert(key, result);
+        self.ensure(key);
+        if let Some(f) = self.failures.get(&key) {
+            panic!(
+                "lab cell {} failed after {} attempt(s): {}",
+                f.label, f.attempts, f.error
+            );
         }
         &self.cache[&key]
     }
 
+    /// Result of `(benchmark, scheduler)` on the baseline system, or
+    /// `None` if the run failed (the failure is recorded in
+    /// [`failures`](Self::failures)).
+    pub fn try_result(
+        &mut self,
+        benchmark: BenchmarkId,
+        scheduler: SchedulerKind,
+    ) -> Option<&RunResult> {
+        self.try_result_with(benchmark, scheduler, ConfigVariant::Baseline)
+    }
+
+    /// Result on a system variant, or `None` if the run failed.
+    pub fn try_result_with(
+        &mut self,
+        benchmark: BenchmarkId,
+        scheduler: SchedulerKind,
+        variant: ConfigVariant,
+    ) -> Option<&RunResult> {
+        let key = (benchmark, scheduler, variant);
+        self.ensure(key);
+        self.cache.get(&key)
+    }
+
     /// Runs every not-yet-cached `(benchmark, scheduler, variant)` key on
-    /// `exec` and stores the results, so later `result`/`result_with`
-    /// calls are cache hits. Returns the number of runs executed.
+    /// `exec` and stores the outcomes, so later `result`/`result_with`
+    /// calls are cache (or failure) hits. Returns the number of runs
+    /// executed.
     ///
     /// Duplicate keys are executed once; insertion order is the first
     /// occurrence in `keys`, so the cache contents (and `executed`) are
-    /// independent of the executor's worker count.
+    /// independent of the executor's worker count. Failed cells are
+    /// recorded in [`failures`](Self::failures) — one bad run never stops
+    /// the rest of the sweep.
     pub fn prefetch(
         &mut self,
         exec: &SweepExecutor,
-        keys: impl IntoIterator<Item = (BenchmarkId, SchedulerKind, ConfigVariant)>,
+        keys: impl IntoIterator<Item = CellKey>,
     ) -> usize {
-        let mut missing: Vec<(BenchmarkId, SchedulerKind, ConfigVariant)> = Vec::new();
+        let mut missing: Vec<CellKey> = Vec::new();
         for key in keys {
-            if !self.cache.contains_key(&key) && !missing.contains(&key) {
+            if !self.cache.contains_key(&key)
+                && !self.failures.contains_key(&key)
+                && !missing.contains(&key)
+            {
                 missing.push(key);
             }
         }
@@ -201,21 +426,27 @@ impl Lab {
                 exec.workers()
             );
         }
-        let specs: Vec<RunSpec> = missing
-            .iter()
-            .map(|&(benchmark, scheduler, variant)| RunSpec {
-                benchmark,
-                scheduler,
-                scale: self.scale,
-                seed: self.seed,
-                config: variant.config(),
-            })
-            .collect();
-        let results = exec.run(&specs);
+        let specs: Vec<RunSpec> = missing.iter().map(|&key| self.spec_for(key)).collect();
+        let report = exec.try_run(&specs);
         let executed = missing.len();
-        for (key, result) in missing.into_iter().zip(results) {
+        for (key, cell) in missing.into_iter().zip(report.cells) {
             self.executed += 1;
-            self.cache.insert(key, result);
+            match cell.result {
+                Ok(result) => {
+                    self.persist(key, &result);
+                    self.cache.insert(key, result);
+                }
+                Err(error) => {
+                    self.failures.insert(
+                        key,
+                        CellFailure {
+                            label: cell.label,
+                            attempts: cell.attempts,
+                            error,
+                        },
+                    );
+                }
+            }
         }
         executed
     }
@@ -233,6 +464,11 @@ impl Lab {
 
     /// Speedup of `scheduler` over `baseline` for `benchmark` (ratio of
     /// cycle counts) on the baseline system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run failed; use
+    /// [`try_speedup`](Self::try_speedup) to degrade instead.
     pub fn speedup(
         &mut self,
         benchmark: BenchmarkId,
@@ -243,12 +479,23 @@ impl Lab {
         let x = self.result(benchmark, scheduler).metrics.cycles as f64;
         base / x
     }
+
+    /// Speedup, or `None` if either run failed.
+    pub fn try_speedup(
+        &mut self,
+        benchmark: BenchmarkId,
+        scheduler: SchedulerKind,
+        baseline: SchedulerKind,
+    ) -> Option<f64> {
+        let base = self.try_result(benchmark, baseline)?.metrics.cycles;
+        let x = self.try_result(benchmark, scheduler)?.metrics.cycles;
+        Some(base as f64 / x as f64)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
     #[test]
     fn lab_caches_runs() {
         let mut lab = Lab::new(Scale::Small, 1);
@@ -328,5 +575,61 @@ mod tests {
         ] {
             assert_ne!(v.config(), SystemConfig::paper_baseline(), "{}", v.label());
         }
+    }
+
+    #[test]
+    fn variant_keys_roundtrip() {
+        for v in ConfigVariant::ALL {
+            assert_eq!(ConfigVariant::parse(v.key()), Some(v), "{}", v.key());
+            assert_eq!(
+                ConfigVariant::parse(&v.key().to_uppercase()),
+                Some(v),
+                "case-insensitive"
+            );
+        }
+        assert_eq!(ConfigVariant::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn spec_label_names_the_cell() {
+        let spec = RunSpec::new(BenchmarkId::Kmn, SchedulerKind::SimtAware, Scale::Small);
+        let label = spec.label();
+        assert!(label.contains("KMN"), "{label}");
+        assert!(label.contains("SIMT-aware"), "{label}");
+        assert!(label.contains("small"), "{label}");
+    }
+
+    #[test]
+    fn injected_fault_fails_only_its_cell_and_is_sticky() {
+        let mut lab = Lab::new(Scale::Small, 1);
+        let key = (
+            BenchmarkId::Kmn,
+            SchedulerKind::Fcfs,
+            ConfigVariant::Baseline,
+        );
+        lab.set_fault(key, FaultInjection::panic_at(1_000));
+        assert!(lab
+            .try_result(BenchmarkId::Kmn, SchedulerKind::Fcfs)
+            .is_none());
+        assert_eq!(lab.executed, 1);
+        assert!(lab.has_failures());
+        assert!(lab.failure_summary().contains("KMN"));
+        assert!(lab.failure_summary().contains("injected fault"));
+        // Sticky: the failed cell is not re-run.
+        assert!(lab
+            .try_result(BenchmarkId::Kmn, SchedulerKind::Fcfs)
+            .is_none());
+        assert_eq!(lab.executed, 1);
+        // Other cells are untouched.
+        assert!(lab
+            .try_result(BenchmarkId::Kmn, SchedulerKind::SimtAware)
+            .is_some());
+        assert!(lab
+            .try_speedup(
+                BenchmarkId::Kmn,
+                SchedulerKind::SimtAware,
+                SchedulerKind::Fcfs
+            )
+            .is_none());
     }
 }

@@ -1,4 +1,4 @@
-//! Parallel execution of independent simulation runs.
+//! Panic-isolated parallel execution of independent simulation runs.
 //!
 //! A figures sweep is dozens of completely independent `(benchmark,
 //! scheduler, variant)` simulations; each run is single-threaded and
@@ -11,18 +11,150 @@
 //! Work is distributed dynamically (an atomic next-index counter) because
 //! run times vary wildly across benchmarks; static chunking would leave
 //! workers idle behind one slow stripe.
+//!
+//! # Fault tolerance
+//!
+//! One bad run must not kill the batch. Every spec executes under
+//! [`catch_unwind`], so a panicking simulation becomes a
+//! [`RunError::Panicked`] in that cell's [`CellOutcome`] while the other
+//! cells complete normally. Retryable failures (an exhausted event budget)
+//! are retried up to [`RetryPolicy::max_attempts`] times with the budget
+//! escalated by [`RetryPolicy::budget_factor`] each attempt — the
+//! simulator is deterministic, so retrying helps only when the retry
+//! changes something.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+use crate::error::RunError;
 use crate::runner::{run_benchmark, RunSpec};
 use crate::system::RunResult;
+
+/// How a sweep retries a failed cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per spec (1 = no retry).
+    pub max_attempts: u32,
+    /// Multiplier applied to `max_events` before each retry.
+    pub budget_factor: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every spec gets exactly one attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            budget_factor: 1,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts with a 4× budget escalation each: a budget that was
+    /// merely too tight gets 16× headroom before the cell is abandoned.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            budget_factor: 4,
+        }
+    }
+}
+
+/// The outcome of one sweep cell: the result (or typed error) plus enough
+/// context to name the failing spec in a report.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Position in the input spec slice.
+    pub index: usize,
+    /// Human-readable spec label (benchmark / scheduler).
+    pub label: String,
+    /// Attempts consumed (≥ 2 means the retry path fired).
+    pub attempts: u32,
+    /// The run's result or its typed failure.
+    pub result: Result<RunResult, RunError>,
+}
+
+/// Everything a sweep produced, successes and failures alike, in spec
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// One outcome per input spec, in spec order.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl SweepReport {
+    /// The failed cells, in spec order.
+    pub fn failed(&self) -> impl Iterator<Item = &CellOutcome> {
+        self.cells.iter().filter(|c| c.result.is_err())
+    }
+
+    /// Whether every cell succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(|c| c.result.is_ok())
+    }
+
+    /// A one-line-per-failure summary suitable for stderr.
+    pub fn failure_summary(&self) -> String {
+        self.failed()
+            .map(|c| {
+                let err = c.result.as_ref().expect_err("failed() yields errors");
+                format!(
+                    "cell {} ({}) failed after {} attempt(s): {err}",
+                    c.index, c.label, c.attempts
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Renders a caught panic payload (`Box<dyn Any>`) as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one spec to its final outcome: panics are caught, and retryable
+/// failures re-run with an escalated event budget per `retry`.
+fn attempt_spec(spec: &RunSpec, retry: RetryPolicy) -> (u32, Result<RunResult, RunError>) {
+    let mut spec = spec.clone();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run_benchmark(&spec))) {
+            Ok(r) => r,
+            Err(payload) => Err(RunError::Panicked {
+                message: panic_message(payload),
+            }),
+        };
+        match outcome {
+            Err(e)
+                if e.is_retryable()
+                    && attempts < retry.max_attempts
+                    && spec.config.max_events > 0 =>
+            {
+                spec.config.max_events = spec
+                    .config
+                    .max_events
+                    .saturating_mul(retry.budget_factor.max(1));
+            }
+            other => return (attempts, other),
+        }
+    }
+}
 
 /// Runs batches of independent [`RunSpec`]s on a fixed number of worker
 /// threads.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepExecutor {
     workers: usize,
+    retry: RetryPolicy,
 }
 
 impl SweepExecutor {
@@ -30,6 +162,7 @@ impl SweepExecutor {
     pub fn new(workers: usize) -> Self {
         SweepExecutor {
             workers: workers.max(1),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -44,54 +177,109 @@ impl SweepExecutor {
         SweepExecutor::new(thread::available_parallelism().map_or(1, |n| n.get()))
     }
 
+    /// The same executor with a different retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Executes every spec and returns the results in spec order.
+    /// The retry policy in use.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Executes every spec, isolating failures per cell, and returns a
+    /// [`SweepReport`] in spec order.
     ///
-    /// Results are deterministic and identical to a serial
+    /// Successful results are deterministic and identical to a serial
     /// `specs.iter().map(run_benchmark)` loop: each run is an isolated
-    /// simulation, and every result is placed by its spec index regardless
-    /// of which worker ran it or when it finished.
+    /// simulation, and every outcome is placed by its spec index
+    /// regardless of which worker ran it or when it finished. A panic in
+    /// one cell never disturbs the others.
+    pub fn try_run(&self, specs: &[RunSpec]) -> SweepReport {
+        let mut slots: Vec<Option<(u32, Result<RunResult, RunError>)>> =
+            (0..specs.len()).map(|_| None).collect();
+        if self.workers == 1 || specs.len() <= 1 {
+            for (slot, spec) in slots.iter_mut().zip(specs) {
+                *slot = Some(attempt_spec(spec, self.retry));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let retry = self.retry;
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.workers.min(specs.len()))
+                    .map(|_| {
+                        scope.spawn(|| {
+                            // Dynamic work-stealing off a shared counter;
+                            // each worker keeps (index, outcome) pairs
+                            // locally so no lock is held while simulating.
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(spec) = specs.get(i) else { break };
+                                done.push((i, attempt_spec(spec, retry)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // A worker dying is all but impossible (every run is
+                    // wrapped in catch_unwind), but if one does its claimed
+                    // cells stay `None` and are reported as failures below
+                    // — never a process abort.
+                    if let Ok(done) = h.join() {
+                        for (i, outcome) in done {
+                            slots[i] = Some(outcome);
+                        }
+                    }
+                }
+            });
+        }
+        let cells = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                let label = specs[index].label();
+                let (attempts, result) = slot.unwrap_or_else(|| {
+                    (
+                        0,
+                        Err(RunError::Panicked {
+                            message: format!("sweep worker died before reporting {label}"),
+                        }),
+                    )
+                });
+                CellOutcome {
+                    index,
+                    label,
+                    attempts,
+                    result,
+                }
+            })
+            .collect();
+        SweepReport { cells }
+    }
+
+    /// Executes every spec and returns the results in spec order,
+    /// panicking on the first failed cell.
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any run (a panicking simulation is a bug
-    /// diagnostic, not a recoverable outcome).
+    /// Panics with a message naming the failing [`RunSpec`] if any cell
+    /// failed; use [`try_run`](Self::try_run) to get failures as data.
     pub fn run(&self, specs: &[RunSpec]) -> Vec<RunResult> {
-        if self.workers == 1 || specs.len() <= 1 {
-            return specs.iter().map(run_benchmark).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
-        thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers.min(specs.len()))
-                .map(|_| {
-                    scope.spawn(|| {
-                        // Dynamic work-stealing off a shared counter; each
-                        // worker keeps (index, result) pairs locally so no
-                        // lock is held while simulating.
-                        let mut done = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(spec) = specs.get(i) else { break };
-                            done.push((i, run_benchmark(spec)));
-                        }
-                        done
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, result) in h.join().expect("sweep worker panicked") {
-                    slots[i] = Some(result);
-                }
-            }
-        });
-        slots
+        self.try_run(specs)
+            .cells
             .into_iter()
-            .map(|r| r.expect("every spec index was claimed by exactly one worker"))
+            .map(|c| match c.result {
+                Ok(r) => r,
+                Err(e) => panic!("sweep cell {} ({}) failed: {e}", c.index, c.label),
+            })
             .collect()
     }
 }
@@ -127,12 +315,54 @@ mod tests {
         for (spec, result) in specs.iter().zip(&results) {
             // Each slot must hold its own spec's run: verify against a
             // fresh serial execution of that spec alone.
-            assert_eq!(result.metrics, run_benchmark(spec).metrics, "{spec:?}");
+            let serial = run_benchmark(spec).expect("clean spec");
+            assert_eq!(result.metrics, serial.metrics, "{spec:?}");
         }
     }
 
     #[test]
     fn empty_sweep_is_empty() {
         assert!(SweepExecutor::new(4).run(&[]).is_empty());
+        assert!(SweepExecutor::new(4).try_run(&[]).cells.is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_retried_with_escalation() {
+        // A budget far too small for the run: the default policy escalates
+        // 4× per attempt and either recovers or reports the typed error
+        // after exactly max_attempts tries.
+        let mut spec = RunSpec::new(BenchmarkId::Kmn, SchedulerKind::Fcfs, Scale::Small);
+        spec.config.max_events = 10;
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            budget_factor: 2,
+        };
+        let report = SweepExecutor::serial()
+            .with_retry(retry)
+            .try_run(std::slice::from_ref(&spec));
+        let cell = &report.cells[0];
+        assert_eq!(cell.attempts, 2, "both attempts consumed");
+        assert!(
+            matches!(
+                cell.result,
+                Err(RunError::Sim(
+                    crate::error::SimError::EventBudgetExhausted { .. }
+                ))
+            ),
+            "{:?}",
+            cell.result
+        );
+    }
+
+    #[test]
+    fn retry_none_gives_single_attempt() {
+        let mut spec = RunSpec::new(BenchmarkId::Kmn, SchedulerKind::Fcfs, Scale::Small);
+        spec.config.max_events = 10;
+        let report = SweepExecutor::serial()
+            .with_retry(RetryPolicy::none())
+            .try_run(std::slice::from_ref(&spec));
+        assert_eq!(report.cells[0].attempts, 1);
+        assert!(!report.all_ok());
+        assert!(report.failure_summary().contains("KMN"));
     }
 }

@@ -32,8 +32,9 @@ use ptw_types::ids::{InstrId, InstrIdAllocator, WavefrontId};
 use ptw_types::time::Cycle;
 use ptw_workloads::Workload;
 
-use crate::config::SystemConfig;
+use crate::config::{FaultKind, SystemConfig};
 use crate::engine::EventQueue;
+use crate::error::{ConfigError, SimError};
 use crate::metrics::{InstrWalkLog, MetricsCollector, RunMetrics, WalkObservation};
 
 /// Token attached to IOMMU walk requests: which wavefront is waiting.
@@ -140,7 +141,19 @@ impl std::fmt::Debug for System {
 
 impl System {
     /// Builds a system around `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`try_new`](Self::try_new) to get the rejection as data.
     pub fn new(cfg: SystemConfig, workload: Workload) -> Self {
+        Self::try_new(cfg, workload).unwrap_or_else(|e| panic!("invalid config: {e}"))
+    }
+
+    /// Builds a system around `workload`, rejecting invalid configurations
+    /// with a typed [`ConfigError`] instead of panicking.
+    pub fn try_new(cfg: SystemConfig, workload: Workload) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let n_wf = workload.wavefronts() as usize;
         let cus_n = cfg.gpu.cus;
         let mut per_cu = vec![0usize; cus_n];
@@ -162,7 +175,7 @@ impl System {
         for wf in 0..n_wf {
             queue.schedule(Cycle::ZERO, Event::WfReady(wf as u32));
         }
-        System {
+        Ok(System {
             queue,
             wavefronts,
             cus,
@@ -183,7 +196,7 @@ impl System {
             finish_times: Vec::with_capacity(n_wf),
             workload,
             cfg,
-        }
+        })
     }
 
     fn cu_of(&self, wf: u32) -> usize {
@@ -438,17 +451,76 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if the event budget (`cfg.max_events`) is exhausted — a
-    /// deadlock diagnostic, not an expected outcome — or if any wavefront
-    /// failed to retire.
-    pub fn run(mut self) -> RunResult {
+    /// Panics on any [`SimError`] — exhausted event budget, watchdog
+    /// livelock, or drained-queue deadlock. Use [`try_run`](Self::try_run)
+    /// to get the abort as data instead.
+    pub fn run(self) -> RunResult {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation to completion, reporting aborts as typed
+    /// [`SimError`]s.
+    ///
+    /// Besides the `cfg.max_events` budget, a watchdog samples the retired
+    /// instruction count every `cfg.watchdog.check_events` events: if it
+    /// stands still for `cfg.watchdog.stall_epochs` consecutive samples
+    /// while events keep flowing, the run is declared livelocked and the
+    /// error carries a snapshot of the IOMMU scheduling state.
+    pub fn try_run(mut self) -> Result<RunResult, SimError> {
+        let watchdog = self.cfg.watchdog;
+        let mut wd_next_check = if watchdog.enabled() {
+            watchdog.check_events
+        } else {
+            u64::MAX
+        };
+        let mut wd_last_retired = 0u64;
+        let mut wd_stalled = 0u64;
+        let fault = self.cfg.fault;
         while let Some((now, event)) = self.queue.pop() {
-            if self.cfg.max_events > 0 && self.queue.processed() > self.cfg.max_events {
-                panic!(
-                    "event budget exhausted at {now} ({} events, {} pending walks)",
-                    self.queue.processed(),
-                    self.iommu.pending()
-                );
+            let processed = self.queue.processed();
+            if self.cfg.max_events > 0 && processed > self.cfg.max_events {
+                return Err(SimError::EventBudgetExhausted {
+                    events: processed,
+                    now: now.raw(),
+                    snapshot: Box::new(self.iommu.snapshot()),
+                });
+            }
+            if processed >= wd_next_check {
+                wd_next_check = processed + watchdog.check_events;
+                let retired = self.metrics.instructions_completed();
+                if retired == wd_last_retired {
+                    wd_stalled += 1;
+                    if wd_stalled >= watchdog.stall_epochs {
+                        return Err(SimError::Livelock {
+                            events: processed,
+                            now: now.raw(),
+                            stalled_epochs: wd_stalled,
+                            retired_instructions: retired,
+                            snapshot: Box::new(self.iommu.snapshot()),
+                        });
+                    }
+                } else {
+                    wd_stalled = 0;
+                    wd_last_retired = retired;
+                }
+            }
+            if let Some(fault) = fault {
+                if processed >= fault.at_event {
+                    match fault.kind {
+                        FaultKind::Panic => panic!(
+                            "injected fault: panic at event {} (cycle {now})",
+                            fault.at_event
+                        ),
+                        FaultKind::Livelock => {
+                            // Swallow the event and push it one cycle out:
+                            // the event stream keeps flowing while retired
+                            // instructions freeze — the exact signature
+                            // the watchdog exists to catch.
+                            self.queue.schedule(now + 1u64, event);
+                            continue;
+                        }
+                    }
+                }
             }
             match event {
                 Event::WfReady(wf) => self.handle_wf_ready(wf, now),
@@ -463,14 +535,17 @@ impl System {
             }
         }
         let end = self.queue.now();
-        for wfr in &self.wavefronts {
-            assert_eq!(
-                wfr.phase(),
-                WavefrontPhase::Retired,
-                "wavefront {:?} stuck in {:?} at {end}",
-                wfr.id,
-                wfr.phase()
-            );
+        let unretired = self
+            .wavefronts
+            .iter()
+            .filter(|wf| wf.phase() != WavefrontPhase::Retired)
+            .count();
+        if unretired > 0 {
+            return Err(SimError::Deadlock {
+                now: end.raw(),
+                unretired_wavefronts: unretired,
+                snapshot: Box::new(self.iommu.snapshot()),
+            });
         }
         for cu in &mut self.cus {
             cu.finish(end);
@@ -522,7 +597,7 @@ impl System {
                 max as f64 / mean
             }
         };
-        RunResult {
+        Ok(RunResult {
             metrics,
             iommu: iommu_stats,
             mem: *self.mem.stats(),
@@ -532,7 +607,7 @@ impl System {
             l2_cache_hit_rate: self.l2_cache.stats().rate(),
             events: self.queue.processed(),
             finish_spread,
-        }
+        })
     }
 }
 

@@ -111,6 +111,31 @@ impl BucketHistogram {
         &self.edges
     }
 
+    /// Reassembles a histogram from previously serialized parts (the
+    /// checkpoint deserializer's constructor). Returns `None` when the
+    /// parts are inconsistent: bad edges, mismatched lengths, or a total
+    /// that does not equal the counts plus overflow.
+    pub fn from_parts(
+        edges: Vec<u64>,
+        counts: Vec<u64>,
+        overflow: u64,
+        total: u64,
+    ) -> Option<Self> {
+        if edges.is_empty()
+            || !edges.windows(2).all(|w| w[0] < w[1])
+            || counts.len() != edges.len()
+            || counts.iter().sum::<u64>().checked_add(overflow) != Some(total)
+        {
+            return None;
+        }
+        Some(BucketHistogram {
+            edges,
+            counts,
+            overflow,
+            total,
+        })
+    }
+
     /// Adds a sample.
     pub fn add(&mut self, x: u64) {
         self.total += 1;

@@ -29,6 +29,24 @@ pub enum Scale {
     Small,
 }
 
+impl Scale {
+    /// Lower-case name, matching the `--scale` CLI values.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Medium => "medium",
+            Scale::Small => "small",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        [Scale::Paper, Scale::Medium, Scale::Small]
+            .into_iter()
+            .find(|v| v.label().eq_ignore_ascii_case(s))
+    }
+}
+
 /// The twelve benchmarks of Table II.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BenchmarkId {
@@ -178,6 +196,13 @@ impl BenchmarkId {
     /// Whether the paper classifies this benchmark as irregular.
     pub fn is_irregular(self) -> bool {
         Self::IRREGULAR.contains(&self)
+    }
+
+    /// Parses a Table II abbreviation (case-insensitive), e.g. `"kmn"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|b| b.abbrev().eq_ignore_ascii_case(s))
     }
 }
 

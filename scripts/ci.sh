@@ -19,4 +19,24 @@ cargo build --release
 echo "== cargo test (tier-1)"
 cargo test -q
 
+echo "== fault-injection smoke run (partial sweep must render and exit nonzero)"
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+if ./target/release/figures fig2 --scale small --quiet \
+    --inject-fault mvt:fcfs:panic@1000 >"$smoke_out" 2>&1; then
+  echo "FAIL: figures exited zero despite an injected fault"
+  cat "$smoke_out"
+  exit 1
+fi
+grep -q "FAILED" "$smoke_out" || {
+  echo "FAIL: degraded output does not mark the failed cell"
+  cat "$smoke_out"
+  exit 1
+}
+grep -q "Figure 2" "$smoke_out" || {
+  echo "FAIL: partial sweep did not render the figure"
+  cat "$smoke_out"
+  exit 1
+}
+
 echo "CI OK"

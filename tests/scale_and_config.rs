@@ -70,7 +70,7 @@ fn every_config_variant_completes() {
             seed: 5,
             config: variant.config(),
         };
-        let r = run_benchmark(&spec);
+        let r = run_benchmark(&spec).expect("variant must run cleanly");
         assert!(r.metrics.cycles > 0, "{}: failed", variant.label());
     }
 }

@@ -34,7 +34,10 @@ fn sweep_specs() -> Vec<RunSpec> {
 #[test]
 fn parallel_sweep_is_bit_identical_to_serial() {
     let specs = sweep_specs();
-    let serial: Vec<_> = specs.iter().map(run_benchmark).collect();
+    let serial: Vec<_> = specs
+        .iter()
+        .map(|s| run_benchmark(s).expect("clean spec"))
+        .collect();
     for workers in [2, 4, 7] {
         let parallel = SweepExecutor::new(workers).run(&specs);
         assert_eq!(parallel.len(), serial.len());
