@@ -25,6 +25,7 @@
 //! [`memory_done`](Iommu::memory_done), which either returns the next read
 //! or the finished translations.
 
+#[cfg(debug_assertions)]
 use std::collections::HashMap;
 
 use ptw_pagetable::pwc::{PageWalkCache, PwcConfig, WalkPlan};
@@ -34,6 +35,7 @@ use ptw_types::addr::{PhysAddr, PhysFrame, VirtPage};
 use ptw_types::ids::{InstrId, WalkerId};
 use ptw_types::time::Cycle;
 
+use crate::buffer::WalkBuffer;
 use crate::request::WalkRequest;
 use crate::sched::{Scheduler, SchedulerKind};
 
@@ -327,11 +329,14 @@ pub struct Iommu<W> {
     l2_tlb: Tlb,
     pwc: PageWalkCache,
     scheduler: Scheduler,
-    buffer: Vec<WalkRequest<W>>,
+    buffer: WalkBuffer<W>,
     walkers: Vec<WalkerState<W>>,
     /// Pages currently being walked → walker index, to stop a second
-    /// walker from redundantly walking the same page.
-    inflight_pages: HashMap<u64, usize>,
+    /// walker from redundantly walking the same page. At most one entry
+    /// per walker, so a dense pair list beats a hash map: the eligibility
+    /// probe in the selection loop is a ≤-16-entry linear scan with no
+    /// hashing.
+    inflight_pages: Vec<(u64, usize)>,
     next_seq: u64,
     next_service_seq: u64,
     stats: IommuStats,
@@ -361,9 +366,9 @@ impl<W> Iommu<W> {
             l2_tlb: Tlb::new(cfg.l2_tlb),
             pwc: PageWalkCache::new(cfg.pwc),
             scheduler: Scheduler::new(cfg.scheduler, cfg.aging_threshold, cfg.seed),
-            buffer: Vec::new(),
+            buffer: WalkBuffer::new(),
             walkers,
-            inflight_pages: HashMap::new(),
+            inflight_pages: Vec::new(),
             next_seq: 0,
             next_service_seq: 0,
             stats: IommuStats::default(),
@@ -412,16 +417,23 @@ impl<W> Iommu<W> {
     /// Captures a diagnostic freeze-frame of buffer and walker state for
     /// attachment to livelock / budget-exhaustion errors.
     pub fn snapshot(&self) -> IommuSnapshot {
-        let mut per_instr: HashMap<u32, usize> = HashMap::new();
-        for r in &self.buffer {
-            *per_instr.entry(r.instr.raw()).or_insert(0) += 1;
+        // Aggregate per-instruction counts without a hash map: collect the
+        // raw ids, sort, and run-length encode.
+        let mut ids: Vec<u32> = self.buffer.iter().map(|(_, r)| r.instr.raw()).collect();
+        ids.sort_unstable();
+        let mut pending_per_instr: Vec<(u32, usize)> = Vec::new();
+        for id in ids {
+            match pending_per_instr.last_mut() {
+                Some((last, n)) if *last == id => *n += 1,
+                _ => pending_per_instr.push((id, 1)),
+            }
         }
-        let mut pending_per_instr: Vec<(u32, usize)> = per_instr.into_iter().collect();
-        pending_per_instr.sort_unstable();
-        let mut oldest: Vec<PendingWalkSnapshot> = self
+        // The arrival list is already in ascending-seq order.
+        let oldest: Vec<PendingWalkSnapshot> = self
             .buffer
             .iter()
-            .map(|r| PendingWalkSnapshot {
+            .take(IommuSnapshot::OLDEST_CAP)
+            .map(|(_, r)| PendingWalkSnapshot {
                 page: r.page.raw(),
                 instr: r.instr.raw(),
                 seq: r.seq,
@@ -429,8 +441,6 @@ impl<W> Iommu<W> {
                 bypassed: r.bypassed,
             })
             .collect();
-        oldest.sort_unstable_by_key(|p| p.seq);
-        oldest.truncate(IommuSnapshot::OLDEST_CAP);
         let walkers = self
             .walkers
             .iter()
@@ -497,15 +507,19 @@ impl<W> Iommu<W> {
         let mut score = 0u32;
         if !self.has_free_walker() && self.scheduler.uses_scores() {
             own_estimate = self.pwc.estimate(page).accesses;
+            // All pending requests of one instruction share a score, so
+            // the chain head holds the prior (O(1)); the rescore walks
+            // only this instruction's chain (O(chain), not O(buffer)).
             let prior = self
                 .buffer
-                .iter()
-                .find(|r| r.instr == instr)
-                .map(|r| r.score)
+                .instr_first(instr)
+                .map(|h| self.buffer.get(h).score)
                 .unwrap_or(0);
             score = prior + own_estimate as u32;
-            for r in self.buffer.iter_mut().filter(|r| r.instr == instr) {
-                r.score = score;
+            let mut cursor = self.buffer.instr_first(instr);
+            while let Some(h) = cursor {
+                self.buffer.get_mut(h).score = score;
+                cursor = self.buffer.instr_next(h);
             }
             #[cfg(debug_assertions)]
             {
@@ -552,12 +566,15 @@ impl<W> Iommu<W> {
         while self.has_free_walker() && !self.buffer.is_empty() {
             let window_len = self.buffer.len().min(self.cfg.buffer_entries);
             let inflight = &self.inflight_pages;
-            let Some(idx) = self.scheduler.select(&mut self.buffer[..window_len], |r| {
-                !inflight.contains_key(&r.page.raw())
-            }) else {
+            let Some(handle) = self
+                .scheduler
+                .select_in_buffer(&mut self.buffer, window_len, |r| {
+                    !inflight.iter().any(|&(p, _)| p == r.page.raw())
+                })
+            else {
                 break;
             };
-            let request = self.buffer.remove(idx);
+            let request = self.buffer.remove(handle);
             let walker_idx = self
                 .walkers
                 .iter()
@@ -571,7 +588,7 @@ impl<W> Iommu<W> {
             self.next_service_seq += 1;
             self.stats.walks_performed += 1;
             self.stats.total_walk_accesses += plan.accesses() as u64;
-            self.inflight_pages.insert(request.page.raw(), walker_idx);
+            self.inflight_pages.push((request.page.raw(), walker_idx));
             reads.push(MemRead {
                 walker: WalkerId(walker_idx as u8),
                 addr: plan.pte_reads[0],
@@ -629,7 +646,13 @@ impl<W> Iommu<W> {
         self.pwc.complete_walk(&plan);
         self.l2_tlb.fill(page, frame);
         self.l1_tlb.fill(page, frame);
-        self.inflight_pages.remove(&page.raw());
+        if let Some(i) = self
+            .inflight_pages
+            .iter()
+            .position(|&(p, _)| p == page.raw())
+        {
+            self.inflight_pages.swap_remove(i);
+        }
 
         let mut completions = Vec::new();
         self.stats.total_walk_latency += now - request.enqueued_at;
@@ -645,32 +668,33 @@ impl<W> Iommu<W> {
             service_seq,
             waiter: request.waiter,
         });
-        // Same-page requests piggyback on this walk's TLB fill.
-        let mut i = 0;
-        while i < self.buffer.len() {
-            if self.buffer[i].page == page {
-                let r = self.buffer.remove(i);
-                // A very young same-page entry may have a modelled enqueue
-                // time (arrival + TLB lookup latency) slightly after the
-                // walk finished; it completes as soon as it is enqueued.
-                let done_at = now.max(r.enqueued_at);
-                self.stats.merged_completions += 1;
-                self.stats.total_walk_latency += done_at - r.enqueued_at;
-                self.stats.completed_requests += 1;
-                completions.push(CompletedTranslation {
-                    page,
-                    frame,
-                    instr: r.instr,
-                    enqueued_at: r.enqueued_at,
-                    completed_at: done_at,
-                    via_walk: false,
-                    walk_accesses: plan.accesses(),
-                    service_seq,
-                    waiter: r.waiter,
-                });
-            } else {
-                i += 1;
+        // Same-page requests piggyback on this walk's TLB fill, collected
+        // in arrival order (the order the old `Vec` scan produced).
+        let mut cursor = self.buffer.first();
+        while let Some(h) = cursor {
+            cursor = self.buffer.next(h);
+            if self.buffer.get(h).page != page {
+                continue;
             }
+            let r = self.buffer.remove(h);
+            // A very young same-page entry may have a modelled enqueue
+            // time (arrival + TLB lookup latency) slightly after the
+            // walk finished; it completes as soon as it is enqueued.
+            let done_at = now.max(r.enqueued_at);
+            self.stats.merged_completions += 1;
+            self.stats.total_walk_latency += done_at - r.enqueued_at;
+            self.stats.completed_requests += 1;
+            completions.push(CompletedTranslation {
+                page,
+                frame,
+                instr: r.instr,
+                enqueued_at: r.enqueued_at,
+                completed_at: done_at,
+                via_walk: false,
+                walk_accesses: plan.accesses(),
+                service_seq,
+                waiter: r.waiter,
+            });
         }
         WalkerStep::Done(completions)
     }

@@ -14,6 +14,8 @@
 //! Crate layout:
 //!
 //! * [`request`] — the buffered walk request (instruction ID, score, aging);
+//! * [`buffer`] — the pending-walk buffer: an arrival-ordered slab with a
+//!   per-instruction index (stable `u32` handles, O(1) insert/remove);
 //! * [`policy`] — the open [`WalkPolicy`](policy::WalkPolicy) trait, the
 //!   seven built-in policies (FCFS / Random / SJF-only / Batch-only /
 //!   SIMT-aware / Heaviest-first / Round-robin), and the name→factory
@@ -66,11 +68,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod buffer;
 pub mod iommu;
 pub mod policy;
 pub mod request;
 pub mod sched;
 
+pub use buffer::WalkBuffer;
 pub use iommu::{
     CompletedTranslation, Iommu, IommuConfig, IommuStats, MemRead, TranslationOutcome, WalkerStep,
 };

@@ -29,6 +29,7 @@
 
 use ptw_types::ids::InstrId;
 
+use crate::buffer::WalkBuffer;
 use crate::policy::{Candidate, PolicyParams, PolicyRegistry, WalkPolicy};
 use crate::request::WalkRequest;
 
@@ -306,6 +307,85 @@ impl Scheduler {
             }
         }
         let instr = window[choice].instr;
+        self.last_instr = Some(instr);
+        self.policy.on_dispatch(instr);
+        Some(choice)
+    }
+
+    /// [`select`](Self::select) over a [`WalkBuffer`] window: considers the
+    /// `window_len` oldest pending requests in arrival order and returns
+    /// the chosen request's buffer *handle*.
+    ///
+    /// Selection, aging bookkeeping, and dispatch notification are
+    /// identical to the slice version — candidates are presented to the
+    /// policy in the same order with the same fields (the opaque
+    /// [`Candidate::index`] carries the handle instead of a slice index;
+    /// no policy interprets it) — so the two entry points make
+    /// bit-identical decisions on the same pending set.
+    pub fn select_in_buffer<W>(
+        &mut self,
+        buf: &mut WalkBuffer<W>,
+        window_len: usize,
+        eligible: impl Fn(&WalkRequest<W>) -> bool,
+    ) -> Option<u32> {
+        // One pass: gather candidates and the oldest starved request.
+        self.scratch.clear();
+        let mut starved: Option<(u64, u32)> = None;
+        let mut cursor = buf.first();
+        for _ in 0..window_len {
+            let Some(h) = cursor else { break };
+            let r = buf.get(h);
+            if eligible(r) {
+                self.scratch.push(Candidate {
+                    index: h as usize,
+                    instr: r.instr,
+                    seq: r.seq,
+                    score: r.score,
+                });
+                if r.is_starved(self.aging_threshold) && starved.is_none_or(|(seq, _)| r.seq < seq)
+                {
+                    starved = Some((r.seq, h));
+                }
+            }
+            cursor = buf.next(h);
+        }
+        if self.scratch.is_empty() {
+            return None;
+        }
+
+        // Starved requests pre-empt the policy's choice unless the policy
+        // opts out (FCFS is starvation-free by construction; Random stays
+        // the paper's unmodified "naive random" straw-man).
+        let choice = match starved {
+            Some((_, h)) if self.policy.honors_aging() => h,
+            _ => self.scratch[self.policy.select(&self.scratch)].index as u32,
+        };
+
+        // Aging: every eligible request older than the choice was bypassed.
+        let chosen_seq = buf.get(choice).seq;
+        for i in 0..self.scratch.len() {
+            let c = self.scratch[i];
+            if c.seq < chosen_seq {
+                buf.get_mut(c.index as u32).bypassed += 1;
+            }
+        }
+        // Aging bound: under an aging-honoring policy the oldest starved
+        // request pre-empts the pick, so no eligible request can ever be
+        // bypassed past the threshold — it would have been chosen (or be
+        // younger than the chosen starved request, and left untouched).
+        #[cfg(debug_assertions)]
+        if self.policy.honors_aging() {
+            for c in &self.scratch {
+                debug_assert!(
+                    buf.get(c.index as u32).bypassed <= self.aging_threshold,
+                    "request seq {} bypassed {} times, past the aging threshold {}",
+                    c.seq,
+                    buf.get(c.index as u32).bypassed,
+                    self.aging_threshold,
+                );
+            }
+        }
+        let instr = buf.get(choice).instr;
         self.last_instr = Some(instr);
         self.policy.on_dispatch(instr);
         Some(choice)

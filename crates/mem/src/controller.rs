@@ -251,13 +251,17 @@ impl MemoryController {
     /// or `None` if it has nothing queued.
     fn channel_ready_time(&self, channel: usize) -> Option<Cycle> {
         let ch = &self.channels[channel];
-        let candidates: Box<dyn Iterator<Item = &Pending>> = match self.policy {
-            MemSchedPolicy::Fcfs => Box::new(ch.queue.front().into_iter()),
-            MemSchedPolicy::FrFcfs => Box::new(ch.queue.iter()),
+        let earliest_request = match self.policy {
+            MemSchedPolicy::Fcfs => {
+                let p = ch.queue.front()?;
+                ch.banks[p.coord.bank].ready_at.max(p.arrived)
+            }
+            MemSchedPolicy::FrFcfs => ch
+                .queue
+                .iter()
+                .map(|p| ch.banks[p.coord.bank].ready_at.max(p.arrived))
+                .min()?,
         };
-        let earliest_request = candidates
-            .map(|p| ch.banks[p.coord.bank].ready_at.max(p.arrived))
-            .min()?;
         Some(earliest_request.max(ch.next_issue_at))
     }
 

@@ -99,9 +99,9 @@ fn main() -> ExitCode {
                 }
             },
             "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
-                Some(n) if n > 0 => exec = SweepExecutor::new(n),
-                _ => {
-                    eprintln!("--jobs needs a positive integer");
+                Some(n) => exec = SweepExecutor::new(n), // 0 = auto
+                None => {
+                    eprintln!("--jobs needs an integer (0 = one per hardware thread)");
                     return ExitCode::FAILURE;
                 }
             },

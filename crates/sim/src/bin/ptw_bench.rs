@@ -1,0 +1,408 @@
+//! Simulator-throughput benchmark harness (`ptw-bench`).
+//!
+//! Measures how fast the *simulator itself* runs — events per wall-clock
+//! second — so performance PRs have a recorded baseline instead of a
+//! claim. One cell = one serial `(benchmark, scheduler)` run of the Table
+//! I baseline system; the sweep covers every Table II benchmark × every
+//! extended scheduling policy.
+//!
+//! ```text
+//! ptw-bench [--scale small|medium|paper] [--seed N]
+//!           [--out FILE]            # write/refresh a BENCH_*.json baseline
+//!           [--label TEXT]          # history label recorded with --out
+//!           [--check FILE]          # CI smoke: compare against a baseline
+//!           [--max-regress PCT]     # allowed events/sec regression (default 20)
+//!           [--quiet]
+//! ```
+//!
+//! `--out` writes the JSON baseline (schema: `{commit, date, scale,
+//! cells: [{bench, sched, events, wall_ms, events_per_sec}], total,
+//! ci_smoke, history}`). An existing file's `history` array is carried
+//! over and the new aggregate appended, so successive refreshes record
+//! the perf trajectory. `ci_smoke` holds a small-scale aggregate used by
+//! `scripts/ci.sh bench-smoke`: `--check FILE` re-runs the small sweep
+//! and exits nonzero if measured events/sec fall more than
+//! `--max-regress` percent below the stored smoke baseline.
+//!
+//! Wall-clock numbers are machine-dependent; refresh baselines on the
+//! machine that will compare against them.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ptw_core::sched::SchedulerKind;
+use ptw_sim::json::{escape, Value};
+use ptw_sim::runner::{run_benchmark, RunSpec};
+use ptw_workloads::{BenchmarkId, Scale};
+
+/// One measured `(benchmark, scheduler)` cell.
+struct Cell {
+    bench: BenchmarkId,
+    sched: SchedulerKind,
+    events: u64,
+    wall_ms: f64,
+}
+
+impl Cell {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+}
+
+/// A sweep's aggregate throughput.
+struct Totals {
+    events: u64,
+    wall_ms: f64,
+}
+
+impl Totals {
+    fn of(cells: &[Cell]) -> Totals {
+        Totals {
+            events: cells.iter().map(|c| c.events).sum(),
+            wall_ms: cells.iter().map(|c| c.wall_ms).sum(),
+        }
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+}
+
+/// Runs the full benchmark × policy sweep serially at `scale`, one cell at
+/// a time on the calling thread so the measurement is per-run throughput,
+/// not parallelism.
+fn sweep(scale: Scale, seed: u64, quiet: bool) -> Result<Vec<Cell>, String> {
+    let mut cells = Vec::new();
+    for bench in BenchmarkId::ALL {
+        for sched in SchedulerKind::EXTENDED {
+            let mut spec = RunSpec::new(bench, sched, scale);
+            spec.seed = seed;
+            let started = Instant::now();
+            let result = run_benchmark(&spec)
+                .map_err(|e| format!("bench cell {} failed: {e}", spec.label()))?;
+            let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+            if !quiet {
+                let cell = Cell {
+                    bench,
+                    sched,
+                    events: result.events,
+                    wall_ms,
+                };
+                eprintln!(
+                    "[ptw-bench] {bench} / {} — {} events in {wall_ms:.1} ms ({:.0} events/s)",
+                    sched.label(),
+                    cell.events,
+                    cell.events_per_sec()
+                );
+                cells.push(cell);
+            } else {
+                cells.push(Cell {
+                    bench,
+                    sched,
+                    events: result.events,
+                    wall_ms,
+                });
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// `git rev-parse HEAD`, or `"unknown"` outside a git checkout.
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, derived from the system clock with
+/// the classic civil-from-days conversion (no chrono dependency).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "{{\"bench\": \"{}\", \"sched\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \
+         \"events_per_sec\": {:.1}}}",
+        c.bench,
+        escape(c.sched.label()),
+        c.events,
+        c.wall_ms,
+        c.events_per_sec()
+    )
+}
+
+fn totals_json(t: &Totals) -> String {
+    format!(
+        "{{\"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.1}}}",
+        t.events,
+        t.wall_ms,
+        t.events_per_sec()
+    )
+}
+
+/// Re-encodes a history entry loaded from a previous baseline file.
+fn history_entry_json(v: &Value) -> Option<String> {
+    let label = v.get("label")?.as_str()?;
+    let commit = v.get("commit").and_then(Value::as_str).unwrap_or("unknown");
+    let date = v.get("date").and_then(Value::as_str).unwrap_or("unknown");
+    let eps = v.get("events_per_sec")?.as_f64()?;
+    Some(format!(
+        "{{\"label\": \"{}\", \"commit\": \"{}\", \"date\": \"{}\", \"events_per_sec\": {eps:.1}}}",
+        escape(label),
+        escape(commit),
+        escape(date)
+    ))
+}
+
+/// Builds the complete baseline JSON document.
+fn render_baseline(
+    scale: Scale,
+    cells: &[Cell],
+    smoke: &Totals,
+    prior_history: &[String],
+    label: &str,
+) -> String {
+    let total = Totals::of(cells);
+    let commit = current_commit();
+    let date = today_utc();
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"commit\": \"{}\",", escape(&commit));
+    let _ = writeln!(out, "  \"date\": \"{date}\",");
+    let _ = writeln!(out, "  \"scale\": \"{}\",", scale.label());
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", cell_json(c));
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"total\": {},", totals_json(&total));
+    let _ = writeln!(
+        out,
+        "  \"ci_smoke\": {{\"scale\": \"small\", \"events\": {}, \"wall_ms\": {:.3}, \
+         \"events_per_sec\": {:.1}}},",
+        smoke.events,
+        smoke.wall_ms,
+        smoke.events_per_sec()
+    );
+    let _ = writeln!(out, "  \"history\": [");
+    let new_entry = format!(
+        "{{\"label\": \"{}\", \"commit\": \"{}\", \"date\": \"{date}\", \
+         \"events_per_sec\": {:.1}}}",
+        escape(label),
+        escape(&commit),
+        total.events_per_sec()
+    );
+    for h in prior_history {
+        let _ = writeln!(out, "    {h},");
+    }
+    let _ = writeln!(out, "    {new_entry}");
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Loads the history array from an existing baseline file (empty when the
+/// file is missing or unparseable — a refresh must never fail on it).
+fn load_history(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(doc) = Value::parse(&text) else {
+        eprintln!("[ptw-bench] warning: {path} is not valid JSON; starting fresh history");
+        return Vec::new();
+    };
+    doc.get("history")
+        .and_then(Value::as_arr)
+        .map(|entries| entries.iter().filter_map(history_entry_json).collect())
+        .unwrap_or_default()
+}
+
+/// The committed small-scale smoke baseline (events/sec) from `path`.
+fn load_smoke_baseline(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Value::parse(&text).ok_or_else(|| format!("{path} is not valid JSON"))?;
+    doc.get("ci_smoke")
+        .and_then(|s| s.get("events_per_sec"))
+        .and_then(Value::as_f64)
+        .filter(|eps| *eps > 0.0)
+        .ok_or_else(|| format!("{path} has no ci_smoke.events_per_sec"))
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Medium;
+    let mut seed = 0xC0FFEE_u64;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut label = String::from("measurement");
+    let mut max_regress_pct = 20.0f64;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().as_deref().and_then(Scale::parse) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("--scale needs one of small|medium|paper");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check = Some(p),
+                None => {
+                    eprintln!("--check needs a baseline file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--label" => match args.next() {
+                Some(l) => label = l,
+                None => {
+                    eprintln!("--label needs text");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-regress" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(p) if (0.0..100.0).contains(&p) => max_regress_pct = p,
+                _ => {
+                    eprintln!("--max-regress needs a percentage in 0..100");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ptw-bench [--scale small|medium|paper] [--seed N] \
+                     [--out FILE] [--label TEXT] [--check FILE] [--max-regress PCT] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // CI smoke mode: small-scale sweep against the committed baseline.
+    if let Some(path) = check {
+        let baseline = match load_smoke_baseline(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[ptw-bench] {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cells = match sweep(Scale::Small, seed, true) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[ptw-bench] {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let measured = Totals::of(&cells).events_per_sec();
+        let floor = baseline * (1.0 - max_regress_pct / 100.0);
+        println!(
+            "[ptw-bench] smoke: measured {measured:.0} events/s, baseline {baseline:.0}, \
+             floor {floor:.0} ({max_regress_pct:.0}% regression allowed)"
+        );
+        if measured < floor {
+            eprintln!("[ptw-bench] FAIL: events/sec regressed past the allowed floor");
+            return ExitCode::FAILURE;
+        }
+        println!("[ptw-bench] smoke OK");
+        return ExitCode::SUCCESS;
+    }
+
+    let started = Instant::now();
+    let cells = match sweep(scale, seed, quiet) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[ptw-bench] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total = Totals::of(&cells);
+    println!(
+        "[ptw-bench] {} cells at {} scale: {} events in {:.1} ms simulated serially \
+         ({:.0} events/s; harness wall {:.1}s)",
+        cells.len(),
+        scale.label(),
+        total.events,
+        total.wall_ms,
+        total.events_per_sec(),
+        started.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = out {
+        // The small-scale smoke aggregate rides along in the same file so
+        // CI has a fast comparison point.
+        let smoke_cells = match sweep(Scale::Small, seed, true) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[ptw-bench] {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let smoke = Totals::of(&smoke_cells);
+        let history = load_history(&path);
+        let doc = render_baseline(scale, &cells, &smoke, &history, &label);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("[ptw-bench] cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "[ptw-bench] wrote {path} (smoke {:.0} events/s, history now {} entr{})",
+            smoke.events_per_sec(),
+            history.len() + 1,
+            if history.len() + 1 == 1 { "y" } else { "ies" }
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -3,11 +3,42 @@
 //! Events are ordered by `(time, insertion sequence)`, so simultaneous
 //! events fire in the order they were scheduled — runs are bit-reproducible
 //! regardless of platform or hash-map iteration order.
+//!
+//! # Two-level calendar queue
+//!
+//! Almost every event a cycle-level simulation schedules lands within a
+//! few hundred cycles of "now" (TLB lookups, walker steps, DRAM timings),
+//! so a comparison-based heap pays `O(log n)` per event for ordering the
+//! queue almost never needs. [`EventQueue`] instead keeps a *near* ring of
+//! [`HORIZON`] one-cycle buckets — schedule and pop are O(1) plus a
+//! word-at-a-time occupancy-bitmap scan — and spills the rare far-future
+//! event into a small fallback [`BinaryHeap`]. When the near ring drains,
+//! the queue *rebases* onto the earliest far event and migrates the next
+//! horizon's worth of far events into the ring.
+//!
+//! The `(time, insertion sequence)` total order is preserved exactly:
+//!
+//! * near events always precede far events (near holds `at < horizon`,
+//!   far holds `at ≥ horizon`);
+//! * within a one-cycle bucket, FIFO push order *is* sequence order,
+//!   because direct inserts carry monotonically increasing sequence
+//!   numbers and rebase migration (a) only happens while the ring is
+//!   empty and (b) drains the far heap in `(at, seq)` order, so migrated
+//!   entries land in sequence order and every later direct insert has a
+//!   larger sequence number than any migrated one.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use ptw_types::time::Cycle;
+
+/// Width of the near ring in cycles. Must be a power of two. DRAM row
+/// conflicts (~104 cycles) and full walk chains (4 reads) sit far below
+/// this, so in practice only watchdog-style events ever reach the far
+/// heap.
+pub const HORIZON: u64 = 4096;
+
+const WORDS: usize = (HORIZON as usize) / 64;
 
 #[derive(Debug, PartialEq, Eq)]
 struct Scheduled<E> {
@@ -43,7 +74,21 @@ impl<E: Eq> PartialOrd for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// One-cycle buckets for events with `at < horizon`; bucket index is
+    /// `at % HORIZON`. Within a bucket, front-to-back order is sequence
+    /// order (see module docs).
+    near: Vec<VecDeque<E>>,
+    /// Occupancy bitmap over `near`: bit `i` set iff `near[i]` is
+    /// non-empty.
+    occ: [u64; WORDS],
+    /// Number of events currently in the near ring.
+    near_len: usize,
+    /// Events with `at ≥ horizon`.
+    far: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Exclusive upper bound on near-ring event times. Invariants:
+    /// `now < horizon ≤ now + HORIZON` outside of `pop`, so each pending
+    /// near time maps to a distinct bucket.
+    horizon: Cycle,
     next_seq: u64,
     now: Cycle,
     processed: u64,
@@ -59,7 +104,11 @@ impl<E: Eq> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            near: (0..HORIZON).map(|_| VecDeque::new()).collect(),
+            occ: [0; WORDS],
+            near_len: 0,
+            far: BinaryHeap::new(),
+            horizon: Cycle::new(HORIZON),
             next_seq: 0,
             now: Cycle::ZERO,
             processed: 0,
@@ -78,12 +127,12 @@ impl<E: Eq> EventQueue<E> {
 
     /// Number of events waiting.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.near_len + self.far.len()
     }
 
     /// Whether no events are waiting.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.near_len == 0 && self.far.is_empty()
     }
 
     /// Schedules `event` to fire at `at`.
@@ -100,21 +149,112 @@ impl<E: Eq> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        if at < self.horizon {
+            let bucket = (at.raw() % HORIZON) as usize;
+            self.near[bucket].push_back(event);
+            self.occ[bucket / 64] |= 1u64 << (bucket % 64);
+            self.near_len += 1;
+        } else {
+            self.far.push(Reverse(Scheduled { at, seq, event }));
+        }
+    }
+
+    /// Removes one pending event equal to `event` scheduled at `at`, if
+    /// such an event sits in the near ring. Returns whether an event was
+    /// removed; relative order of everything else is untouched.
+    ///
+    /// Far-horizon events are not searched (a heap cannot remove cheaply);
+    /// callers must keep their existing is-this-stale guard for that case.
+    pub fn try_cancel(&mut self, at: Cycle, event: &E) -> bool {
+        if at < self.now || at >= self.horizon {
+            return false;
+        }
+        let bucket = (at.raw() % HORIZON) as usize;
+        let Some(idx) = self.near[bucket].iter().position(|e| e == event) else {
+            return false;
+        };
+        self.near[bucket].remove(idx);
+        if self.near[bucket].is_empty() {
+            self.occ[bucket / 64] &= !(1u64 << (bucket % 64));
+        }
+        self.near_len -= 1;
+        true
+    }
+
+    /// Earliest occupied near-ring time at or after `from`, which must be
+    /// a lower bound on every pending near event. O(HORIZON/64) worst
+    /// case; one word read in the common dense case.
+    fn next_occupied(&self, from: Cycle) -> Option<Cycle> {
+        if self.near_len == 0 {
+            return None;
+        }
+        let from = from.raw();
+        let start = (from % HORIZON) as usize;
+        let mut word_idx = start / 64;
+        let mut word = self.occ[word_idx] & (!0u64 << (start % 64));
+        // ≤ WORDS + 1 iterations: the full ring, plus revisiting the
+        // first word with its below-`start` bits unmasked (those map to
+        // times in the window's final cycles).
+        for _ in 0..=WORDS {
+            if word != 0 {
+                let bucket = (word_idx * 64 + word.trailing_zeros() as usize) as u64;
+                // `at ≡ bucket (mod HORIZON)` and `from ≤ at < from +
+                // HORIZON`, so the wrapped delta reconstructs `at`.
+                let delta = bucket.wrapping_sub(from) % HORIZON;
+                return Some(Cycle::new(from + delta));
+            }
+            word_idx = (word_idx + 1) % WORDS;
+            word = self.occ[word_idx];
+        }
+        unreachable!("near ring reports {} events but no occupied bucket", {
+            self.near_len
+        })
+    }
+
+    /// Re-anchors an empty near ring at the earliest far event's time `t`:
+    /// sets `horizon = t + HORIZON` and migrates every far event below the
+    /// new horizon into the ring. Returns `t`.
+    fn rebase(&mut self) -> Option<Cycle> {
+        debug_assert_eq!(self.near_len, 0, "rebase requires an empty near ring");
+        let base = self.far.peek().map(|Reverse(s)| s.at)?;
+        self.horizon = Cycle::new(base.raw() + HORIZON);
+        while let Some(Reverse(s)) = self.far.peek() {
+            if s.at >= self.horizon {
+                break;
+            }
+            let Reverse(s) = self.far.pop().expect("peeked entry");
+            let bucket = (s.at.raw() % HORIZON) as usize;
+            self.near[bucket].push_back(s.event);
+            self.occ[bucket / 64] |= 1u64 << (bucket % 64);
+            self.near_len += 1;
+        }
+        Some(base)
     }
 
     /// Pops the earliest event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let Reverse(s) = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "time went backwards");
-        self.now = s.at;
+        let from = if self.near_len == 0 {
+            self.rebase()?
+        } else {
+            self.now
+        };
+        let at = self.next_occupied(from).expect("near ring is non-empty");
+        let bucket = (at.raw() % HORIZON) as usize;
+        let event = self.near[bucket].pop_front().expect("occupied bucket");
+        if self.near[bucket].is_empty() {
+            self.occ[bucket / 64] &= !(1u64 << (bucket % 64));
+        }
+        self.near_len -= 1;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.processed += 1;
-        Some((s.at, s.event))
+        Some((at, event))
     }
 
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+        self.next_occupied(self.now)
+            .or_else(|| self.far.peek().map(|Reverse(s)| s.at))
     }
 }
 
@@ -173,5 +313,85 @@ mod tests {
         q.pop();
         q.schedule(Cycle::new(10), 2);
         assert_eq!(q.pop(), Some((Cycle::new(10), 2)));
+    }
+
+    #[test]
+    fn far_horizon_events_pop_in_order() {
+        let mut q = EventQueue::new();
+        // Straddle several horizons, out of order, with a tie far out.
+        q.schedule(Cycle::new(3 * HORIZON + 7), 'd');
+        q.schedule(Cycle::new(5), 'a');
+        q.schedule(Cycle::new(3 * HORIZON + 7), 'e');
+        q.schedule(Cycle::new(HORIZON + 1), 'c');
+        q.schedule(Cycle::new(HORIZON - 1), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd', 'e']);
+        assert_eq!(q.now(), Cycle::new(3 * HORIZON + 7));
+    }
+
+    #[test]
+    fn rebase_keeps_interleaving_with_new_inserts() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(2 * HORIZON), 1); // far
+        q.schedule(Cycle::new(10), 0); // near
+        assert_eq!(q.pop(), Some((Cycle::new(10), 0)));
+        // Ring is empty; next pop rebases onto the far event. An insert
+        // at the same cycle after the rebase must still fire after it.
+        assert_eq!(q.pop(), Some((Cycle::new(2 * HORIZON), 1)));
+        q.schedule(Cycle::new(2 * HORIZON), 2);
+        q.schedule(Cycle::new(2 * HORIZON + 3), 3);
+        assert_eq!(q.pop(), Some((Cycle::new(2 * HORIZON), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(2 * HORIZON + 3), 3)));
+    }
+
+    #[test]
+    fn try_cancel_removes_exactly_one_match() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(4), 'x');
+        q.schedule(Cycle::new(4), 'y');
+        q.schedule(Cycle::new(4), 'x');
+        assert!(q.try_cancel(Cycle::new(4), &'x'));
+        assert_eq!(q.len(), 2);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['y', 'x']);
+    }
+
+    #[test]
+    fn try_cancel_misses_absent_and_far_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(4), 'x');
+        q.schedule(Cycle::new(2 * HORIZON), 'z');
+        assert!(!q.try_cancel(Cycle::new(4), &'w'), "no such event");
+        assert!(!q.try_cancel(Cycle::new(5), &'x'), "wrong time");
+        assert!(
+            !q.try_cancel(Cycle::new(2 * HORIZON), &'z'),
+            "far events are not searched"
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn peek_time_sees_near_and_far() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycle::new(2 * HORIZON), 1);
+        assert_eq!(q.peek_time(), Some(Cycle::new(2 * HORIZON)));
+        q.schedule(Cycle::new(9), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(9)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Cycle::new(2 * HORIZON)));
+    }
+
+    #[test]
+    fn bucket_wraparound_preserves_order() {
+        // Drive `now` deep into the ring, then schedule across the wrap
+        // point so low bucket indices hold later times than high ones.
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(HORIZON - 10), 0);
+        assert_eq!(q.pop(), Some((Cycle::new(HORIZON - 10), 0)));
+        q.schedule(Cycle::new(HORIZON + 5), 2); // wraps to bucket 5
+        q.schedule(Cycle::new(HORIZON - 3), 1); // high bucket, earlier time
+        assert_eq!(q.pop(), Some((Cycle::new(HORIZON - 3), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(HORIZON + 5), 2)));
     }
 }

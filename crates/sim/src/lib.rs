@@ -10,7 +10,8 @@
 //! * [`sweep`] — panic-isolated parallel fan-out of independent runs;
 //! * [`checkpoint`] — crash-safe JSONL persistence of sweep results;
 //! * [`figures`] — regeneration of every table and figure;
-//! * [`report`] — plain-text table rendering.
+//! * [`report`] — plain-text table rendering;
+//! * [`json`] — minimal JSON reader for the `BENCH_*.json` baselines.
 //!
 //! # Example: one run
 //!
@@ -34,6 +35,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod figures;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod runner;

@@ -158,10 +158,14 @@ pub struct SweepExecutor {
 }
 
 impl SweepExecutor {
-    /// An executor with exactly `workers` threads (clamped to ≥ 1).
+    /// An executor with exactly `workers` threads; `0` means
+    /// [`auto`](Self::auto) (one worker per available hardware thread).
     pub fn new(workers: usize) -> Self {
+        if workers == 0 {
+            return Self::auto();
+        }
         SweepExecutor {
-            workers: workers.max(1),
+            workers,
             retry: RetryPolicy::default(),
         }
     }
@@ -301,8 +305,11 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_is_clamped() {
-        assert_eq!(SweepExecutor::new(0).workers(), 1);
+    fn worker_count_zero_means_auto() {
+        assert_eq!(
+            SweepExecutor::new(0).workers(),
+            SweepExecutor::auto().workers()
+        );
         assert_eq!(SweepExecutor::serial().workers(), 1);
         assert!(SweepExecutor::auto().workers() >= 1);
     }

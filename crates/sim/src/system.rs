@@ -19,8 +19,6 @@
 //! 9. reply — `TranslationDone`, after which the data phase runs
 //!    (`DataSubmit`, `LineDone`).
 
-use std::collections::HashMap;
-
 use ptw_core::iommu::{Iommu, TranslationOutcome, WalkerStep};
 use ptw_core::IommuStats;
 use ptw_gpu::{coalesce, Cu, InstructionStream, Wavefront, WavefrontPhase};
@@ -116,7 +114,9 @@ pub struct System {
     l2_cache: Cache,
     l2_mshr: Mshr<(usize, u32)>,
     mem: MemoryController,
-    walk_reads: HashMap<ptw_mem::MemReqId, ptw_types::ids::WalkerId>,
+    /// Outstanding PTE reads: at most one per walker, so a tiny dense
+    /// list beats a hash map in the per-completion lookup.
+    walk_reads: Vec<(ptw_mem::MemReqId, ptw_types::ids::WalkerId)>,
     mem_tick_at: Option<Cycle>,
     /// Next cycle at which the shared L2 TLB can accept a lookup.
     l2_tlb_free: Cycle,
@@ -186,7 +186,7 @@ impl System {
             l2_cache: Cache::new(cfg.l2_cache),
             l2_mshr: Mshr::new(),
             mem: MemoryController::new(cfg.dram.clone(), cfg.mem_policy),
-            walk_reads: HashMap::new(),
+            walk_reads: Vec::new(),
             mem_tick_at: None,
             l2_tlb_free: Cycle::ZERO,
             l1_miss_free: vec![Cycle::ZERO; cus_n],
@@ -204,6 +204,15 @@ impl System {
     }
 
     /// Re-arms the memory controller wakeup if it has earlier work.
+    ///
+    /// The wakeup is next-completion-time driven (`next_event_time`), not
+    /// periodic polling; a superseded earlier tick is left in the queue
+    /// rather than cancelled with [`EventQueue::try_cancel`]. A stale
+    /// tick's position among same-cycle events is observable — when a
+    /// later re-arm lands on the same cycle, the *stale* event is the one
+    /// that passes the `mem_tick_at` guard and drives `mem.advance`, ahead
+    /// of any submits queued between the two — so removing it would change
+    /// simulated timing, and run results are pinned bit-identical.
     fn touch_mem(&mut self, now: Cycle) {
         if let Some(t) = self.mem.next_event_time() {
             let t = t.max(now);
@@ -315,7 +324,7 @@ impl System {
 
     fn handle_walker_issue(&mut self, walker: u8, addr: PhysAddr, now: Cycle) {
         let id = self.mem.submit(addr.line(), MemSource::PageWalk, now);
-        self.walk_reads.insert(id, ptw_types::ids::WalkerId(walker));
+        self.walk_reads.push((id, ptw_types::ids::WalkerId(walker)));
         self.touch_mem(now);
     }
 
@@ -334,10 +343,12 @@ impl System {
         for c in completions {
             match c.source {
                 MemSource::PageWalk => {
-                    let walker = self
+                    let slot = self
                         .walk_reads
-                        .remove(&c.id)
+                        .iter()
+                        .position(|(id, _)| *id == c.id)
                         .expect("walk read without walker");
+                    let (_, walker) = self.walk_reads.swap_remove(slot);
                     match self.iommu.memory_done(walker, now) {
                         WalkerStep::Read(r) => {
                             self.queue.schedule(

@@ -13,8 +13,8 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --release (workspace, including bin targets)"
+cargo build --release --workspace
 
 echo "== cargo test (tier-1)"
 cargo test -q
@@ -38,5 +38,12 @@ grep -q "Figure 2" "$smoke_out" || {
   cat "$smoke_out"
   exit 1
 }
+
+echo "== bench smoke (events/sec vs committed BENCH_3.json, >20% regress fails)"
+if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "skipped (CI_SKIP_BENCH=1)"
+else
+  ./target/release/ptw-bench --check BENCH_3.json --quiet
+fi
 
 echo "CI OK"
