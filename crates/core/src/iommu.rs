@@ -455,7 +455,7 @@ impl<W> Iommu<W> {
                     page: request.page.raw(),
                     instr: request.instr.raw(),
                     reads_done: *reads_done,
-                    reads_total: plan.pte_reads.len(),
+                    reads_total: plan.pte_reads().len(),
                 },
             })
             .collect();
@@ -563,6 +563,18 @@ impl<W> Iommu<W> {
     /// premap every page they touch, so this indicates a harness bug.
     pub fn start_walkers(&mut self, table: &PageTable, now: Cycle) -> Vec<MemRead> {
         let mut reads = Vec::new();
+        self.start_walkers_into(table, now, &mut reads);
+        reads
+    }
+
+    /// Buffer-reusing form of [`start_walkers`](Self::start_walkers):
+    /// appends the first PTE read of each started walk to `reads` instead
+    /// of allocating a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// As [`start_walkers`](Self::start_walkers).
+    pub fn start_walkers_into(&mut self, table: &PageTable, now: Cycle, reads: &mut Vec<MemRead>) {
         while self.has_free_walker() && !self.buffer.is_empty() {
             let window_len = self.buffer.len().min(self.cfg.buffer_entries);
             let inflight = &self.inflight_pages;
@@ -591,7 +603,7 @@ impl<W> Iommu<W> {
             self.inflight_pages.push((request.page.raw(), walker_idx));
             reads.push(MemRead {
                 walker: WalkerId(walker_idx as u8),
-                addr: plan.pte_reads[0],
+                addr: plan.pte_reads()[0],
                 issue_at: now + self.cfg.pwc_cycles,
             });
             self.walkers[walker_idx] = WalkerState::Busy {
@@ -601,7 +613,6 @@ impl<W> Iommu<W> {
                 service_seq,
             };
         }
-        reads
     }
 
     /// Reports that the outstanding PTE read of `walker` finished at `now`.
@@ -624,10 +635,10 @@ impl<W> Iommu<W> {
             panic!("memory_done on idle {walker:?}");
         };
         *reads_done += 1;
-        if *reads_done < plan.pte_reads.len() {
+        if *reads_done < plan.pte_reads().len() {
             return WalkerStep::Read(MemRead {
                 walker,
-                addr: plan.pte_reads[*reads_done],
+                addr: plan.pte_reads()[*reads_done],
                 issue_at: now,
             });
         }
@@ -673,6 +684,7 @@ impl<W> Iommu<W> {
         let mut cursor = self.buffer.first();
         while let Some(h) = cursor {
             cursor = self.buffer.next(h);
+            self.buffer.prefetch(cursor);
             if self.buffer.get(h).page != page {
                 continue;
             }

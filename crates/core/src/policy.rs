@@ -99,6 +99,18 @@ pub trait WalkPolicy: std::fmt::Debug + Send {
     fn honors_aging(&self) -> bool {
         true
     }
+
+    /// Whether [`select`](Self::select) always returns the oldest
+    /// candidate. Combined with an opted-out [`honors_aging`]
+    /// (Self::honors_aging), this lets the scheduler stop scanning its
+    /// window at the first eligible request — the pick is the oldest
+    /// eligible by construction, so no younger candidate can influence
+    /// the choice and no bypass counter can change (nothing eligible is
+    /// older than the pick). Purely an optimisation hint: claiming it
+    /// while `select` does anything else changes scheduling decisions.
+    fn picks_oldest(&self) -> bool {
+        false
+    }
 }
 
 /// Position of the oldest candidate.
@@ -163,6 +175,10 @@ impl WalkPolicy for FcfsPolicy {
 
     fn honors_aging(&self) -> bool {
         false
+    }
+
+    fn picks_oldest(&self) -> bool {
+        true
     }
 }
 

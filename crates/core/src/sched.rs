@@ -328,12 +328,38 @@ impl Scheduler {
         window_len: usize,
         eligible: impl Fn(&WalkRequest<W>) -> bool,
     ) -> Option<u32> {
+        // Oldest-first fast path: a policy that always selects the oldest
+        // candidate and opts out of aging pre-emption is fully determined
+        // by the *first* eligible request in arrival order — candidates
+        // are gathered seq-ascending, so the pick is the oldest eligible,
+        // no starved request can override it, and the aging loop is a
+        // no-op (nothing eligible is older than the pick). Scanning can
+        // therefore stop at the first hit instead of walking the window.
+        if self.policy.picks_oldest() && !self.policy.honors_aging() {
+            let mut cursor = buf.first();
+            for _ in 0..window_len {
+                let Some(h) = cursor else { break };
+                cursor = buf.next(h);
+                buf.prefetch(cursor);
+                let r = buf.get(h);
+                if eligible(r) {
+                    let instr = r.instr;
+                    self.last_instr = Some(instr);
+                    self.policy.on_dispatch(instr);
+                    return Some(h);
+                }
+            }
+            return None;
+        }
+
         // One pass: gather candidates and the oldest starved request.
         self.scratch.clear();
         let mut starved: Option<(u64, u32)> = None;
         let mut cursor = buf.first();
         for _ in 0..window_len {
             let Some(h) = cursor else { break };
+            cursor = buf.next(h);
+            buf.prefetch(cursor);
             let r = buf.get(h);
             if eligible(r) {
                 self.scratch.push(Candidate {
@@ -347,7 +373,6 @@ impl Scheduler {
                     starved = Some((r.seq, h));
                 }
             }
-            cursor = buf.next(h);
         }
         if self.scratch.is_empty() {
             return None;

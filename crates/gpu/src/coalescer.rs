@@ -45,9 +45,24 @@ impl CoalesceResult {
 /// Panics if `addrs` is empty — an instruction with no active lanes never
 /// reaches the memory pipeline.
 pub fn coalesce(addrs: &[VirtAddr]) -> CoalesceResult {
-    assert!(!addrs.is_empty(), "memory instruction with no active lanes");
     let mut pages: Vec<VirtPage> = Vec::new();
     let mut lines: Vec<VirtAddr> = Vec::new();
+    coalesce_split(addrs, &mut pages, &mut lines);
+    CoalesceResult { pages, lines }
+}
+
+/// Allocation-free form of [`coalesce`]: writes the unique pages and lines
+/// into caller-provided buffers (cleared first), so a simulator issuing one
+/// instruction per event can recycle the same two buffers forever.
+///
+/// # Panics
+///
+/// Panics if `addrs` is empty — an instruction with no active lanes never
+/// reaches the memory pipeline.
+pub fn coalesce_split(addrs: &[VirtAddr], pages: &mut Vec<VirtPage>, lines: &mut Vec<VirtAddr>) {
+    assert!(!addrs.is_empty(), "memory instruction with no active lanes");
+    pages.clear();
+    lines.clear();
     for &a in addrs {
         let page = a.page();
         if !pages.contains(&page) {
@@ -58,7 +73,6 @@ pub fn coalesce(addrs: &[VirtAddr]) -> CoalesceResult {
             lines.push(line);
         }
     }
-    CoalesceResult { pages, lines }
 }
 
 #[cfg(test)]
@@ -118,6 +132,19 @@ mod tests {
     #[should_panic]
     fn empty_lanes_panic() {
         coalesce(&[]);
+    }
+
+    #[test]
+    fn split_form_matches_and_clears_stale_contents() {
+        let mut pages = vec![VirtPage::new(999)];
+        let mut lines = vec![VirtAddr::new(999 * 64)];
+        for base in [0u64, 0x10_0000, 0x20_0000] {
+            let addrs: Vec<VirtAddr> = (0..16).map(|l| VirtAddr::new(base + l * 8)).collect();
+            coalesce_split(&addrs, &mut pages, &mut lines);
+            let r = coalesce(&addrs);
+            assert_eq!(pages, r.pages);
+            assert_eq!(lines, r.lines);
+        }
     }
 }
 

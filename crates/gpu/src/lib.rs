@@ -28,7 +28,7 @@ pub mod wavefront;
 use ptw_types::addr::VirtAddr;
 use ptw_types::ids::WavefrontId;
 
-pub use coalescer::{coalesce, CoalesceResult};
+pub use coalescer::{coalesce, coalesce_split, CoalesceResult};
 pub use cu::Cu;
 pub use wavefront::{Wavefront, WavefrontPhase};
 
@@ -43,6 +43,23 @@ pub trait InstructionStream {
     ///
     /// The returned vector has one entry per *active* lane (1..=64 entries).
     fn next_instruction(&mut self, wf: WavefrontId) -> Option<Vec<VirtAddr>>;
+
+    /// Allocation-free form of [`next_instruction`](Self::next_instruction):
+    /// writes the per-lane addresses into `out` (cleared first) and returns
+    /// `false` when the wavefront's work is finished.
+    ///
+    /// The default forwards to `next_instruction`; generators on the
+    /// simulator's hot path override it to reuse the caller's buffer.
+    fn next_instruction_into(&mut self, wf: WavefrontId, out: &mut Vec<VirtAddr>) -> bool {
+        match self.next_instruction(wf) {
+            Some(addrs) => {
+                out.clear();
+                out.extend_from_slice(&addrs);
+                true
+            }
+            None => false,
+        }
+    }
 
     /// Total number of wavefronts in the kernel (IDs `0..wavefronts()`).
     fn wavefronts(&self) -> u32;
@@ -152,5 +169,15 @@ mod tests {
         assert!(s.next_instruction(WavefrontId(0)).is_none());
         assert!(s.next_instruction(WavefrontId(1)).is_some());
         assert!(s.next_instruction(WavefrontId(1)).is_none());
+    }
+
+    #[test]
+    fn default_into_form_clears_buffer_and_signals_retirement() {
+        let mut s = TwoInstr { left: vec![1] };
+        let mut out = vec![VirtAddr::new(0xdead)];
+        assert!(s.next_instruction_into(WavefrontId(0), &mut out));
+        assert_eq!(out, vec![VirtAddr::new(0x1000)]);
+        assert!(!s.next_instruction_into(WavefrontId(0), &mut out));
+        assert_eq!(out, vec![VirtAddr::new(0x1000)], "untouched on retire");
     }
 }

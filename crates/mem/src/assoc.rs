@@ -15,8 +15,28 @@
 //! Pinned-aware victim selection follows the paper: prefer an unpinned
 //! victim; if *every* valid way is pinned, fall back to the policy's normal
 //! victim.
+//!
+//! # Storage layout
+//!
+//! Every lookup in the simulator funnels through this type, so the layout
+//! is optimized for the probe path (DESIGN.md §10):
+//!
+//! * keys and values live in two dense arrays (no `Option` per way) —
+//!   the tag scan walks a contiguous run of `ways` keys;
+//! * validity is one `u64` bitmask per set (way counts are capped at 64;
+//!   the largest real geometry is 32), so tag scans visit only live ways
+//!   and "first free way" is a single `trailing_zeros`;
+//! * tree-PLRU direction bits pack into one word per set; LRU stamps are a
+//!   dense parallel array allocated only under [`Replacement::Lru`] (exact
+//!   LRU order over up to 64 ways cannot fit one word — the per-set stamp
+//!   run is still contiguous, one or two cache lines for 16 ways).
+//!
+//! Invalid slots are never read: every access to `keys`/`values` is guarded
+//! by the set's valid bitmask, which is the safety invariant behind the
+//! `MaybeUninit` storage. `K` and `V` are `Copy`, so slots need no drops.
 
 use core::fmt;
+use core::mem::MaybeUninit;
 
 /// Replacement policy for an [`AssocArray`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -32,11 +52,57 @@ pub enum Replacement {
     Random,
 }
 
-#[derive(Clone, Debug)]
-struct Way<K, V> {
-    key: K,
-    value: V,
-    stamp: u64,
+/// Precomputed key→set mapping: a single mask for power-of-two set counts
+/// (every real geometry in this workspace), falling back to modulo so
+/// arbitrary sweep geometries still work.
+#[derive(Clone, Copy, Debug)]
+pub struct SetIndex {
+    sets: u64,
+    mask: u64,
+    pow2: bool,
+}
+
+impl SetIndex {
+    /// Builds the mapping for `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: usize) -> Self {
+        assert!(sets > 0, "set count must be positive");
+        SetIndex {
+            sets: sets as u64,
+            mask: sets as u64 - 1,
+            pow2: sets.is_power_of_two(),
+        }
+    }
+
+    /// Maps a raw key (address bits) to its set.
+    #[inline]
+    pub fn of(&self, raw: u64) -> usize {
+        if self.pow2 {
+            (raw & self.mask) as usize
+        } else {
+            (raw % self.sets) as usize
+        }
+    }
+}
+
+/// Iterates the set bit positions of a word, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let w = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(w)
+    }
 }
 
 /// A set-associative array mapping keys to values.
@@ -56,21 +122,32 @@ struct Way<K, V> {
 pub struct AssocArray<K, V> {
     sets: usize,
     ways: usize,
-    entries: Vec<Option<Way<K, V>>>,
+    /// Tags, `ways` per set; slot `set * ways + way` is initialized iff
+    /// bit `way` of `valid[set]` is set.
+    keys: Box<[MaybeUninit<K>]>,
+    /// Values, parallel to `keys` under the same validity invariant.
+    values: Box<[MaybeUninit<V>]>,
+    /// One validity word per set; bit `way` = slot holds a live entry.
+    valid: Box<[u64]>,
+    /// LRU access stamps, parallel to `keys`; empty unless the policy is
+    /// [`Replacement::Lru`].
+    stamps: Box<[u64]>,
+    /// Live-entry count (so `len` is O(1)).
+    live: usize,
     policy: Replacement,
     /// Tree-PLRU direction bits, `ways - 1` bits per set (bit 0 = root).
-    plru_bits: Vec<u64>,
+    plru_bits: Box<[u64]>,
     tick: u64,
     rng: ptw_types::rng::SplitMix64,
 }
 
-impl<K: Eq + Copy, V> AssocArray<K, V> {
+impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
     /// Creates an empty array of `sets` sets with `ways` ways each.
     ///
     /// # Panics
     ///
-    /// Panics if `sets` or `ways` is zero, or if `TreePlru` is requested
-    /// with a non-power-of-two way count.
+    /// Panics if `sets` or `ways` is zero, if `ways` exceeds 64, or if
+    /// `TreePlru` is requested with a non-power-of-two way count.
     pub fn new(sets: usize, ways: usize, policy: Replacement) -> Self {
         Self::with_seed(sets, ways, policy, 0x5eed_ba5e)
     }
@@ -80,26 +157,33 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` or `ways` is zero, or if `TreePlru` is requested
-    /// with a non-power-of-two way count.
+    /// Panics if `sets` or `ways` is zero, if `ways` exceeds 64, or if
+    /// `TreePlru` is requested with a non-power-of-two way count.
     pub fn with_seed(sets: usize, ways: usize, policy: Replacement, seed: u64) -> Self {
         assert!(
             sets > 0 && ways > 0,
             "AssocArray dimensions must be positive"
+        );
+        assert!(
+            ways <= 64,
+            "AssocArray supports at most 64 ways (per-set valid bitmask)"
         );
         if policy == Replacement::TreePlru {
             assert!(
                 ways.is_power_of_two(),
                 "TreePlru requires power-of-two ways"
             );
-            assert!(ways <= 64, "TreePlru supports at most 64 ways");
         }
-        let mut entries = Vec::with_capacity(sets * ways);
-        entries.resize_with(sets * ways, || None);
+        let slots = sets * ways;
         AssocArray {
             sets,
             ways,
-            entries,
+            keys: vec![MaybeUninit::uninit(); slots].into_boxed_slice(),
+            values: vec![MaybeUninit::uninit(); slots].into_boxed_slice(),
+            valid: vec![0u64; sets].into_boxed_slice(),
+            stamps: vec![0u64; if policy == Replacement::Lru { slots } else { 0 }]
+                .into_boxed_slice(),
+            live: 0,
             policy,
             plru_bits: vec![
                 0;
@@ -108,7 +192,8 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
                 } else {
                     0
                 }
-            ],
+            ]
+            .into_boxed_slice(),
             tick: 0,
             rng: ptw_types::rng::SplitMix64::new(seed),
         }
@@ -131,36 +216,56 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
 
     /// Number of currently valid entries.
     pub fn len(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.live
     }
 
     /// Whether the array holds no valid entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.iter().all(|e| e.is_none())
+        self.live == 0
     }
 
+    /// Number of valid entries in `set`.
+    pub fn set_len(&self, set: usize) -> usize {
+        self.valid[set].count_ones() as usize
+    }
+
+    #[inline]
     fn slot(&self, set: usize, way: usize) -> usize {
         debug_assert!(set < self.sets && way < self.ways);
         set * self.ways + way
     }
 
+    /// All-ways-valid mask for one set.
+    #[inline]
+    fn full_mask(&self) -> u64 {
+        u64::MAX >> (64 - self.ways)
+    }
+
+    #[inline]
     fn find_way(&self, set: usize, key: K) -> Option<usize> {
-        (0..self.ways).find(|&w| {
-            self.entries[self.slot(set, w)]
-                .as_ref()
-                .is_some_and(|e| e.key == key)
-        })
+        let base = set * self.ways;
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let w = mask.trailing_zeros() as usize;
+            // SAFETY: bit `w` of `valid[set]` is set, so the slot is
+            // initialized.
+            if unsafe { self.keys[base + w].assume_init_read() } == key {
+                return Some(w);
+            }
+            mask &= mask - 1;
+        }
+        None
     }
 
     fn touch(&mut self, set: usize, way: usize) {
         self.tick += 1;
-        let tick = self.tick;
-        let slot = self.slot(set, way);
-        if let Some(e) = self.entries[slot].as_mut() {
-            e.stamp = tick;
-        }
-        if self.policy == Replacement::TreePlru {
-            self.plru_touch(set, way);
+        match self.policy {
+            Replacement::Lru => {
+                let slot = self.slot(set, way);
+                self.stamps[slot] = self.tick;
+            }
+            Replacement::TreePlru => self.plru_touch(set, way),
+            Replacement::Random => {}
         }
     }
 
@@ -200,7 +305,8 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
         let way = self.find_way(set, key)?;
         self.touch(set, way);
         let slot = self.slot(set, way);
-        self.entries[slot].as_ref().map(|e| &e.value)
+        // SAFETY: `find_way` only returns ways marked valid.
+        Some(unsafe { self.values[slot].assume_init_ref() })
     }
 
     /// Looks up `key` in `set` with mutable access, updating recency.
@@ -208,20 +314,23 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
         let way = self.find_way(set, key)?;
         self.touch(set, way);
         let slot = self.slot(set, way);
-        self.entries[slot].as_mut().map(|e| &mut e.value)
+        // SAFETY: `find_way` only returns ways marked valid.
+        Some(unsafe { self.values[slot].assume_init_mut() })
     }
 
     /// Checks for `key` *without* updating recency (a probe, not an access).
     pub fn probe(&self, set: usize, key: K) -> Option<&V> {
         let way = self.find_way(set, key)?;
-        self.entries[self.slot(set, way)].as_ref().map(|e| &e.value)
+        // SAFETY: `find_way` only returns ways marked valid.
+        Some(unsafe { self.values[self.slot(set, way)].assume_init_ref() })
     }
 
     /// Probes without recency update, returning mutable access.
     pub fn probe_mut(&mut self, set: usize, key: K) -> Option<&mut V> {
         let way = self.find_way(set, key)?;
         let slot = self.slot(set, way);
-        self.entries[slot].as_mut().map(|e| &mut e.value)
+        // SAFETY: `find_way` only returns ways marked valid.
+        Some(unsafe { self.values[slot].assume_init_mut() })
     }
 
     /// Inserts `key → value` into `set`, evicting if necessary.
@@ -246,61 +355,87 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
     ) -> Option<(K, V)> {
         if let Some(way) = self.find_way(set, key) {
             let slot = self.slot(set, way);
-            if let Some(e) = self.entries[slot].as_mut() {
-                e.value = value;
-            }
+            self.values[slot].write(value);
             self.touch(set, way);
             return None;
         }
-        // Prefer an invalid way.
-        if let Some(way) = (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none()) {
+        // Prefer an invalid way (lowest index, as the Option scan did).
+        let free = !self.valid[set] & self.full_mask();
+        if free != 0 {
+            let way = free.trailing_zeros() as usize;
             let slot = self.slot(set, way);
-            self.entries[slot] = Some(Way {
-                key,
-                value,
-                stamp: 0,
-            });
+            self.keys[slot].write(key);
+            self.values[slot].write(value);
+            self.valid[set] |= 1 << way;
+            self.live += 1;
             self.touch(set, way);
             return None;
         }
         let way = self.victim_way(set, &pinned);
         let slot = self.slot(set, way);
-        let old = self.entries[slot].take().map(|e| (e.key, e.value));
-        self.entries[slot] = Some(Way {
-            key,
-            value,
-            stamp: 0,
-        });
+        // SAFETY: the set is full (no free way above), so the victim slot
+        // is initialized.
+        let old = unsafe {
+            (
+                self.keys[slot].assume_init_read(),
+                self.values[slot].assume_init_read(),
+            )
+        };
+        self.keys[slot].write(key);
+        self.values[slot].write(value);
         self.touch(set, way);
-        old
+        Some(old)
     }
 
-    /// The way the policy would evict next (pinning-aware), assuming the set
-    /// is full.
+    /// The way the policy would evict next (pinning-aware); only called on
+    /// a full set.
     fn victim_way(&mut self, set: usize, pinned: &impl Fn(&K, &V) -> bool) -> usize {
+        debug_assert_eq!(self.valid[set], self.full_mask(), "victim of non-full set");
+        // The PRNG draw happens unconditionally under Random — before any
+        // pinned check — to keep the stream identical to the original
+        // implementation.
         let random_start = if self.policy == Replacement::Random {
             self.rng.index(self.ways)
         } else {
             0
         };
+        let base = set * self.ways;
         let is_pinned = |w: usize| {
-            self.entries[self.slot(set, w)]
-                .as_ref()
-                .is_some_and(|e| pinned(&e.key, &e.value))
+            // SAFETY: the set is full, so every way is initialized.
+            unsafe {
+                pinned(
+                    self.keys[base + w].assume_init_ref(),
+                    self.values[base + w].assume_init_ref(),
+                )
+            }
         };
         match self.policy {
             Replacement::Lru => {
-                let lru_of = |ways: &mut dyn Iterator<Item = usize>| {
-                    ways.min_by_key(|&w| {
-                        self.entries[self.slot(set, w)]
-                            .as_ref()
-                            .map_or(0, |e| e.stamp)
-                    })
-                };
-                let mut unpinned = (0..self.ways).filter(|&w| !is_pinned(w));
-                lru_of(&mut unpinned)
-                    .or_else(|| lru_of(&mut (0..self.ways)))
-                    .expect("non-empty set")
+                // First-minimum scan: stamps are unique among valid ways,
+                // and ties (impossible here) would break toward the lowest
+                // way index, exactly like the old `min_by_key`.
+                let mut best: Option<(u64, usize)> = None;
+                for w in 0..self.ways {
+                    if is_pinned(w) {
+                        continue;
+                    }
+                    let s = self.stamps[base + w];
+                    if best.is_none_or(|(bs, _)| s < bs) {
+                        best = Some((s, w));
+                    }
+                }
+                if let Some((_, w)) = best {
+                    return w;
+                }
+                // Every way pinned: plain LRU over the whole set.
+                let mut best = (self.stamps[base], 0);
+                for w in 1..self.ways {
+                    let s = self.stamps[base + w];
+                    if s < best.0 {
+                        best = (s, w);
+                    }
+                }
+                best.1
             }
             Replacement::TreePlru => {
                 let v = self.plru_victim(set);
@@ -325,37 +460,271 @@ impl<K: Eq + Copy, V> AssocArray<K, V> {
     /// Removes `key` from `set`, returning its value if present.
     pub fn invalidate(&mut self, set: usize, key: K) -> Option<V> {
         let way = self.find_way(set, key)?;
-        let slot = self.slot(set, way);
-        self.entries[slot].take().map(|e| e.value)
+        self.valid[set] &= !(1 << way);
+        self.live -= 1;
+        // SAFETY: `find_way` only returns ways that were marked valid.
+        Some(unsafe { self.values[self.slot(set, way)].assume_init_read() })
     }
 
     /// Clears every entry.
     pub fn clear(&mut self) {
-        for e in &mut self.entries {
-            *e = None;
+        for v in self.valid.iter_mut() {
+            *v = 0;
         }
-        for b in &mut self.plru_bits {
+        for b in self.plru_bits.iter_mut() {
             *b = 0;
         }
+        self.live = 0;
     }
 
-    /// Iterates over all valid `(set, key, value)` triples.
+    /// Iterates over all valid `(set, key, value)` triples in set-major,
+    /// way-ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &K, &V)> + '_ {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, e)| e.as_ref().map(|e| (i / self.ways, &e.key, &e.value)))
+        (0..self.sets).flat_map(move |set| self.iter_set(set).map(move |(k, v)| (set, k, v)))
+    }
+
+    /// Iterates the valid `(key, value)` pairs of one set, way-ascending.
+    pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (&K, &V)> + '_ {
+        let base = set * self.ways;
+        BitIter(self.valid[set]).map(move |w| {
+            // SAFETY: `BitIter` yields only ways whose valid bit is set.
+            unsafe {
+                (
+                    self.keys[base + w].assume_init_ref(),
+                    self.values[base + w].assume_init_ref(),
+                )
+            }
+        })
     }
 }
 
-impl<K: Eq + Copy + fmt::Debug, V: fmt::Debug> fmt::Debug for AssocArray<K, V> {
+impl<K, V> fmt::Debug for AssocArray<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AssocArray")
             .field("sets", &self.sets)
             .field("ways", &self.ways)
             .field("policy", &self.policy)
-            .field("len", &self.len())
+            .field("len", &self.live)
             .finish()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod oracle {
+    //! The pre-refactor `Vec<Option<Way>>` implementation, kept verbatim as
+    //! the differential-test oracle for the bitmask/split-storage rewrite
+    //! above. Every observable behavior — victim order, PRNG stream, tie
+    //! breaks, iteration order — must match between the two.
+
+    use super::Replacement;
+
+    #[derive(Clone, Debug)]
+    struct Way<K, V> {
+        key: K,
+        value: V,
+        stamp: u64,
+    }
+
+    pub struct OracleArray<K, V> {
+        ways: usize,
+        entries: Vec<Option<Way<K, V>>>,
+        policy: Replacement,
+        plru_bits: Vec<u64>,
+        tick: u64,
+        rng: ptw_types::rng::SplitMix64,
+    }
+
+    impl<K: Eq + Copy, V> OracleArray<K, V> {
+        pub fn with_seed(sets: usize, ways: usize, policy: Replacement, seed: u64) -> Self {
+            assert!(sets > 0 && ways > 0);
+            if policy == Replacement::TreePlru {
+                assert!(ways.is_power_of_two());
+                assert!(ways <= 64);
+            }
+            let mut entries = Vec::with_capacity(sets * ways);
+            entries.resize_with(sets * ways, || None);
+            OracleArray {
+                ways,
+                entries,
+                policy,
+                plru_bits: vec![
+                    0;
+                    if policy == Replacement::TreePlru {
+                        sets
+                    } else {
+                        0
+                    }
+                ],
+                tick: 0,
+                rng: ptw_types::rng::SplitMix64::new(seed),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.iter().filter(|e| e.is_some()).count()
+        }
+
+        fn slot(&self, set: usize, way: usize) -> usize {
+            set * self.ways + way
+        }
+
+        fn find_way(&self, set: usize, key: K) -> Option<usize> {
+            (0..self.ways).find(|&w| {
+                self.entries[self.slot(set, w)]
+                    .as_ref()
+                    .is_some_and(|e| e.key == key)
+            })
+        }
+
+        fn touch(&mut self, set: usize, way: usize) {
+            self.tick += 1;
+            let tick = self.tick;
+            let slot = self.slot(set, way);
+            if let Some(e) = self.entries[slot].as_mut() {
+                e.stamp = tick;
+            }
+            if self.policy == Replacement::TreePlru {
+                self.plru_touch(set, way);
+            }
+        }
+
+        fn plru_touch(&mut self, set: usize, way: usize) {
+            let mut node = 0usize;
+            let levels = self.ways.trailing_zeros();
+            for level in (0..levels).rev() {
+                let bit = (way >> level) & 1;
+                let bits = &mut self.plru_bits[set];
+                if bit == 0 {
+                    *bits |= 1 << node;
+                } else {
+                    *bits &= !(1 << node);
+                }
+                node = 2 * node + 1 + bit;
+            }
+        }
+
+        fn plru_victim(&self, set: usize) -> usize {
+            let mut node = 0usize;
+            let mut way = 0usize;
+            let levels = self.ways.trailing_zeros();
+            for _ in 0..levels {
+                let bit = ((self.plru_bits[set] >> node) & 1) as usize;
+                way = (way << 1) | bit;
+                node = 2 * node + 1 + bit;
+            }
+            way
+        }
+
+        pub fn lookup(&mut self, set: usize, key: K) -> Option<&V> {
+            let way = self.find_way(set, key)?;
+            self.touch(set, way);
+            let slot = self.slot(set, way);
+            self.entries[slot].as_ref().map(|e| &e.value)
+        }
+
+        pub fn lookup_mut(&mut self, set: usize, key: K) -> Option<&mut V> {
+            let way = self.find_way(set, key)?;
+            self.touch(set, way);
+            let slot = self.slot(set, way);
+            self.entries[slot].as_mut().map(|e| &mut e.value)
+        }
+
+        pub fn probe(&self, set: usize, key: K) -> Option<&V> {
+            let way = self.find_way(set, key)?;
+            self.entries[self.slot(set, way)].as_ref().map(|e| &e.value)
+        }
+
+        pub fn fill_pinned(
+            &mut self,
+            set: usize,
+            key: K,
+            value: V,
+            pinned: impl Fn(&K, &V) -> bool,
+        ) -> Option<(K, V)> {
+            if let Some(way) = self.find_way(set, key) {
+                let slot = self.slot(set, way);
+                if let Some(e) = self.entries[slot].as_mut() {
+                    e.value = value;
+                }
+                self.touch(set, way);
+                return None;
+            }
+            if let Some(way) = (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none()) {
+                let slot = self.slot(set, way);
+                self.entries[slot] = Some(Way {
+                    key,
+                    value,
+                    stamp: 0,
+                });
+                self.touch(set, way);
+                return None;
+            }
+            let way = self.victim_way(set, &pinned);
+            let slot = self.slot(set, way);
+            let old = self.entries[slot].take().map(|e| (e.key, e.value));
+            self.entries[slot] = Some(Way {
+                key,
+                value,
+                stamp: 0,
+            });
+            self.touch(set, way);
+            old
+        }
+
+        fn victim_way(&mut self, set: usize, pinned: &impl Fn(&K, &V) -> bool) -> usize {
+            let random_start = if self.policy == Replacement::Random {
+                self.rng.index(self.ways)
+            } else {
+                0
+            };
+            let is_pinned = |w: usize| {
+                self.entries[self.slot(set, w)]
+                    .as_ref()
+                    .is_some_and(|e| pinned(&e.key, &e.value))
+            };
+            match self.policy {
+                Replacement::Lru => {
+                    let lru_of = |ways: &mut dyn Iterator<Item = usize>| {
+                        ways.min_by_key(|&w| {
+                            self.entries[self.slot(set, w)]
+                                .as_ref()
+                                .map_or(0, |e| e.stamp)
+                        })
+                    };
+                    let mut unpinned = (0..self.ways).filter(|&w| !is_pinned(w));
+                    lru_of(&mut unpinned)
+                        .or_else(|| lru_of(&mut (0..self.ways)))
+                        .expect("non-empty set")
+                }
+                Replacement::TreePlru => {
+                    let v = self.plru_victim(set);
+                    if !is_pinned(v) {
+                        return v;
+                    }
+                    (0..self.ways)
+                        .map(|off| (v + off) % self.ways)
+                        .find(|&w| !is_pinned(w))
+                        .unwrap_or(v)
+                }
+                Replacement::Random => (0..self.ways)
+                    .map(|off| (random_start + off) % self.ways)
+                    .find(|&w| !is_pinned(w))
+                    .unwrap_or(random_start),
+            }
+        }
+
+        pub fn invalidate(&mut self, set: usize, key: K) -> Option<V> {
+            let way = self.find_way(set, key)?;
+            let slot = self.slot(set, way);
+            self.entries[slot].take().map(|e| e.value)
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (usize, &K, &V)> + '_ {
+            self.entries
+                .iter()
+                .enumerate()
+                .filter_map(move |(i, e)| e.as_ref().map(|e| (i / self.ways, &e.key, &e.value)))
+        }
     }
 }
 
@@ -469,6 +838,22 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn more_than_64_ways_panics() {
+        let _ = AssocArray::<u64, ()>::new(1, 65, Replacement::Lru);
+    }
+
+    #[test]
+    fn sixty_four_ways_work() {
+        let mut a: AssocArray<u64, ()> = AssocArray::new(1, 64, Replacement::Lru);
+        for k in 0..65u64 {
+            a.fill(0, k, ());
+        }
+        assert_eq!(a.len(), 64);
+        assert!(a.probe(0, 0).is_none()); // key 0 was the LRU victim
+    }
+
+    #[test]
     fn random_replacement_is_deterministic_and_graceful() {
         // Two identically seeded arrays evict identically.
         let mut a: AssocArray<u64, ()> = AssocArray::with_seed(1, 4, Replacement::Random, 7);
@@ -512,6 +897,20 @@ mod tests {
     }
 
     #[test]
+    fn random_all_pinned_falls_back_to_rng_choice() {
+        // With every way pinned, Random must still evict — the way its own
+        // PRNG drew — rather than loop or panic.
+        let mut a: AssocArray<u64, u32> = AssocArray::with_seed(1, 4, Replacement::Random, 11);
+        for k in 0..4 {
+            a.fill(0, k, 0);
+        }
+        let ev = a.fill_pinned(0, 99, 0, |_, _| true);
+        assert!(ev.is_some(), "all-pinned set must still evict");
+        assert!(a.probe(0, 99).is_some());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
     fn iter_visits_all() {
         let mut a: AssocArray<u64, u32> = AssocArray::new(2, 2, Replacement::Lru);
         a.fill(0, 1, 10);
@@ -522,10 +921,135 @@ mod tests {
     }
 
     #[test]
+    fn iter_set_and_set_len() {
+        let mut a: AssocArray<u64, u32> = AssocArray::new(2, 2, Replacement::Lru);
+        a.fill(0, 1, 10);
+        a.fill(0, 2, 20);
+        a.fill(1, 3, 30);
+        assert_eq!(a.set_len(0), 2);
+        assert_eq!(a.set_len(1), 1);
+        let s0: Vec<(u64, u32)> = a.iter_set(0).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(s0, vec![(1, 10), (2, 20)]);
+        a.invalidate(0, 1);
+        assert_eq!(a.set_len(0), 1);
+    }
+
+    #[test]
     fn clear_empties() {
         let mut a: AssocArray<u64, u32> = AssocArray::new(2, 2, Replacement::TreePlru);
         a.fill(0, 1, 10);
         a.clear();
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn set_index_matches_modulo() {
+        for sets in [1usize, 2, 16, 32, 4096, 3, 12, 100] {
+            let ix = SetIndex::new(sets);
+            for raw in (0..1000u64).chain([u64::MAX, u64::MAX - 7]) {
+                assert_eq!(ix.of(raw), (raw % sets as u64) as usize, "sets={sets}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod differential {
+    //! Differential tests: the rewritten array against the pre-refactor
+    //! oracle, across every policy and pinning regime (including the
+    //! all-ways-pinned fallback), driven by the in-tree `SplitMix64`.
+
+    use super::oracle::OracleArray;
+    use super::*;
+    use ptw_types::rng::SplitMix64;
+
+    type Pin = fn(&u64, &u32) -> bool;
+
+    const PIN_NONE: Pin = |_, _| false;
+    const PIN_SOME: Pin = |&k, _| k % 3 == 0;
+    const PIN_ALL: Pin = |_, _| true;
+
+    fn drive(policy: Replacement, seed: u64, pin: Pin) {
+        let (sets, ways) = (4usize, 4usize);
+        let mut new_a: AssocArray<u64, u32> = AssocArray::with_seed(sets, ways, policy, seed);
+        let mut old_a: OracleArray<u64, u32> = OracleArray::with_seed(sets, ways, policy, seed);
+        let mut rng = SplitMix64::new(seed ^ 0xD1FF_5EED);
+        for step in 0..4000u32 {
+            let set = rng.index(sets);
+            let key = rng.next_below(24);
+            match rng.index(8) {
+                0..=3 => {
+                    let v = rng.next_below(1000) as u32;
+                    assert_eq!(
+                        new_a.fill_pinned(set, key, v, pin),
+                        old_a.fill_pinned(set, key, v, pin),
+                        "fill diverged at step {step} ({policy:?})"
+                    );
+                }
+                4 => assert_eq!(
+                    new_a.lookup(set, key).copied(),
+                    old_a.lookup(set, key).copied(),
+                    "lookup diverged at step {step} ({policy:?})"
+                ),
+                5 => assert_eq!(
+                    new_a.probe(set, key).copied(),
+                    old_a.probe(set, key).copied(),
+                    "probe diverged at step {step} ({policy:?})"
+                ),
+                6 => assert_eq!(
+                    new_a.invalidate(set, key),
+                    old_a.invalidate(set, key),
+                    "invalidate diverged at step {step} ({policy:?})"
+                ),
+                _ => {
+                    let n = new_a.lookup_mut(set, key).map(|v| {
+                        *v = v.wrapping_add(1);
+                        *v
+                    });
+                    let o = old_a.lookup_mut(set, key).map(|v| {
+                        *v = v.wrapping_add(1);
+                        *v
+                    });
+                    assert_eq!(n, o, "lookup_mut diverged at step {step} ({policy:?})");
+                }
+            }
+            assert_eq!(new_a.len(), old_a.len(), "len diverged at step {step}");
+        }
+        // Final contents AND iteration order must match exactly.
+        let got: Vec<(usize, u64, u32)> = new_a.iter().map(|(s, &k, &v)| (s, k, v)).collect();
+        let want: Vec<(usize, u64, u32)> = old_a.iter().map(|(s, &k, &v)| (s, k, v)).collect();
+        assert_eq!(got, want, "final contents diverged ({policy:?})");
+    }
+
+    #[test]
+    fn matches_oracle_across_policies_and_pin_regimes() {
+        for policy in [Replacement::Lru, Replacement::TreePlru, Replacement::Random] {
+            for pin in [PIN_NONE, PIN_SOME, PIN_ALL] {
+                for seed in [1u64, 0xBEEF, 0x1234_5678] {
+                    drive(policy, seed, pin);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_all_pinned_matches_oracle_victims() {
+        // Focused stress on the Random + all-pinned fallback: every fill
+        // evicts, and the victim must follow the oracle's PRNG stream.
+        let mut new_a: AssocArray<u64, u32> =
+            AssocArray::with_seed(1, 4, Replacement::Random, 0xACE);
+        let mut old_a: OracleArray<u64, u32> =
+            OracleArray::with_seed(1, 4, Replacement::Random, 0xACE);
+        for k in 0..4u64 {
+            new_a.fill(0, k, 0);
+            old_a.fill_pinned(0, k, 0, |_, _| false);
+        }
+        for k in 100..300u64 {
+            assert_eq!(
+                new_a.fill_pinned(0, k, 0, |_, _| true),
+                old_a.fill_pinned(0, k, 0, |_, _| true),
+                "victim diverged at key {k}"
+            );
+        }
     }
 }

@@ -9,13 +9,19 @@
 //! with MSHR merging; stores are treated like loads (write-allocate,
 //! no write-back traffic). The paper's bottleneck is address translation,
 //! not write bandwidth.
+//!
+//! The MSHR file is a small linear-probed slab rather than a hash map:
+//! the number of concurrently outstanding lines is bounded by the machine's
+//! miss-handling width (tens of entries in every observed run — see
+//! [`Mshr::peak`]), so a linear tag scan beats hashing on every miss, and
+//! retiring an entry recycles its waiter buffer instead of dropping it
+//! (DESIGN.md §10).
 
-use std::collections::HashMap;
-
-use ptw_types::addr::{LineAddr, LINE_SHIFT, LINE_SIZE};
+use ptw_types::addr::{LineAddr, LINE_SHIFT};
 use ptw_types::stats::HitRate;
 
-use crate::assoc::{AssocArray, Replacement};
+use crate::assoc::{AssocArray, Replacement, SetIndex};
+use ptw_types::addr::LINE_SIZE;
 
 /// Geometry of one cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,7 +81,7 @@ impl CacheConfig {
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: usize,
+    set_ix: SetIndex,
     array: AssocArray<u64, ()>,
     stats: HitRate,
 }
@@ -86,7 +92,7 @@ impl Cache {
         let sets = cfg.sets();
         Cache {
             cfg,
-            sets,
+            set_ix: SetIndex::new(sets),
             array: AssocArray::new(sets, cfg.ways, Replacement::Lru),
             stats: HitRate::new(),
         }
@@ -97,8 +103,9 @@ impl Cache {
         &self.cfg
     }
 
+    #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
-        ((line.raw() >> LINE_SHIFT) % self.sets as u64) as usize
+        self.set_ix.of(line.raw() >> LINE_SHIFT)
     }
 
     /// Performs a demand access: returns `true` on hit (recency updated),
@@ -154,21 +161,36 @@ pub enum MshrOutcome {
     Merged,
 }
 
+/// One outstanding line and its merged waiters.
+#[derive(Debug)]
+struct MshrEntry<W> {
+    line: u64,
+    waiters: Vec<W>,
+}
+
 /// Miss-status holding registers: coalesces concurrent misses to the same
 /// line and holds per-line waiter lists until the refill returns.
 ///
 /// Generic over the waiter token `W` so the data path and the translation
 /// path can store whatever bookkeeping they need.
+///
+/// Entries live in a linearly scanned slab (outstanding-line counts are
+/// bounded by miss-handling width, so the scan is short) and retired
+/// waiter buffers are recycled, making [`register`](Self::register) and
+/// [`complete_into`](Self::complete_into) allocation-free at steady state.
 #[derive(Debug)]
 pub struct Mshr<W> {
-    entries: HashMap<u64, Vec<W>>,
+    entries: Vec<MshrEntry<W>>,
+    /// Recycled waiter buffers from completed entries.
+    spare: Vec<Vec<W>>,
     peak: usize,
 }
 
 impl<W> Default for Mshr<W> {
     fn default() -> Self {
         Mshr {
-            entries: HashMap::new(),
+            entries: Vec::new(),
+            spare: Vec::new(),
             peak: 0,
         }
     }
@@ -180,27 +202,51 @@ impl<W> Mshr<W> {
         Self::default()
     }
 
+    #[inline]
+    fn position(&self, line: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.line == line)
+    }
+
     /// Registers `waiter` for the refill of `line`.
     pub fn register(&mut self, line: LineAddr, waiter: W) -> MshrOutcome {
-        let entry = self.entries.entry(line.raw());
-        let outcome = match &entry {
-            std::collections::hash_map::Entry::Occupied(_) => MshrOutcome::Merged,
-            std::collections::hash_map::Entry::Vacant(_) => MshrOutcome::Allocated,
-        };
-        entry.or_default().push(waiter);
+        let raw = line.raw();
+        if let Some(i) = self.position(raw) {
+            self.entries[i].waiters.push(waiter);
+            return MshrOutcome::Merged;
+        }
+        let mut waiters = self.spare.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.push(MshrEntry { line: raw, waiters });
         self.peak = self.peak.max(self.entries.len());
-        outcome
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the refill of `line`, appending all merged waiters to
+    /// `out` (nothing if no miss was registered). The entry's buffer is
+    /// recycled for future misses, so the steady-state path never
+    /// allocates.
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<W>) {
+        if let Some(i) = self.position(line.raw()) {
+            let mut e = self.entries.swap_remove(i);
+            out.append(&mut e.waiters);
+            self.spare.push(e.waiters);
+        }
     }
 
     /// Completes the refill of `line`, returning all merged waiters
-    /// (empty if no miss was registered).
+    /// (empty if no miss was registered). Prefer
+    /// [`complete_into`](Self::complete_into) on hot paths — this variant
+    /// gives up the entry's buffer to the caller.
     pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
-        self.entries.remove(&line.raw()).unwrap_or_default()
+        match self.position(line.raw()) {
+            Some(i) => self.entries.swap_remove(i).waiters,
+            None => Vec::new(),
+        }
     }
 
     /// Whether a refill for `line` is outstanding.
     pub fn pending(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line.raw())
+        self.position(line.raw()).is_some()
     }
 
     /// Number of outstanding lines.
@@ -312,6 +358,25 @@ mod tests {
     fn mshr_complete_unknown_line_is_empty() {
         let mut m: Mshr<u8> = Mshr::new();
         assert!(m.complete(LineAddr::new(0)).is_empty());
+    }
+
+    #[test]
+    fn mshr_complete_into_recycles_buffers() {
+        let mut m: Mshr<u32> = Mshr::new();
+        let mut out = Vec::new();
+        for round in 0..4u32 {
+            let l = LineAddr::new(u64::from(round) * 64);
+            m.register(l, round * 10);
+            m.register(l, round * 10 + 1);
+            out.clear();
+            m.complete_into(l, &mut out);
+            assert_eq!(out, vec![round * 10, round * 10 + 1]);
+            assert!(m.is_empty());
+        }
+        // Unknown line leaves `out` untouched.
+        out.clear();
+        m.complete_into(LineAddr::new(0x1_0000), &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

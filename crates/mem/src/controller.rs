@@ -84,6 +84,14 @@ struct Channel {
     queue: VecDeque<Pending>,
     next_issue_at: Cycle,
     banks: Vec<Bank>,
+    /// Memoised [`MemoryController::channel_ready_time`] result, valid
+    /// while `ready_dirty` is false. The ready time depends only on the
+    /// queue, the banks and `next_issue_at`, so it is invalidated exactly
+    /// when one of those changes (a submit or an issue); between events
+    /// the event loop re-reads it for free instead of rescanning the
+    /// queue.
+    ready_cache: Option<Cycle>,
+    ready_dirty: bool,
 }
 
 /// Aggregate statistics for one controller.
@@ -169,6 +177,8 @@ impl MemoryController {
                 queue: VecDeque::new(),
                 next_issue_at: Cycle::ZERO,
                 banks: vec![Bank::default(); cfg.banks_per_channel()],
+                ready_cache: None,
+                ready_dirty: false,
             })
             .collect();
         MemoryController {
@@ -205,82 +215,127 @@ impl MemoryController {
             MemSource::PageWalk => self.stats.walk_requests += 1,
         }
         let coord = map_address(&self.cfg, line);
-        self.channels[coord.channel].queue.push_back(Pending {
+        let ch = &mut self.channels[coord.channel];
+        ch.queue.push_back(Pending {
             id,
             line,
             coord,
             source,
             arrived: now,
         });
+        ch.ready_dirty = true;
         id
     }
 
-    /// Picks the queue index to issue next on `channel` at time `t`, if any
-    /// request's bank is ready by `t`.
-    fn pick(&self, channel: usize, t: Cycle) -> Option<usize> {
+    /// One scan of `channel`'s queue: the earliest time the channel could
+    /// issue its next command and the queue index it would pick then, or
+    /// `None` if nothing is queued.
+    ///
+    /// This fuses the former `channel_ready_time` + `pick` pair into a
+    /// single pass with identical decisions. Writing `t_p` for a request's
+    /// own ready time (`max(bank ready, arrival)`), the issue time is
+    /// `max(min t_p, next_issue_at)` and the pick at that time is the
+    /// oldest row hit among eligible requests, else the oldest eligible —
+    /// exactly FR-FCFS (or the queue head under strict FCFS).
+    fn next_issue(&self, channel: usize) -> Option<(Cycle, usize)> {
         let ch = &self.channels[channel];
         match self.policy {
             MemSchedPolicy::Fcfs => {
-                let head = ch.queue.front()?;
-                (ch.banks[head.coord.bank].ready_at <= t && head.arrived <= t).then_some(0)
+                let p = ch.queue.front()?;
+                let t = ch.banks[p.coord.bank].ready_at.max(p.arrived);
+                Some((t.max(ch.next_issue_at), 0))
             }
             MemSchedPolicy::FrFcfs => {
-                let mut best: Option<(bool, usize)> = None; // (is_hit, index)
+                let gate = ch.next_issue_at;
+                // Requests ready by the bus gate: issue happens at `gate`,
+                // and the oldest row hit wins outright.
+                let mut gated_first: Option<usize> = None;
+                // Otherwise the earliest-ready request(s) set the time.
+                let mut min_t: Option<Cycle> = None;
+                let mut min_first = 0usize;
+                let mut min_hit: Option<usize> = None;
                 for (i, p) in ch.queue.iter().enumerate() {
                     let bank = &ch.banks[p.coord.bank];
-                    if bank.ready_at > t || p.arrived > t {
-                        continue;
-                    }
+                    let t_p = bank.ready_at.max(p.arrived);
                     let hit = bank.open_row == Some(p.coord.row);
-                    match best {
-                        None => best = Some((hit, i)),
-                        Some((best_hit, _)) if hit && !best_hit => best = Some((hit, i)),
+                    if t_p <= gate {
+                        if gated_first.is_none() {
+                            gated_first = Some(i);
+                        }
+                        if hit {
+                            return Some((gate, i));
+                        }
+                    }
+                    match min_t {
+                        None => {
+                            min_t = Some(t_p);
+                            min_first = i;
+                            min_hit = hit.then_some(i);
+                        }
+                        Some(m) if t_p < m => {
+                            min_t = Some(t_p);
+                            min_first = i;
+                            min_hit = hit.then_some(i);
+                        }
+                        Some(m) if t_p == m && hit && min_hit.is_none() => {
+                            min_hit = Some(i);
+                        }
                         _ => {}
                     }
-                    if hit {
-                        // First (oldest) row hit wins outright.
-                        break;
-                    }
                 }
-                best.map(|(_, i)| i)
+                if let Some(i) = gated_first {
+                    return Some((gate, i));
+                }
+                min_t.map(|t| (t.max(gate), min_hit.unwrap_or(min_first)))
             }
         }
     }
 
     /// The earliest time at which `channel` could issue its next command,
-    /// or `None` if it has nothing queued.
-    fn channel_ready_time(&self, channel: usize) -> Option<Cycle> {
-        let ch = &self.channels[channel];
-        let earliest_request = match self.policy {
-            MemSchedPolicy::Fcfs => {
-                let p = ch.queue.front()?;
-                ch.banks[p.coord.bank].ready_at.max(p.arrived)
-            }
-            MemSchedPolicy::FrFcfs => ch
-                .queue
-                .iter()
-                .map(|p| ch.banks[p.coord.bank].ready_at.max(p.arrived))
-                .min()?,
-        };
-        Some(earliest_request.max(ch.next_issue_at))
+    /// or `None` if it has nothing queued. Memoised per channel.
+    fn channel_ready_time(&mut self, channel: usize) -> Option<Cycle> {
+        if self.channels[channel].ready_dirty {
+            let t = self.next_issue(channel).map(|(t, _)| t);
+            let ch = &mut self.channels[channel];
+            ch.ready_cache = t;
+            ch.ready_dirty = false;
+        }
+        self.channels[channel].ready_cache
     }
 
-    /// Issues every command schedulable at or before `now` and returns all
-    /// requests that have completed by `now`, in completion order.
-    pub fn advance(&mut self, now: Cycle) -> Vec<MemCompletion> {
+    /// Issues every command schedulable at or before `now` and appends all
+    /// requests that have completed by `now` to `out`, in completion order.
+    pub fn advance_into(&mut self, now: Cycle, out: &mut Vec<MemCompletion>) {
         for channel in 0..self.channels.len() {
-            while let Some(t) = self.channel_ready_time(channel) {
-                if t > now {
-                    break;
+            loop {
+                // A clean cache that says "nothing before `now`" skips the
+                // queue scan entirely — the common case for channels that
+                // saw no traffic since the last event.
+                if !self.channels[channel].ready_dirty {
+                    match self.channels[channel].ready_cache {
+                        None => break,
+                        Some(t) if t > now => break,
+                        Some(_) => {}
+                    }
                 }
-                let Some(idx) = self.pick(channel, t) else {
+                let Some((t, idx)) = self.next_issue(channel) else {
+                    let ch = &mut self.channels[channel];
+                    ch.ready_cache = None;
+                    ch.ready_dirty = false;
                     break;
                 };
+                if t > now {
+                    let ch = &mut self.channels[channel];
+                    ch.ready_cache = Some(t);
+                    ch.ready_dirty = false;
+                    break;
+                }
                 let p = self.channels[channel]
                     .queue
                     .remove(idx)
                     .expect("picked index exists");
                 let ch = &mut self.channels[channel];
+                ch.ready_dirty = true;
                 let bank = &mut ch.banks[p.coord.bank];
                 let hit = bank.open_row == Some(p.coord.row);
                 let service = if hit {
@@ -304,7 +359,6 @@ impl MemoryController {
                 self.stats.completed += 1;
             }
         }
-        let mut out = Vec::new();
         while let Some(Reverse(top)) = self.inflight.peek() {
             if top.at > now {
                 break;
@@ -317,13 +371,19 @@ impl MemoryController {
                 source: f.source,
             });
         }
+    }
+
+    /// Allocating convenience form of [`advance_into`](Self::advance_into).
+    pub fn advance(&mut self, now: Cycle) -> Vec<MemCompletion> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
         out
     }
 
     /// The next cycle at which calling [`advance`](Self::advance) could make
     /// progress (a completion or an issue), or `None` if the controller is
     /// idle.
-    pub fn next_event_time(&self) -> Option<Cycle> {
+    pub fn next_event_time(&mut self) -> Option<Cycle> {
         let next_completion = self.inflight.peek().map(|Reverse(f)| f.at);
         let next_issue = (0..self.channels.len())
             .filter_map(|c| self.channel_ready_time(c))

@@ -35,6 +35,7 @@ pub mod cache;
 pub mod controller;
 pub mod dram;
 
+pub use assoc::{AssocArray, Replacement, SetIndex};
 pub use cache::{Cache, CacheConfig, Mshr, MshrOutcome};
 pub use controller::{
     MemCompletion, MemReqId, MemSchedPolicy, MemSource, MemStats, MemoryController,

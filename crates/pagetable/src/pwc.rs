@@ -15,7 +15,7 @@
 //! counters (falling back to plain pseudo-LRU when every way is pinned),
 //! keeping arrival-time scores honest.
 
-use ptw_mem::assoc::{AssocArray, Replacement};
+use ptw_mem::assoc::{AssocArray, Replacement, SetIndex};
 use ptw_types::addr::{PhysAddr, PhysFrame, VirtPage};
 
 use crate::table::{PageTable, WalkPath};
@@ -102,16 +102,23 @@ pub struct PwcHit {
 /// The fully resolved plan for one hardware page walk.
 ///
 /// Produced by [`PageWalkCache::begin_walk`]; the IOMMU walker issues the
-/// `pte_reads` sequentially to DRAM and calls
+/// [`pte_reads`](Self::pte_reads) sequentially to DRAM and calls
 /// [`PageWalkCache::complete_walk`] when the last read returns.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// A walk touches at most four levels, so the read list is a fixed inline
+/// array with a length — building a plan never allocates, and the whole
+/// plan is `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalkPlan {
     /// The page being translated.
     pub page: VirtPage,
-    /// PTE physical addresses to read, in walk order (highest level first).
-    pub pte_reads: Vec<PhysAddr>,
+    /// PTE physical addresses to read, in walk order (highest level
+    /// first); only the first `len` slots are meaningful.
+    pte_reads: [PhysAddr; 4],
     /// Page-table level of each read in `pte_reads` (e.g. `[3, 2, 1]`).
-    pub levels: Vec<u8>,
+    levels: [u8; 4],
+    /// Number of reads the walk performs (1–4).
+    len: u8,
     /// The translation the walk will produce.
     pub frame: PhysFrame,
     /// The underlying full path (for PWC fills on completion).
@@ -119,9 +126,19 @@ pub struct WalkPlan {
 }
 
 impl WalkPlan {
+    /// PTE physical addresses to read, in walk order (highest level first).
+    pub fn pte_reads(&self) -> &[PhysAddr] {
+        &self.pte_reads[..self.len as usize]
+    }
+
+    /// Page-table level of each read in [`pte_reads`](Self::pte_reads).
+    pub fn levels(&self) -> &[u8] {
+        &self.levels[..self.len as usize]
+    }
+
     /// Number of memory accesses this walk performs (1–4).
     pub fn accesses(&self) -> u8 {
-        self.pte_reads.len() as u8
+        self.len
     }
 }
 
@@ -131,6 +148,7 @@ pub struct PageWalkCache {
     cfg: PwcConfig,
     /// Index 0 ↔ level 4, 1 ↔ level 3, 2 ↔ level 2.
     levels: [AssocArray<u64, PwcEntry>; 3],
+    set_ix: SetIndex,
     stats: PwcStats,
 }
 
@@ -147,6 +165,7 @@ impl PageWalkCache {
         PageWalkCache {
             cfg,
             levels: [mk(), mk(), mk()],
+            set_ix: SetIndex::new(sets),
             stats: PwcStats::default(),
         }
     }
@@ -161,8 +180,9 @@ impl PageWalkCache {
         &self.stats
     }
 
+    #[inline]
     fn set_of(&self, key: u64) -> usize {
-        (key % self.levels[0].sets() as u64) as usize
+        self.set_ix.of(key)
     }
 
     /// Finds the deepest cached level for `page` without touching recency.
@@ -232,12 +252,19 @@ impl PageWalkCache {
             Some(level) => level - 1,
             None => 4,
         };
-        let levels: Vec<u8> = (1..=start).rev().collect();
-        let pte_reads = levels.iter().map(|&l| path.pte_addr(l)).collect();
+        let mut levels = [0u8; 4];
+        let mut pte_reads = [PhysAddr::default(); 4];
+        let mut len = 0usize;
+        for l in (1..=start).rev() {
+            levels[len] = l;
+            pte_reads[len] = path.pte_addr(l);
+            len += 1;
+        }
         Some(WalkPlan {
             page,
             pte_reads,
             levels,
+            len: len as u8,
             frame: path.frame,
             path,
         })
@@ -248,7 +275,7 @@ impl PageWalkCache {
     /// Entries whose counters are non-zero are protected from eviction
     /// (falling back to LRU when all ways are pinned), per the paper.
     pub fn complete_walk(&mut self, plan: &WalkPlan) {
-        for &level in &plan.levels {
+        for &level in plan.levels() {
             if !(2..=4).contains(&level) {
                 continue; // the leaf PTE goes to the TLBs, not the PWC
             }
@@ -266,8 +293,8 @@ impl PageWalkCache {
                 let would_evict_pinned = {
                     let arr = &self.levels[slot];
                     arr.probe(set, key).is_none()
-                        && arr.iter().filter(|(s, ..)| *s == set).count() == arr.ways()
-                        && arr.iter().any(|(s, _, e)| s == set && e.counter > 0)
+                        && arr.set_len(set) == arr.ways()
+                        && arr.iter_set(set).any(|(_, e)| e.counter > 0)
                 };
                 if would_evict_pinned {
                     self.stats.pin_saves += 1;
@@ -323,7 +350,7 @@ mod tests {
         assert_eq!(pwc.estimate(page).accesses, 4);
         let plan = pwc.begin_walk(&pt, page).unwrap();
         assert_eq!(plan.accesses(), 4);
-        assert_eq!(plan.levels, vec![4, 3, 2, 1]);
+        assert_eq!(plan.levels(), &[4, 3, 2, 1][..]);
     }
 
     #[test]
@@ -335,7 +362,7 @@ mod tests {
         // Same page again: level-2 entry cached → leaf only.
         assert_eq!(pwc.estimate(page).accesses, 1);
         let plan2 = pwc.begin_walk(&pt, page).unwrap();
-        assert_eq!(plan2.levels, vec![1]);
+        assert_eq!(plan2.levels(), &[1][..]);
         assert_eq!(plan2.frame, plan.frame);
     }
 
@@ -361,7 +388,7 @@ mod tests {
         pwc.complete_walk(&plan);
         assert_eq!(pwc.estimate(b).accesses, 2); // level-3 hit → read PD, PT
         let plan_b = pwc.begin_walk(&pt, b).unwrap();
-        assert_eq!(plan_b.levels, vec![2, 1]);
+        assert_eq!(plan_b.levels(), &[2, 1][..]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! ptw-bench [--scale small|medium|paper] [--seed N]
+//!           [--reps N]              # timed repetitions per cell (default 3)
 //!           [--out FILE]            # write/refresh a BENCH_*.json baseline
 //!           [--label TEXT]          # history label recorded with --out
 //!           [--check FILE]          # CI smoke: compare against a baseline
@@ -15,14 +16,21 @@
 //!           [--quiet]
 //! ```
 //!
-//! `--out` writes the JSON baseline (schema: `{commit, date, scale,
-//! cells: [{bench, sched, events, wall_ms, events_per_sec}], total,
-//! ci_smoke, history}`). An existing file's `history` array is carried
-//! over and the new aggregate appended, so successive refreshes record
-//! the perf trajectory. `ci_smoke` holds a small-scale aggregate used by
-//! `scripts/ci.sh bench-smoke`: `--check FILE` re-runs the small sweep
-//! and exits nonzero if measured events/sec fall more than
-//! `--max-regress` percent below the stored smoke baseline.
+//! Each cell is simulated `--reps` times and timed independently; the
+//! recorded `wall_ms` is the **minimum** across repetitions (the run
+//! least disturbed by the host), with the median kept alongside as a
+//! noise indicator. Simulated event counts are deterministic across
+//! repetitions, so only the wall clock varies.
+//!
+//! `--out` writes the JSON baseline (schema: `{commit, date, scale, reps,
+//! cells: [{bench, sched, events, wall_ms, wall_ms_median,
+//! events_per_sec}], total, ci_smoke, history}`). An existing file's
+//! `history` array is carried over and the new aggregate appended, so
+//! successive refreshes record the perf trajectory. `ci_smoke` holds a
+//! small-scale aggregate used by `scripts/ci.sh bench-smoke`: `--check
+//! FILE` re-runs the small sweep (same min-of-reps rule) and exits
+//! nonzero if measured events/sec fall more than `--max-regress` percent
+//! below the stored smoke baseline.
 //!
 //! Wall-clock numbers are machine-dependent; refresh baselines on the
 //! machine that will compare against them.
@@ -36,12 +44,14 @@ use ptw_sim::json::{escape, Value};
 use ptw_sim::runner::{run_benchmark, RunSpec};
 use ptw_workloads::{BenchmarkId, Scale};
 
-/// One measured `(benchmark, scheduler)` cell.
+/// One measured `(benchmark, scheduler)` cell. `wall_ms` is the minimum
+/// across repetitions; `wall_ms_median` the median (noise indicator).
 struct Cell {
     bench: BenchmarkId,
     sched: SchedulerKind,
     events: u64,
     wall_ms: f64,
+    wall_ms_median: f64,
 }
 
 impl Cell {
@@ -79,39 +89,50 @@ impl Totals {
 
 /// Runs the full benchmark × policy sweep serially at `scale`, one cell at
 /// a time on the calling thread so the measurement is per-run throughput,
-/// not parallelism.
-fn sweep(scale: Scale, seed: u64, quiet: bool) -> Result<Vec<Cell>, String> {
+/// not parallelism. Each cell is simulated `reps` times; the cell records
+/// the minimum and median wall time. Event counts are deterministic per
+/// cell, so the first repetition's count stands for all of them.
+fn sweep(scale: Scale, seed: u64, reps: usize, quiet: bool) -> Result<Vec<Cell>, String> {
+    assert!(reps >= 1, "sweep needs at least one repetition");
     let mut cells = Vec::new();
+    let mut walls = Vec::with_capacity(reps);
     for bench in BenchmarkId::ALL {
         for sched in SchedulerKind::EXTENDED {
             let mut spec = RunSpec::new(bench, sched, scale);
             spec.seed = seed;
-            let started = Instant::now();
-            let result = run_benchmark(&spec)
-                .map_err(|e| format!("bench cell {} failed: {e}", spec.label()))?;
-            let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+            walls.clear();
+            let mut events = 0u64;
+            for rep in 0..reps {
+                let started = Instant::now();
+                let result = run_benchmark(&spec)
+                    .map_err(|e| format!("bench cell {} failed: {e}", spec.label()))?;
+                walls.push(started.elapsed().as_secs_f64() * 1000.0);
+                if rep == 0 {
+                    events = result.events;
+                } else {
+                    debug_assert_eq!(events, result.events, "simulation must be deterministic");
+                }
+            }
+            walls.sort_by(f64::total_cmp);
+            let cell = Cell {
+                bench,
+                sched,
+                events,
+                wall_ms: walls[0],
+                wall_ms_median: walls[walls.len() / 2],
+            };
             if !quiet {
-                let cell = Cell {
-                    bench,
-                    sched,
-                    events: result.events,
-                    wall_ms,
-                };
                 eprintln!(
-                    "[ptw-bench] {bench} / {} — {} events in {wall_ms:.1} ms ({:.0} events/s)",
+                    "[ptw-bench] {bench} / {} — {} events, min {:.1} ms / median {:.1} ms \
+                     over {reps} reps ({:.0} events/s)",
                     sched.label(),
                     cell.events,
+                    cell.wall_ms,
+                    cell.wall_ms_median,
                     cell.events_per_sec()
                 );
-                cells.push(cell);
-            } else {
-                cells.push(Cell {
-                    bench,
-                    sched,
-                    events: result.events,
-                    wall_ms,
-                });
             }
+            cells.push(cell);
         }
     }
     Ok(cells)
@@ -154,11 +175,12 @@ fn today_utc() -> String {
 fn cell_json(c: &Cell) -> String {
     format!(
         "{{\"bench\": \"{}\", \"sched\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \
-         \"events_per_sec\": {:.1}}}",
+         \"wall_ms_median\": {:.3}, \"events_per_sec\": {:.1}}}",
         c.bench,
         escape(c.sched.label()),
         c.events,
         c.wall_ms,
+        c.wall_ms_median,
         c.events_per_sec()
     )
 }
@@ -189,6 +211,7 @@ fn history_entry_json(v: &Value) -> Option<String> {
 /// Builds the complete baseline JSON document.
 fn render_baseline(
     scale: Scale,
+    reps: usize,
     cells: &[Cell],
     smoke: &Totals,
     prior_history: &[String],
@@ -202,6 +225,7 @@ fn render_baseline(
     let _ = writeln!(out, "  \"commit\": \"{}\",", escape(&commit));
     let _ = writeln!(out, "  \"date\": \"{date}\",");
     let _ = writeln!(out, "  \"scale\": \"{}\",", scale.label());
+    let _ = writeln!(out, "  \"reps\": {reps},");
     let _ = writeln!(out, "  \"cells\": [");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
@@ -264,6 +288,7 @@ fn load_smoke_baseline(path: &str) -> Result<f64, String> {
 fn main() -> ExitCode {
     let mut scale = Scale::Medium;
     let mut seed = 0xC0FFEE_u64;
+    let mut reps = 3usize;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut label = String::from("measurement");
@@ -284,6 +309,13 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--reps" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(r) if r >= 1 => reps = r,
+                _ => {
+                    eprintln!("--reps needs an integer >= 1");
                     return ExitCode::FAILURE;
                 }
             },
@@ -318,7 +350,7 @@ fn main() -> ExitCode {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ptw-bench [--scale small|medium|paper] [--seed N] \
+                    "usage: ptw-bench [--scale small|medium|paper] [--seed N] [--reps N] \
                      [--out FILE] [--label TEXT] [--check FILE] [--max-regress PCT] [--quiet]"
                 );
                 return ExitCode::SUCCESS;
@@ -339,7 +371,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let cells = match sweep(Scale::Small, seed, true) {
+        let cells = match sweep(Scale::Small, seed, reps, true) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");
@@ -361,7 +393,7 @@ fn main() -> ExitCode {
     }
 
     let started = Instant::now();
-    let cells = match sweep(scale, seed, quiet) {
+    let cells = match sweep(scale, seed, reps, quiet) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("[ptw-bench] {e}");
@@ -370,10 +402,11 @@ fn main() -> ExitCode {
     };
     let total = Totals::of(&cells);
     println!(
-        "[ptw-bench] {} cells at {} scale: {} events in {:.1} ms simulated serially \
-         ({:.0} events/s; harness wall {:.1}s)",
+        "[ptw-bench] {} cells at {} scale ({} reps, min-of-reps): {} events in {:.1} ms \
+         simulated serially ({:.0} events/s; harness wall {:.1}s)",
         cells.len(),
         scale.label(),
+        reps,
         total.events,
         total.wall_ms,
         total.events_per_sec(),
@@ -383,7 +416,7 @@ fn main() -> ExitCode {
     if let Some(path) = out {
         // The small-scale smoke aggregate rides along in the same file so
         // CI has a fast comparison point.
-        let smoke_cells = match sweep(Scale::Small, seed, true) {
+        let smoke_cells = match sweep(Scale::Small, seed, reps, true) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");
@@ -392,7 +425,7 @@ fn main() -> ExitCode {
         };
         let smoke = Totals::of(&smoke_cells);
         let history = load_history(&path);
-        let doc = render_baseline(scale, &cells, &smoke, &history, &label);
+        let doc = render_baseline(scale, reps, &cells, &smoke, &history, &label);
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("[ptw-bench] cannot write {path}: {e}");
             return ExitCode::FAILURE;

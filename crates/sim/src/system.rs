@@ -21,7 +21,7 @@
 
 use ptw_core::iommu::{Iommu, TranslationOutcome, WalkerStep};
 use ptw_core::IommuStats;
-use ptw_gpu::{coalesce, Cu, InstructionStream, Wavefront, WavefrontPhase};
+use ptw_gpu::{coalesce_split, Cu, InstructionStream, Wavefront, WavefrontPhase};
 use ptw_mem::cache::{Cache, Mshr, MshrOutcome};
 use ptw_mem::controller::{MemSource, MemStats, MemoryController};
 use ptw_tlb::Tlb;
@@ -127,6 +127,18 @@ pub struct System {
     metrics: MetricsCollector,
     /// Per-wavefront retirement times (fairness metric).
     finish_times: Vec<Cycle>,
+    /// Scratch: per-lane addresses of the instruction being issued.
+    addr_scratch: Vec<VirtAddr>,
+    /// Scratch: coalesced pages of the instruction being issued.
+    page_scratch: Vec<VirtPage>,
+    /// Scratch: waiters drained from the L2 MSHR on a refill.
+    mshr_waiters: Vec<(usize, u32)>,
+    /// Scratch: DRAM completions drained on a memory tick.
+    mem_completions: Vec<ptw_mem::MemCompletion>,
+    /// Scratch: first PTE reads of walks started by a walker kick.
+    walker_reads: Vec<ptw_core::iommu::MemRead>,
+    /// Recycled line buffers for [`InflightInstr::lines`].
+    line_pool: Vec<Vec<VirtAddr>>,
 }
 
 impl std::fmt::Debug for System {
@@ -194,6 +206,12 @@ impl System {
             instr_ids: InstrIdAllocator::new(),
             metrics: MetricsCollector::new(cfg.epoch_accesses),
             finish_times: Vec::with_capacity(n_wf),
+            addr_scratch: Vec::new(),
+            page_scratch: Vec::new(),
+            mshr_waiters: Vec::new(),
+            mem_completions: Vec::new(),
+            walker_reads: Vec::new(),
+            line_pool: Vec::new(),
             workload,
             cfg,
         })
@@ -225,9 +243,10 @@ impl System {
 
     /// Starts idle walkers on pending requests and schedules their reads.
     fn kick_walkers(&mut self, now: Cycle) {
+        let mut reads = std::mem::take(&mut self.walker_reads);
         let table = self.workload.space().table();
-        let reads = self.iommu.start_walkers(table, now);
-        for r in reads {
+        self.iommu.start_walkers_into(table, now, &mut reads);
+        for &r in &reads {
             self.queue.schedule(
                 r.issue_at.max(now),
                 Event::WalkerIssue {
@@ -236,6 +255,8 @@ impl System {
                 },
             );
         }
+        reads.clear();
+        self.walker_reads = reads;
     }
 
     fn handle_wf_ready(&mut self, wf: u32, now: Cycle) {
@@ -243,25 +264,33 @@ impl System {
         if self.wavefronts[wfi].phase() == WavefrontPhase::Computing {
             self.wavefronts[wfi].compute_done();
         }
-        let Some(addrs) = self.workload.next_instruction(WavefrontId(wf)) else {
+        let mut addrs = std::mem::take(&mut self.addr_scratch);
+        if !self
+            .workload
+            .next_instruction_into(WavefrontId(wf), &mut addrs)
+        {
+            self.addr_scratch = addrs;
             self.wavefronts[wfi].retire();
             let cu = self.cu_of(wf);
             self.cus[cu].wavefront_retired(now);
             self.finish_times.push(now);
             return;
-        };
-        let coalesced = coalesce(&addrs);
+        }
+        let mut pages = std::mem::take(&mut self.page_scratch);
+        let mut lines = self.line_pool.pop().unwrap_or_default();
+        coalesce_split(&addrs, &mut pages, &mut lines);
+        self.addr_scratch = addrs;
         let instr = self.instr_ids.next_id();
         let cu = self.cu_of(wf);
-        self.wavefronts[wfi].issue(instr, coalesced.pages.len(), now);
+        self.wavefronts[wfi].issue(instr, pages.len(), now);
         self.cus[cu].wavefront_blocked(now);
         self.inflight[wfi] = Some(InflightInstr {
             instr,
-            lines: coalesced.lines,
+            lines,
             walk_log: InstrWalkLog::default(),
         });
         let g = &self.cfg.gpu;
-        for page in coalesced.pages {
+        for &page in &pages {
             if self.gpu_l1_tlbs[cu].lookup(page).is_some() {
                 self.queue
                     .schedule(now + g.l1_tlb_cycles, Event::TranslationDone { wf });
@@ -277,6 +306,7 @@ impl System {
             self.queue
                 .schedule(cu_grant, Event::L2TlbArrive { wf, page });
         }
+        self.page_scratch = pages;
     }
 
     fn handle_l2_tlb_arrive(&mut self, wf: u32, page: VirtPage, now: Cycle) {
@@ -338,9 +368,10 @@ impl System {
             return; // superseded wakeup
         }
         self.mem_tick_at = None;
-        let completions = self.mem.advance(now);
+        let mut completions = std::mem::take(&mut self.mem_completions);
+        self.mem.advance_into(now, &mut completions);
         let mut walker_finished = false;
-        for c in completions {
+        for &c in &completions {
             match c.source {
                 MemSource::PageWalk => {
                     let slot = self
@@ -386,15 +417,20 @@ impl System {
                     }
                 }
                 MemSource::Data => {
-                    let waiters = self.l2_mshr.complete(c.line);
+                    let mut waiters = std::mem::take(&mut self.mshr_waiters);
+                    self.l2_mshr.complete_into(c.line, &mut waiters);
                     self.l2_cache.fill(c.line);
-                    for (cu, wf) in waiters {
+                    for &(cu, wf) in &waiters {
                         self.l1_caches[cu].fill(c.line);
                         self.queue.schedule(now, Event::LineDone { wf });
                     }
+                    waiters.clear();
+                    self.mshr_waiters = waiters;
                 }
             }
         }
+        completions.clear();
+        self.mem_completions = completions;
         if walker_finished {
             self.kick_walkers(now);
         }
@@ -411,15 +447,14 @@ impl System {
         if !self.wavefronts[wfi].translation_done(lines) {
             return;
         }
-        // All translations in: start the data phase.
+        // All translations in: start the data phase. The line list is done
+        // being counted, so move it out of the inflight slot (no further
+        // TranslationDone fires for this instruction) and recycle the
+        // buffer afterwards instead of cloning it.
         let cu = self.cu_of(wf);
         let g = &self.cfg.gpu;
-        let lines: Vec<VirtAddr> = self.inflight[wfi]
-            .as_ref()
-            .expect("checked above")
-            .lines
-            .clone();
-        for va in lines {
+        let lines = std::mem::take(&mut self.inflight[wfi].as_mut().expect("checked above").lines);
+        for &va in &lines {
             let pa = self.workload.space().translate_data(va);
             let line = pa.line();
             if self.l1_caches[cu].access(line) {
@@ -441,6 +476,9 @@ impl System {
                 }
             }
         }
+        let mut lines = lines;
+        lines.clear();
+        self.line_pool.push(lines);
     }
 
     fn handle_line_done(&mut self, wf: u32, now: Cycle) {

@@ -31,7 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use ptw_mem::assoc::{AssocArray, Replacement};
+use ptw_mem::assoc::{AssocArray, Replacement, SetIndex};
 use ptw_types::addr::{PhysFrame, VirtPage};
 use ptw_types::stats::HitRate;
 
@@ -118,7 +118,7 @@ impl TlbConfig {
 #[derive(Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
-    sets: usize,
+    set_ix: SetIndex,
     array: AssocArray<u64, PhysFrame>,
     stats: HitRate,
 }
@@ -129,7 +129,7 @@ impl Tlb {
         let sets = cfg.sets();
         Tlb {
             cfg,
-            sets,
+            set_ix: SetIndex::new(sets),
             array: AssocArray::with_seed(
                 sets,
                 cfg.ways,
@@ -145,8 +145,9 @@ impl Tlb {
         &self.cfg
     }
 
+    #[inline]
     fn set_of(&self, page: VirtPage) -> usize {
-        (page.raw() % self.sets as u64) as usize
+        self.set_ix.of(page.raw())
     }
 
     /// Demand lookup: returns the cached translation on hit (recency

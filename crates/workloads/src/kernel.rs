@@ -112,10 +112,20 @@ impl Kernel {
     /// The per-lane addresses of instruction `idx` of wavefront `wf`, or
     /// `None` when `idx` is past the end of the kernel.
     pub fn instruction(&self, wf: WavefrontId, idx: u64) -> Option<Vec<VirtAddr>> {
+        let mut out = Vec::with_capacity(LANES as usize);
+        self.instruction_into(wf, idx, &mut out).then_some(out)
+    }
+
+    /// Allocation-free form of [`instruction`](Self::instruction): writes
+    /// the per-lane addresses into `out` (cleared first) and returns
+    /// `false` when `idx` is past the end of the kernel. The simulator
+    /// recycles one buffer across every issued instruction.
+    pub fn instruction_into(&self, wf: WavefrontId, idx: u64, out: &mut Vec<VirtAddr>) -> bool {
         if idx >= self.iters() {
-            return None;
+            return false;
         }
-        Some(match self {
+        out.clear();
+        match self {
             Kernel::Strided {
                 buffer,
                 rows,
@@ -125,17 +135,15 @@ impl Kernel {
                 ..
             } => {
                 let row_elems = row_stride / elem;
-                (0..LANES)
-                    .map(|lane| {
-                        let row = (wf.0 as u64 * LANES + lane) % rows;
-                        let col = if *skew {
-                            (idx + lane) % row_elems
-                        } else {
-                            idx % row_elems
-                        };
-                        buffer.at(row * row_stride + col * elem)
-                    })
-                    .collect()
+                out.extend((0..LANES).map(|lane| {
+                    let row = (wf.0 as u64 * LANES + lane) % rows;
+                    let col = if *skew {
+                        (idx + lane) % row_elems
+                    } else {
+                        idx % row_elems
+                    };
+                    buffer.at(row * row_stride + col * elem)
+                }));
             }
             Kernel::Coalesced {
                 buffer,
@@ -146,12 +154,10 @@ impl Kernel {
                 // Wrapping keeps the math well-defined for the effectively
                 // unbounded secondary kernels inside `Interleaved`.
                 let stream = (wf.0 as u64).wrapping_mul(*iters).wrapping_add(idx);
-                (0..LANES)
-                    .map(|lane| {
-                        let index = stream.wrapping_mul(LANES).wrapping_add(lane);
-                        buffer.at((index % elems) * elem)
-                    })
-                    .collect()
+                out.extend((0..LANES).map(|lane| {
+                    let index = stream.wrapping_mul(LANES).wrapping_add(lane);
+                    buffer.at((index % elems) * elem)
+                }));
             }
             Kernel::Gather {
                 buffer,
@@ -165,15 +171,25 @@ impl Kernel {
                     seed ^ (wf.0 as u64).wrapping_mul(0x9e37_79b9_97f4_a7c1)
                         ^ idx.wrapping_mul(0xd1b5_4a32_d192_ed03),
                 );
-                let targets: Vec<u64> =
-                    (0..*groups).map(|_| rng.next_below(elems) * elem).collect();
+                // Targets fit on the stack for every real group count
+                // (groups ≤ lanes); the heap path only backs degenerate
+                // configurations.
+                let mut stack = [0u64; LANES as usize];
+                let heap: Vec<u64>;
+                let targets: &[u64] = if *groups <= LANES {
+                    for t in stack.iter_mut().take(*groups as usize) {
+                        *t = rng.next_below(elems) * elem;
+                    }
+                    &stack[..*groups as usize]
+                } else {
+                    heap = (0..*groups).map(|_| rng.next_below(elems) * elem).collect();
+                    &heap
+                };
                 let per_group = LANES / groups.max(&1);
-                (0..LANES)
-                    .map(|lane| {
-                        let g = (lane / per_group.max(1)).min(targets.len() as u64 - 1);
-                        buffer.at(targets[g as usize])
-                    })
-                    .collect()
+                out.extend((0..LANES).map(|lane| {
+                    let g = (lane / per_group.max(1)).min(targets.len() as u64 - 1);
+                    buffer.at(targets[g as usize])
+                }));
             }
             Kernel::Interleaved {
                 primary,
@@ -183,11 +199,12 @@ impl Kernel {
                 debug_assert!(*period >= 2, "interleave period must be >= 2");
                 if idx % period == period - 1 {
                     let sec_idx = (idx / period) % secondary.iters();
-                    return secondary.instruction(wf, sec_idx);
+                    return secondary.instruction_into(wf, sec_idx, out);
                 }
-                return primary.instruction(wf, idx);
+                return primary.instruction_into(wf, idx, out);
             }
-        })
+        }
+        true
     }
 }
 
@@ -370,6 +387,37 @@ mod tests {
         };
         assert!(k.instruction(WavefrontId(0), 2).is_some());
         assert!(k.instruction(WavefrontId(0), 3).is_none());
+    }
+
+    #[test]
+    fn into_form_matches_allocating_form() {
+        let gather = Kernel::Gather {
+            buffer: buf(0x40_0000, 1 << 22),
+            elem: 8,
+            iters: 5,
+            groups: 8,
+            seed: 7,
+        };
+        let k = Kernel::Interleaved {
+            primary: Box::new(gather),
+            secondary: Box::new(Kernel::Coalesced {
+                buffer: buf(0x8000_0000, 1 << 16),
+                elem: 8,
+                iters: 5,
+            }),
+            period: 2,
+        };
+        let mut out = vec![VirtAddr::new(0xdead)];
+        for wf in [WavefrontId(0), WavefrontId(3)] {
+            for idx in 0..6 {
+                let direct = k.instruction(wf, idx);
+                let ok = k.instruction_into(wf, idx, &mut out);
+                assert_eq!(ok, direct.is_some(), "wf {wf:?} idx {idx}");
+                if let Some(direct) = direct {
+                    assert_eq!(out, direct, "wf {wf:?} idx {idx}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -70,19 +70,22 @@ impl Workload {
 
 impl InstructionStream for Workload {
     fn next_instruction(&mut self, wf: WavefrontId) -> Option<Vec<VirtAddr>> {
+        let mut out = Vec::new();
+        self.next_instruction_into(wf, &mut out).then_some(out)
+    }
+
+    fn next_instruction_into(&mut self, wf: WavefrontId, out: &mut Vec<VirtAddr>) -> bool {
         let cursor = &mut self.cursors[wf.0 as usize];
         loop {
-            let kernel = self.kernels.get(cursor.0)?;
-            match kernel.instruction(wf, cursor.1) {
-                Some(addrs) => {
-                    cursor.1 += 1;
-                    self.issued += 1;
-                    return Some(addrs);
-                }
-                None => {
-                    *cursor = (cursor.0 + 1, 0);
-                }
+            let Some(kernel) = self.kernels.get(cursor.0) else {
+                return false;
+            };
+            if kernel.instruction_into(wf, cursor.1, out) {
+                cursor.1 += 1;
+                self.issued += 1;
+                return true;
             }
+            *cursor = (cursor.0 + 1, 0);
         }
     }
 

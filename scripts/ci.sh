@@ -39,11 +39,11 @@ grep -q "Figure 2" "$smoke_out" || {
   exit 1
 }
 
-echo "== bench smoke (events/sec vs committed BENCH_3.json, >20% regress fails)"
+echo "== bench smoke (events/sec vs committed BENCH_4.json, >20% regress fails)"
 if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (CI_SKIP_BENCH=1)"
 else
-  ./target/release/ptw-bench --check BENCH_3.json --quiet
+  ./target/release/ptw-bench --check BENCH_4.json --quiet
 fi
 
 echo "CI OK"

@@ -1,0 +1,144 @@
+//! Proves the per-lookup hot paths are heap-allocation-free.
+//!
+//! A counting wrapper around the system allocator tallies every
+//! `alloc`/`realloc`/`alloc_zeroed`; after warming each structure the test
+//! asserts a zero allocation delta across:
+//!
+//! * TLB lookup (hit and miss) and fill (including an eviction),
+//! * page-walk-cache `estimate`, `begin_walk` and `complete_walk`,
+//! * MSHR `register` (allocate and merge) and `complete_into`,
+//! * the coalescer's buffer-reusing `coalesce_split` form.
+//!
+//! Everything runs in a single `#[test]` so no concurrent test can disturb
+//! the allocation counter between the before/after reads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ptw_gpu::coalesce_split;
+use ptw_mem::{Mshr, MshrOutcome};
+use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
+use ptw_pagetable::{PageTable, PageWalkCache, PwcConfig};
+use ptw_tlb::{Tlb, TlbConfig};
+use ptw_types::addr::{LineAddr, PhysFrame, VirtAddr, VirtPage};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and asserts the allocator was never called inside it.
+fn assert_no_alloc<T>(what: &str, f: impl FnOnce() -> T) -> T {
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    let out = f();
+    let delta = ALLOC_CALLS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "{what}: {delta} heap allocation(s) on the hot path"
+    );
+    out
+}
+
+#[test]
+fn hot_paths_do_not_allocate() {
+    // --- TLB: storage is preallocated at construction. ---
+    let mut tlb = Tlb::new(TlbConfig::paper_gpu_l2());
+    let entries = tlb.config().entries as u64;
+    for vpn in 0..entries {
+        tlb.fill(VirtPage::new(vpn), PhysFrame::new(vpn + 0x1000));
+    }
+    assert_no_alloc("tlb lookup/fill", || {
+        assert!(tlb.lookup(VirtPage::new(3)).is_some());
+        assert!(tlb.lookup(VirtPage::new(entries + 7)).is_none());
+        // The TLB is full, so this fill must evict — still without heap work.
+        let evicted = tlb.fill(VirtPage::new(entries + 7), PhysFrame::new(0x9999));
+        assert!(evicted.is_some());
+    });
+
+    // --- Page walk cache: plans are fixed-size, arrays preallocated. ---
+    let mut frames = FrameAllocator::new(0x100, 1 << 20, FrameLayout::Sequential);
+    let mut table = PageTable::new(&mut frames);
+    for vpn in 0..64u64 {
+        // Spread pages across leaf tables so walks touch distinct paths.
+        table
+            .map(
+                VirtPage::new(vpn << 9),
+                PhysFrame::new(0x4000 + vpn),
+                &mut frames,
+            )
+            .expect("fresh mapping");
+    }
+    let mut pwc = PageWalkCache::new(PwcConfig::paper_baseline());
+    // Warm a few walks so complete_walk exercises both insert and update.
+    for vpn in 0..8u64 {
+        let plan = pwc
+            .begin_walk(&table, VirtPage::new(vpn << 9))
+            .expect("mapped page");
+        pwc.complete_walk(&plan);
+    }
+    assert_no_alloc("pwc estimate/begin_walk/complete_walk", || {
+        for vpn in 0..64u64 {
+            let page = VirtPage::new(vpn << 9);
+            let _ = pwc.estimate(page);
+            let plan = pwc.begin_walk(&table, page).expect("mapped page");
+            assert!(plan.accesses() >= 1);
+            pwc.complete_walk(&plan);
+        }
+    });
+
+    // --- MSHR: slab entries and waiter buffers are recycled. ---
+    let mut mshr: Mshr<(usize, u32)> = Mshr::new();
+    let mut waiters: Vec<(usize, u32)> = Vec::with_capacity(16);
+    let line_a = LineAddr::new(0x1000);
+    let line_b = LineAddr::new(0x2000);
+    // Warm: one full register/complete cycle leaves a spare waiter buffer
+    // (capacity 4) and slack in the entry slab and output vector.
+    for w in 0..4u32 {
+        mshr.register(line_a, (0, w));
+    }
+    mshr.register(line_b, (1, 0));
+    mshr.complete_into(line_a, &mut waiters);
+    mshr.complete_into(line_b, &mut waiters);
+    waiters.clear();
+    assert_no_alloc("mshr register/complete_into", || {
+        assert_eq!(mshr.register(line_a, (2, 0)), MshrOutcome::Allocated);
+        assert_eq!(mshr.register(line_a, (2, 1)), MshrOutcome::Merged);
+        mshr.complete_into(line_a, &mut waiters);
+        assert_eq!(waiters.len(), 2);
+        waiters.clear();
+    });
+
+    // --- Coalescer: the split form reuses the caller's buffers. ---
+    let addrs: Vec<VirtAddr> = (0..64u64).map(|i| VirtAddr::new(i * 0x40)).collect();
+    let mut pages = Vec::new();
+    let mut lines = Vec::new();
+    coalesce_split(&addrs, &mut pages, &mut lines);
+    assert_no_alloc("coalesce_split with warmed buffers", || {
+        coalesce_split(&addrs, &mut pages, &mut lines);
+        assert_eq!(pages.len(), 1);
+        assert_eq!(lines.len(), 64);
+    });
+}
