@@ -337,6 +337,19 @@ pub struct Iommu<W> {
     /// probe in the selection loop is a ≤-16-entry linear scan with no
     /// hashing.
     inflight_pages: Vec<(u64, usize)>,
+    /// Count of `Busy` entries in `walkers`, maintained on every state
+    /// transition: the free-walker test sits inside the per-arrival and
+    /// per-completion hot loops, where an O(walkers) rescan shows up.
+    busy_count: usize,
+    /// Memoised "the last whole-buffer selection scan found nothing
+    /// eligible". A scan that returns `None` has no side effects (no
+    /// aging, no policy callback, no RNG draw), and its inputs are only
+    /// the buffered requests and the inflight-page set — so the outcome
+    /// holds, and the scan can be skipped, until one of those changes: a
+    /// new request entering the buffer or a walk completing. Starvation
+    /// state cannot flip it either, because `bypassed` counters move only
+    /// on *successful* selects.
+    start_blocked: bool,
     next_seq: u64,
     next_service_seq: u64,
     stats: IommuStats,
@@ -369,6 +382,8 @@ impl<W> Iommu<W> {
             buffer: WalkBuffer::new(),
             walkers,
             inflight_pages: Vec::new(),
+            busy_count: 0,
+            start_blocked: false,
             next_seq: 0,
             next_service_seq: 0,
             stats: IommuStats::default(),
@@ -404,14 +419,28 @@ impl<W> Iommu<W> {
 
     /// Number of walkers currently executing a walk.
     pub fn busy_walkers(&self) -> usize {
-        self.walkers
-            .iter()
-            .filter(|w| matches!(w, WalkerState::Busy { .. }))
-            .count()
+        debug_assert_eq!(
+            self.busy_count,
+            self.walkers
+                .iter()
+                .filter(|w| matches!(w, WalkerState::Busy { .. }))
+                .count(),
+            "busy_count out of sync with walker states"
+        );
+        self.busy_count
     }
 
     fn has_free_walker(&self) -> bool {
         self.busy_walkers() < self.walkers.len()
+    }
+
+    /// Whether a [`start_walkers`](Self::start_walkers) call could start
+    /// anything at all: an idle walker exists, the buffer is non-empty,
+    /// and the pending set is not known-blocked from a previous scan.
+    /// Callers use this to skip the whole selection path on the (common)
+    /// cycles where every walker is busy or no walk can be dispatched.
+    pub fn can_start(&self) -> bool {
+        !self.start_blocked && self.has_free_walker() && !self.buffer.is_empty()
     }
 
     /// Captures a diagnostic freeze-frame of buffer and walker state for
@@ -547,6 +576,7 @@ impl<W> Iommu<W> {
             bypassed: 0,
             waiter,
         });
+        self.start_blocked = false;
         self.stats.peak_pending = self.stats.peak_pending.max(self.buffer.len());
         TranslationOutcome::WalkPending
     }
@@ -575,6 +605,9 @@ impl<W> Iommu<W> {
     ///
     /// As [`start_walkers`](Self::start_walkers).
     pub fn start_walkers_into(&mut self, table: &PageTable, now: Cycle, reads: &mut Vec<MemRead>) {
+        if self.start_blocked {
+            return;
+        }
         while self.has_free_walker() && !self.buffer.is_empty() {
             let window_len = self.buffer.len().min(self.cfg.buffer_entries);
             let inflight = &self.inflight_pages;
@@ -584,6 +617,12 @@ impl<W> Iommu<W> {
                     !inflight.iter().any(|&(p, _)| p == r.page.raw())
                 })
             else {
+                // A fruitless scan over the *whole* buffer stays fruitless
+                // until an arrival or a completion perturbs its inputs;
+                // both of those paths clear the flag. (A window-limited
+                // scan is not memoised: entries beyond the window could
+                // become visible without either event firing.)
+                self.start_blocked = window_len == self.buffer.len();
                 break;
             };
             let request = self.buffer.remove(handle);
@@ -612,6 +651,7 @@ impl<W> Iommu<W> {
                 reads_done: 0,
                 service_seq,
             };
+            self.busy_count += 1;
         }
     }
 
@@ -652,6 +692,8 @@ impl<W> Iommu<W> {
         else {
             unreachable!("matched Busy above");
         };
+        self.busy_count -= 1;
+        self.start_blocked = false;
         let page = request.page;
         let frame = plan.frame;
         self.pwc.complete_walk(&plan);

@@ -332,9 +332,6 @@ pub struct RoundRobinPolicy {
     /// pre-emption does not move the cursor), matching the pre-refactor
     /// behavior bit for bit.
     rr_last: Option<InstrId>,
-    /// Scratch for the per-call distinct-instruction rotation (reused
-    /// across calls so steady-state selection does not allocate).
-    instrs: Vec<u32>,
 }
 
 impl WalkPolicy for RoundRobinPolicy {
@@ -345,19 +342,24 @@ impl WalkPolicy for RoundRobinPolicy {
     fn select(&mut self, candidates: &[Candidate]) -> usize {
         // One request per distinct instruction in rotation: pick the
         // eligible instruction with the smallest ID strictly greater than
-        // the last-served one, wrapping.
-        self.instrs.clear();
-        self.instrs.extend(candidates.iter().map(|c| c.instr.raw()));
-        self.instrs.sort_unstable();
-        self.instrs.dedup();
-        let next = match self.rr_last {
-            Some(last) => self
-                .instrs
-                .iter()
-                .copied()
-                .find(|&x| x > last.raw())
-                .unwrap_or(self.instrs[0]),
-            None => self.instrs[0],
+        // the last-served one, wrapping. Both "smallest id overall" and
+        // "smallest id above the cursor" fall out of one linear pass —
+        // the sorted/deduped rotation list an earlier version built per
+        // call computed exactly these two minima.
+        let mut min_all = u32::MAX;
+        let mut min_above = u32::MAX;
+        let last = self.rr_last.map(InstrId::raw);
+        for c in candidates {
+            let id = c.instr.raw();
+            min_all = min_all.min(id);
+            if last.is_some_and(|l| id > l) {
+                min_above = min_above.min(id);
+            }
+        }
+        let next = if min_above != u32::MAX {
+            min_above
+        } else {
+            min_all
         };
         self.rr_last = Some(InstrId::new(next));
         candidates

@@ -86,10 +86,11 @@ struct Channel {
     banks: Vec<Bank>,
     /// Memoised [`MemoryController::channel_ready_time`] result, valid
     /// while `ready_dirty` is false. The ready time depends only on the
-    /// queue, the banks and `next_issue_at`, so it is invalidated exactly
-    /// when one of those changes (a submit or an issue); between events
-    /// the event loop re-reads it for free instead of rescanning the
-    /// queue.
+    /// queue, the banks and `next_issue_at`; issues (in `advance_into`)
+    /// invalidate it, while submits *update it in place* — a new request
+    /// only adds one issue-time candidate, so `submit` folds it into the
+    /// running minimum and the cache stays clean. Between events the
+    /// event loop re-reads it for free instead of rescanning the queue.
     ready_cache: Option<Cycle>,
     ready_dirty: bool,
 }
@@ -207,6 +208,16 @@ impl MemoryController {
     }
 
     /// Submits a read request for `line`, arriving at cycle `now`.
+    ///
+    /// Keeps the channel's memoised ready time *valid* instead of marking
+    /// it dirty: bank state and the bus gate only change in
+    /// [`advance_into`](Self::advance_into), so between advances a new
+    /// request just adds one issue-time candidate — `max(t_p, gate)` with
+    /// `t_p = max(bank ready, arrival)` — and the FR-FCFS ready time is
+    /// the running minimum over candidates (under strict FCFS only the
+    /// queue head matters, so a non-head push changes nothing). This makes
+    /// the event loop's submit → "when should I tick?" sequence O(channels)
+    /// instead of a queue rescan per submitted request.
     pub fn submit(&mut self, line: LineAddr, source: MemSource, now: Cycle) -> MemReqId {
         let id = MemReqId(self.next_id);
         self.next_id += 1;
@@ -215,7 +226,10 @@ impl MemoryController {
             MemSource::PageWalk => self.stats.walk_requests += 1,
         }
         let coord = map_address(&self.cfg, line);
+        let policy = self.policy;
         let ch = &mut self.channels[coord.channel];
+        let t_p = ch.banks[coord.bank].ready_at.max(now);
+        let was_empty = ch.queue.is_empty();
         ch.queue.push_back(Pending {
             id,
             line,
@@ -223,7 +237,18 @@ impl MemoryController {
             source,
             arrived: now,
         });
-        ch.ready_dirty = true;
+        if !ch.ready_dirty {
+            let candidate = t_p.max(ch.next_issue_at);
+            match (&mut ch.ready_cache, policy) {
+                (Some(t), MemSchedPolicy::FrFcfs) => *t = (*t).min(candidate),
+                (Some(_), MemSchedPolicy::Fcfs) => {} // head request unchanged
+                (cache @ None, _) if was_empty => *cache = Some(candidate),
+                // A clean `None` cache with a non-empty queue is unreachable
+                // (it is only ever written for an empty queue); fall back to
+                // a rescan rather than guess.
+                (None, _) => ch.ready_dirty = true,
+            }
+        }
         id
     }
 
@@ -247,24 +272,24 @@ impl MemoryController {
             }
             MemSchedPolicy::FrFcfs => {
                 let gate = ch.next_issue_at;
-                // Requests ready by the bus gate: issue happens at `gate`,
-                // and the oldest row hit wins outright.
+                // Phase 1: scan until the first request ready by the bus
+                // gate. Until then the earliest-ready request(s) set the
+                // candidate time, row hits breaking t_p ties.
+                let mut iter = ch.queue.iter().enumerate();
                 let mut gated_first: Option<usize> = None;
-                // Otherwise the earliest-ready request(s) set the time.
                 let mut min_t: Option<Cycle> = None;
                 let mut min_first = 0usize;
                 let mut min_hit: Option<usize> = None;
-                for (i, p) in ch.queue.iter().enumerate() {
+                for (i, p) in iter.by_ref() {
                     let bank = &ch.banks[p.coord.bank];
                     let t_p = bank.ready_at.max(p.arrived);
                     let hit = bank.open_row == Some(p.coord.row);
                     if t_p <= gate {
-                        if gated_first.is_none() {
-                            gated_first = Some(i);
-                        }
                         if hit {
                             return Some((gate, i));
                         }
+                        gated_first = Some(i);
+                        break;
                     }
                     match min_t {
                         None => {
@@ -283,8 +308,20 @@ impl MemoryController {
                         _ => {}
                     }
                 }
-                if let Some(i) = gated_first {
-                    return Some((gate, i));
+                // Phase 2: a gated request exists, so the issue happens at
+                // `gate` and only an *earlier-in-queue-order* gated row hit
+                // could displace it — min tracking is dead weight from here
+                // on. Scan the remainder for the first gated hit alone.
+                if let Some(gi) = gated_first {
+                    for (j, q) in iter {
+                        let bank = &ch.banks[q.coord.bank];
+                        if bank.open_row == Some(q.coord.row)
+                            && bank.ready_at.max(q.arrived) <= gate
+                        {
+                            return Some((gate, j));
+                        }
+                    }
+                    return Some((gate, gi));
                 }
                 min_t.map(|t| (t.max(gate), min_hit.unwrap_or(min_first)))
             }
@@ -398,9 +435,52 @@ impl MemoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ptw_types::rng::SplitMix64;
 
     fn ctrl(policy: MemSchedPolicy) -> MemoryController {
         MemoryController::new(DramConfig::paper_baseline(), policy)
+    }
+
+    impl MemoryController {
+        /// `next_event_time` with every memo discarded: the ground truth
+        /// the incremental submit-time cache update must match.
+        fn rescanned_next_event_time(&mut self) -> Option<Cycle> {
+            for ch in &mut self.channels {
+                ch.ready_dirty = true;
+            }
+            self.next_event_time()
+        }
+    }
+
+    /// The submit-time incremental ready-cache update must agree with a
+    /// full queue rescan after every operation, under both policies, across
+    /// random bursts of submits interleaved with advances.
+    #[test]
+    fn incremental_ready_cache_matches_rescan() {
+        for policy in [MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs] {
+            let mut c = ctrl(policy);
+            let mut rng = SplitMix64::new(0xCAC4E);
+            let mut now = Cycle::ZERO;
+            let mut out = Vec::new();
+            for op in 0..2_000u32 {
+                if rng.next_below(4) < 3 {
+                    let line = LineAddr::new(rng.next_below(1 << 20) * 64);
+                    let src = if rng.next_below(2) == 0 {
+                        MemSource::Data
+                    } else {
+                        MemSource::PageWalk
+                    };
+                    c.submit(line, src, now);
+                } else if let Some(t) = c.next_event_time() {
+                    now = t.max(now);
+                    c.advance_into(now, &mut out);
+                    out.clear();
+                }
+                let incremental = c.next_event_time();
+                let rescanned = c.rescanned_next_event_time();
+                assert_eq!(incremental, rescanned, "{policy:?} diverged at op {op}");
+            }
+        }
     }
 
     /// Drains the controller fully, returning completions in order.

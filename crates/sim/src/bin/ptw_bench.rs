@@ -9,6 +9,8 @@
 //! ```text
 //! ptw-bench [--scale small|medium|paper] [--seed N]
 //!           [--reps N]              # timed repetitions per cell (default 3)
+//!           [--jobs N]              # cells on N threads, 0 = auto (default 1)
+//!           [--policies LIST]       # comma-separated subset (default: all 7)
 //!           [--out FILE]            # write/refresh a BENCH_*.json baseline
 //!           [--label TEXT]          # history label recorded with --out
 //!           [--check FILE]          # CI smoke: compare against a baseline
@@ -21,6 +23,15 @@
 //! least disturbed by the host), with the median kept alongside as a
 //! noise indicator. Simulated event counts are deterministic across
 //! repetitions, so only the wall clock varies.
+//!
+//! `--jobs N` fans whole cells across threads through [`SweepExecutor`]
+//! (`0` = one worker per hardware thread, matching `figures --jobs 0`);
+//! repetitions stay serial within a cell and the JSON output is in spec
+//! order at any worker count. **Timing-noise caveat:** concurrent cells
+//! contend for cache and memory bandwidth, inflating per-cell wall times
+//! — use parallelism to shorten exploratory sweeps, but record committed
+//! baselines at `--jobs 1` (min-of-reps absorbs scheduling blips, not
+//! sustained contention).
 //!
 //! `--out` writes the JSON baseline (schema: `{commit, date, scale, reps,
 //! cells: [{bench, sched, events, wall_ms, wall_ms_median,
@@ -42,6 +53,7 @@ use std::time::Instant;
 use ptw_core::sched::SchedulerKind;
 use ptw_sim::json::{escape, Value};
 use ptw_sim::runner::{run_benchmark, RunSpec};
+use ptw_sim::sweep::SweepExecutor;
 use ptw_workloads::{BenchmarkId, Scale};
 
 /// One measured `(benchmark, scheduler)` cell. `wall_ms` is the minimum
@@ -87,55 +99,102 @@ impl Totals {
     }
 }
 
-/// Runs the full benchmark × policy sweep serially at `scale`, one cell at
-/// a time on the calling thread so the measurement is per-run throughput,
-/// not parallelism. Each cell is simulated `reps` times; the cell records
-/// the minimum and median wall time. Event counts are deterministic per
-/// cell, so the first repetition's count stands for all of them.
-fn sweep(scale: Scale, seed: u64, reps: usize, quiet: bool) -> Result<Vec<Cell>, String> {
-    assert!(reps >= 1, "sweep needs at least one repetition");
-    let mut cells = Vec::new();
+/// Times one `(benchmark, scheduler)` cell: `reps` serial repetitions on
+/// the calling thread, recording the minimum and median wall time. Event
+/// counts are deterministic per cell, so the first repetition's count
+/// stands for all of them.
+fn time_cell(
+    bench: BenchmarkId,
+    sched: SchedulerKind,
+    scale: Scale,
+    seed: u64,
+    reps: usize,
+) -> Result<Cell, String> {
+    let mut spec = RunSpec::new(bench, sched, scale);
+    spec.seed = seed;
     let mut walls = Vec::with_capacity(reps);
-    for bench in BenchmarkId::ALL {
-        for sched in SchedulerKind::EXTENDED {
-            let mut spec = RunSpec::new(bench, sched, scale);
-            spec.seed = seed;
-            walls.clear();
-            let mut events = 0u64;
-            for rep in 0..reps {
-                let started = Instant::now();
-                let result = run_benchmark(&spec)
-                    .map_err(|e| format!("bench cell {} failed: {e}", spec.label()))?;
-                walls.push(started.elapsed().as_secs_f64() * 1000.0);
-                if rep == 0 {
-                    events = result.events;
-                } else {
-                    debug_assert_eq!(events, result.events, "simulation must be deterministic");
-                }
-            }
-            walls.sort_by(f64::total_cmp);
-            let cell = Cell {
-                bench,
-                sched,
-                events,
-                wall_ms: walls[0],
-                wall_ms_median: walls[walls.len() / 2],
-            };
-            if !quiet {
-                eprintln!(
-                    "[ptw-bench] {bench} / {} — {} events, min {:.1} ms / median {:.1} ms \
-                     over {reps} reps ({:.0} events/s)",
-                    sched.label(),
-                    cell.events,
-                    cell.wall_ms,
-                    cell.wall_ms_median,
-                    cell.events_per_sec()
-                );
-            }
-            cells.push(cell);
+    let mut events = 0u64;
+    for rep in 0..reps {
+        let started = Instant::now();
+        let result =
+            run_benchmark(&spec).map_err(|e| format!("bench cell {} failed: {e}", spec.label()))?;
+        walls.push(started.elapsed().as_secs_f64() * 1000.0);
+        if rep == 0 {
+            events = result.events;
+        } else {
+            debug_assert_eq!(events, result.events, "simulation must be deterministic");
         }
     }
+    walls.sort_by(f64::total_cmp);
+    Ok(Cell {
+        bench,
+        sched,
+        events,
+        wall_ms: walls[0],
+        wall_ms_median: walls[walls.len() / 2],
+    })
+}
+
+/// Runs the benchmark × `policies` sweep at `scale`, fanning **cells**
+/// across `jobs` worker threads (`0` = one per hardware thread, matching
+/// `figures --jobs 0`). Repetitions stay serial *within* each cell and the
+/// returned cells are always in spec order, so the output is deterministic
+/// at any worker count — but concurrent cells contend for cache and memory
+/// bandwidth, which inflates per-cell wall times. Committed baselines
+/// should be recorded with `jobs = 1`.
+fn sweep(
+    scale: Scale,
+    seed: u64,
+    reps: usize,
+    jobs: usize,
+    policies: &[SchedulerKind],
+    quiet: bool,
+) -> Result<Vec<Cell>, String> {
+    assert!(reps >= 1, "sweep needs at least one repetition");
+    let mut specs = Vec::new();
+    for bench in BenchmarkId::ALL {
+        for &sched in policies {
+            specs.push((bench, sched));
+        }
+    }
+    let outcomes = SweepExecutor::new(jobs).map(&specs, |_, &(bench, sched)| {
+        time_cell(bench, sched, scale, seed, reps)
+    });
+    let mut cells = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let cell = outcome?;
+        if !quiet {
+            eprintln!(
+                "[ptw-bench] {} / {} — {} events, min {:.1} ms / median {:.1} ms \
+                 over {reps} reps ({:.0} events/s)",
+                cell.bench,
+                cell.sched.label(),
+                cell.events,
+                cell.wall_ms,
+                cell.wall_ms_median,
+                cell.events_per_sec()
+            );
+        }
+        cells.push(cell);
+    }
     Ok(cells)
+}
+
+/// Parses a comma-separated policy list (`fcfs,simt-aware`, any label
+/// spelling [`SchedulerKind::parse`] accepts).
+fn parse_policies(list: &str) -> Result<Vec<SchedulerKind>, String> {
+    let mut out = Vec::new();
+    for name in list.split(',') {
+        let kind = SchedulerKind::parse(name)
+            .ok_or_else(|| format!("unknown policy {name:?} in --policies"))?;
+        if !out.contains(&kind) {
+            out.push(kind);
+        }
+    }
+    if out.is_empty() {
+        return Err("--policies needs at least one policy".to_string());
+    }
+    Ok(out)
 }
 
 /// `git rev-parse HEAD`, or `"unknown"` outside a git checkout.
@@ -209,9 +268,12 @@ fn history_entry_json(v: &Value) -> Option<String> {
 }
 
 /// Builds the complete baseline JSON document.
+#[allow(clippy::too_many_arguments)]
 fn render_baseline(
     scale: Scale,
     reps: usize,
+    jobs: usize,
+    policies: &[SchedulerKind],
     cells: &[Cell],
     smoke: &Totals,
     prior_history: &[String],
@@ -226,6 +288,16 @@ fn render_baseline(
     let _ = writeln!(out, "  \"date\": \"{date}\",");
     let _ = writeln!(out, "  \"scale\": \"{}\",", scale.label());
     let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(
+        out,
+        "  \"policies\": [{}],",
+        policies
+            .iter()
+            .map(|p| format!("\"{}\"", escape(p.label())))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(out, "  \"cells\": [");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
@@ -289,6 +361,8 @@ fn main() -> ExitCode {
     let mut scale = Scale::Medium;
     let mut seed = 0xC0FFEE_u64;
     let mut reps = 3usize;
+    let mut jobs = 1usize;
+    let mut policies: Vec<SchedulerKind> = SchedulerKind::EXTENDED.to_vec();
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut label = String::from("measurement");
@@ -316,6 +390,24 @@ fn main() -> ExitCode {
                 Some(r) if r >= 1 => reps = r,
                 _ => {
                     eprintln!("--reps needs an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(j) => jobs = j,
+                None => {
+                    eprintln!("--jobs needs an integer (0 = one worker per hardware thread)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policies" => match args.next().as_deref().map(parse_policies) {
+                Some(Ok(p)) => policies = p,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--policies needs a comma-separated list (e.g. fcfs,simt-aware)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -351,7 +443,16 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ptw-bench [--scale small|medium|paper] [--seed N] [--reps N] \
-                     [--out FILE] [--label TEXT] [--check FILE] [--max-regress PCT] [--quiet]"
+                     [--jobs N] [--policies LIST] [--out FILE] [--label TEXT] [--check FILE] \
+                     [--max-regress PCT] [--quiet]\n\
+                     \n\
+                     --jobs N fans cells across N threads (0 = one per hardware thread, \
+                     matching figures); reps stay serial within each cell and output is in \
+                     spec order. Caveat: concurrent cells contend for cache and memory \
+                     bandwidth, inflating per-cell wall times — record committed baselines \
+                     with --jobs 1.\n\
+                     --policies takes a comma-separated subset (e.g. fcfs,simt-aware); \
+                     default is all 7 extended policies."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -362,6 +463,9 @@ fn main() -> ExitCode {
         }
     }
 
+    // Resolve auto up front so prints and the JSON record the real count.
+    let jobs = SweepExecutor::new(jobs).workers();
+
     // CI smoke mode: small-scale sweep against the committed baseline.
     if let Some(path) = check {
         let baseline = match load_smoke_baseline(&path) {
@@ -371,7 +475,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let cells = match sweep(Scale::Small, seed, reps, true) {
+        let cells = match sweep(Scale::Small, seed, reps, jobs, &policies, true) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");
@@ -393,7 +497,7 @@ fn main() -> ExitCode {
     }
 
     let started = Instant::now();
-    let cells = match sweep(scale, seed, reps, quiet) {
+    let cells = match sweep(scale, seed, reps, jobs, &policies, quiet) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("[ptw-bench] {e}");
@@ -402,11 +506,13 @@ fn main() -> ExitCode {
     };
     let total = Totals::of(&cells);
     println!(
-        "[ptw-bench] {} cells at {} scale ({} reps, min-of-reps): {} events in {:.1} ms \
-         simulated serially ({:.0} events/s; harness wall {:.1}s)",
+        "[ptw-bench] {} cells at {} scale ({} reps, min-of-reps, {} worker{}): {} events in \
+         {:.1} ms of per-cell wall time ({:.0} events/s; harness wall {:.1}s)",
         cells.len(),
         scale.label(),
         reps,
+        jobs,
+        if jobs == 1 { "" } else { "s" },
         total.events,
         total.wall_ms,
         total.events_per_sec(),
@@ -416,7 +522,7 @@ fn main() -> ExitCode {
     if let Some(path) = out {
         // The small-scale smoke aggregate rides along in the same file so
         // CI has a fast comparison point.
-        let smoke_cells = match sweep(Scale::Small, seed, reps, true) {
+        let smoke_cells = match sweep(Scale::Small, seed, reps, jobs, &policies, true) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");
@@ -425,7 +531,9 @@ fn main() -> ExitCode {
         };
         let smoke = Totals::of(&smoke_cells);
         let history = load_history(&path);
-        let doc = render_baseline(scale, reps, &cells, &smoke, &history, &label);
+        let doc = render_baseline(
+            scale, reps, jobs, &policies, &cells, &smoke, &history, &label,
+        );
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("[ptw-bench] cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -159,28 +159,6 @@ impl<E: Eq> EventQueue<E> {
         }
     }
 
-    /// Removes one pending event equal to `event` scheduled at `at`, if
-    /// such an event sits in the near ring. Returns whether an event was
-    /// removed; relative order of everything else is untouched.
-    ///
-    /// Far-horizon events are not searched (a heap cannot remove cheaply);
-    /// callers must keep their existing is-this-stale guard for that case.
-    pub fn try_cancel(&mut self, at: Cycle, event: &E) -> bool {
-        if at < self.now || at >= self.horizon {
-            return false;
-        }
-        let bucket = (at.raw() % HORIZON) as usize;
-        let Some(idx) = self.near[bucket].iter().position(|e| e == event) else {
-            return false;
-        };
-        self.near[bucket].remove(idx);
-        if self.near[bucket].is_empty() {
-            self.occ[bucket / 64] &= !(1u64 << (bucket % 64));
-        }
-        self.near_len -= 1;
-        true
-    }
-
     /// Earliest occupied near-ring time at or after `from`, which must be
     /// a lower bound on every pending near event. O(HORIZON/64) worst
     /// case; one word read in the common dense case.
@@ -249,6 +227,35 @@ impl<E: Eq> EventQueue<E> {
         self.now = at;
         self.processed += 1;
         Some((at, event))
+    }
+
+    /// Drains the entire earliest one-cycle bucket, advancing the clock to
+    /// its time and appending its events — in `(time, seq)` pop order — to
+    /// `into`. Returns the bucket's cycle, or `None` if the queue is empty.
+    ///
+    /// Equivalent to calling [`pop`](Self::pop) until the popped time
+    /// changes, but pays the occupancy scan and clock bookkeeping once per
+    /// cycle instead of once per event. Events scheduled *at the returned
+    /// cycle* after the drain land in the (now empty) bucket and are
+    /// returned by the next call with the same cycle — exactly the order
+    /// per-event popping would observe, since a same-cycle insert always
+    /// carries a larger sequence number than anything already drained.
+    pub fn pop_bucket_into(&mut self, into: &mut Vec<E>) -> Option<Cycle> {
+        let from = if self.near_len == 0 {
+            self.rebase()?
+        } else {
+            self.now
+        };
+        let at = self.next_occupied(from).expect("near ring is non-empty");
+        let bucket = (at.raw() % HORIZON) as usize;
+        let drained = self.near[bucket].len();
+        into.extend(self.near[bucket].drain(..));
+        self.occ[bucket / 64] &= !(1u64 << (bucket % 64));
+        self.near_len -= drained;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.processed += drained as u64;
+        Some(at)
     }
 
     /// The time of the earliest pending event.
@@ -345,29 +352,70 @@ mod tests {
     }
 
     #[test]
-    fn try_cancel_removes_exactly_one_match() {
+    fn pop_bucket_drains_one_cycle_in_fifo_order() {
         let mut q = EventQueue::new();
-        q.schedule(Cycle::new(4), 'x');
-        q.schedule(Cycle::new(4), 'y');
-        q.schedule(Cycle::new(4), 'x');
-        assert!(q.try_cancel(Cycle::new(4), &'x'));
-        assert_eq!(q.len(), 2);
-        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!['y', 'x']);
+        q.schedule(Cycle::new(4), 'a');
+        q.schedule(Cycle::new(7), 'c');
+        q.schedule(Cycle::new(4), 'b');
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_bucket_into(&mut batch), Some(Cycle::new(4)));
+        assert_eq!(batch, vec!['a', 'b']);
+        assert_eq!(q.now(), Cycle::new(4));
+        assert_eq!(q.processed(), 2);
+        batch.clear();
+        assert_eq!(q.pop_bucket_into(&mut batch), Some(Cycle::new(7)));
+        assert_eq!(batch, vec!['c']);
+        batch.clear();
+        assert_eq!(q.pop_bucket_into(&mut batch), None);
+        assert!(q.is_empty());
     }
 
     #[test]
-    fn try_cancel_misses_absent_and_far_events() {
+    fn pop_bucket_sees_same_cycle_reinserts_next_call() {
+        // A handler scheduling at the drained cycle must be served by the
+        // next call at the same cycle — after everything already drained.
         let mut q = EventQueue::new();
-        q.schedule(Cycle::new(4), 'x');
-        q.schedule(Cycle::new(2 * HORIZON), 'z');
-        assert!(!q.try_cancel(Cycle::new(4), &'w'), "no such event");
-        assert!(!q.try_cancel(Cycle::new(5), &'x'), "wrong time");
-        assert!(
-            !q.try_cancel(Cycle::new(2 * HORIZON), &'z'),
-            "far events are not searched"
+        q.schedule(Cycle::new(3), 1);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_bucket_into(&mut batch), Some(Cycle::new(3)));
+        assert_eq!(batch, vec![1]);
+        q.schedule(Cycle::new(3), 2);
+        q.schedule(Cycle::new(5), 3);
+        batch.clear();
+        assert_eq!(q.pop_bucket_into(&mut batch), Some(Cycle::new(3)));
+        assert_eq!(batch, vec![2]);
+        batch.clear();
+        assert_eq!(q.pop_bucket_into(&mut batch), Some(Cycle::new(5)));
+        assert_eq!(batch, vec![3]);
+    }
+
+    #[test]
+    fn pop_bucket_rebases_onto_far_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(2 * HORIZON + 1), 'z');
+        q.schedule(Cycle::new(2 * HORIZON + 1), 'w');
+        let mut batch = Vec::new();
+        assert_eq!(
+            q.pop_bucket_into(&mut batch),
+            Some(Cycle::new(2 * HORIZON + 1))
         );
-        assert_eq!(q.len(), 2);
+        assert_eq!(batch, vec!['z', 'w']);
+        assert_eq!(q.now(), Cycle::new(2 * HORIZON + 1));
+    }
+
+    #[test]
+    fn pop_and_pop_bucket_interleave_consistently() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.schedule(Cycle::new(9), i);
+        }
+        q.schedule(Cycle::new(12), 9);
+        assert_eq!(q.pop(), Some((Cycle::new(9), 0)));
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_bucket_into(&mut batch), Some(Cycle::new(9)));
+        assert_eq!(batch, vec![1, 2, 3], "bucket drain picks up the remainder");
+        assert_eq!(q.pop(), Some((Cycle::new(12), 9)));
+        assert_eq!(q.processed(), 5);
     }
 
     #[test]

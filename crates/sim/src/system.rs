@@ -225,12 +225,13 @@ impl System {
     ///
     /// The wakeup is next-completion-time driven (`next_event_time`), not
     /// periodic polling; a superseded earlier tick is left in the queue
-    /// rather than cancelled with [`EventQueue::try_cancel`]. A stale
-    /// tick's position among same-cycle events is observable — when a
-    /// later re-arm lands on the same cycle, the *stale* event is the one
-    /// that passes the `mem_tick_at` guard and drives `mem.advance`, ahead
-    /// of any submits queued between the two — so removing it would change
-    /// simulated timing, and run results are pinned bit-identical.
+    /// rather than cancelled. A stale tick's position among same-cycle
+    /// events is observable — when a later re-arm lands on the same cycle,
+    /// the *stale* event is the one that passes the `mem_tick_at` guard
+    /// and drives `mem.advance`, ahead of any submits queued between the
+    /// two — so removing it would change simulated timing, and run results
+    /// are pinned bit-identical. This is why `EventQueue` carries no
+    /// cancellation API (DESIGN.md §10 tells the full story).
     fn touch_mem(&mut self, now: Cycle) {
         if let Some(t) = self.mem.next_event_time() {
             let t = t.max(now);
@@ -243,6 +244,9 @@ impl System {
 
     /// Starts idle walkers on pending requests and schedules their reads.
     fn kick_walkers(&mut self, now: Cycle) {
+        if !self.iommu.can_start() {
+            return;
+        }
         let mut reads = std::mem::take(&mut self.walker_reads);
         let table = self.workload.space().table();
         self.iommu.start_walkers_into(table, now, &mut reads);
@@ -507,15 +511,202 @@ impl System {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Dispatches one event to its handler.
+    fn handle_event(&mut self, event: Event, now: Cycle) {
+        match event {
+            Event::WfReady(wf) => self.handle_wf_ready(wf, now),
+            Event::TranslationDone { wf } => self.handle_translation_done(wf, now),
+            Event::L2TlbArrive { wf, page } => self.handle_l2_tlb_arrive(wf, page, now),
+            Event::L2TlbLookup { wf, page } => self.handle_l2_tlb_lookup(wf, page, now),
+            Event::IommuArrival { wf, page } => self.handle_iommu_arrival(wf, page, now),
+            Event::WalkerIssue { walker, addr } => self.handle_walker_issue(walker, addr, now),
+            Event::DataSubmit { line } => self.handle_data_submit(line, now),
+            Event::LineDone { wf } => self.handle_line_done(wf, now),
+            Event::MemTick => self.handle_mem_tick(now),
+        }
+    }
+
+    /// Dispatches one drained calendar bucket; every event shares `now`.
+    ///
+    /// Two same-cycle shapes are exploited (the equivalence argument for
+    /// each lives in DESIGN.md §10):
+    ///
+    /// * **Fused submit runs.** Consecutive `WalkerIssue`/`DataSubmit`
+    ///   events touch the memory controller back-to-back. Their handlers
+    ///   schedule nothing except the `touch_mem` re-arm tick, so the
+    ///   per-submit re-arm decision is replayed into `ticks` (tracking a
+    ///   shadow of `mem_tick_at`) and flushed to the queue once at the end
+    ///   of the run: the deferred ticks receive the same insertion
+    ///   sequence numbers the eager ones would have, leaving the queue
+    ///   state bit-identical while the controller is touched by one tight
+    ///   loop instead of one handler frame per event.
+    /// * **Superseded `MemTick`s** are skipped without a dispatch — the
+    ///   handler's first action is the identical `mem_tick_at` guard.
+    fn dispatch_bucket(&mut self, batch: &[Event], now: Cycle, ticks: &mut Vec<Cycle>) {
+        let mut i = 0;
+        while i < batch.len() {
+            match batch[i] {
+                Event::WalkerIssue { .. } | Event::DataSubmit { .. } => {
+                    let mut armed = self.mem_tick_at;
+                    loop {
+                        match batch.get(i) {
+                            Some(&Event::WalkerIssue { walker, addr }) => {
+                                let id = self.mem.submit(addr.line(), MemSource::PageWalk, now);
+                                self.walk_reads.push((id, ptw_types::ids::WalkerId(walker)));
+                            }
+                            Some(&Event::DataSubmit { line }) => {
+                                self.mem.submit(line, MemSource::Data, now);
+                            }
+                            _ => break,
+                        }
+                        if let Some(t) = self.mem.next_event_time() {
+                            let t = t.max(now);
+                            if armed.is_none_or(|s| t < s) {
+                                ticks.push(t);
+                                armed = Some(t);
+                            }
+                        }
+                        i += 1;
+                    }
+                    for &t in ticks.iter() {
+                        self.queue.schedule(t, Event::MemTick);
+                    }
+                    ticks.clear();
+                    self.mem_tick_at = armed;
+                }
+                Event::MemTick => {
+                    if self.mem_tick_at == Some(now) {
+                        self.handle_mem_tick(now);
+                    }
+                    i += 1;
+                }
+                event => {
+                    self.handle_event(event, now);
+                    i += 1;
+                }
+            }
+        }
+    }
+
     /// Runs the simulation to completion, reporting aborts as typed
     /// [`SimError`]s.
+    ///
+    /// The loop drains whole same-cycle calendar buckets at once
+    /// ([`EventQueue::pop_bucket_into`]) and dispatches each bucket through
+    /// [`dispatch_bucket`](Self::dispatch_bucket). Same-cycle events newly
+    /// scheduled by a bucket's handlers carry larger insertion sequence
+    /// numbers than anything drained, so re-draining the same cycle on the
+    /// next iteration reproduces the exact `(time, seq)` order of the
+    /// one-event-at-a-time loop ([`try_run_unbatched`]
+    /// (Self::try_run_unbatched) keeps that loop as the differential
+    /// oracle).
     ///
     /// Besides the `cfg.max_events` budget, a watchdog samples the retired
     /// instruction count every `cfg.watchdog.check_events` events: if it
     /// stands still for `cfg.watchdog.stall_epochs` consecutive samples
     /// while events keep flowing, the run is declared livelocked and the
-    /// error carries a snapshot of the IOMMU scheduling state.
+    /// error carries a snapshot of the IOMMU scheduling state. These
+    /// per-event checks are hoisted to a per-bucket checkpoint: a bucket
+    /// whose last event provably stays below every trigger threshold takes
+    /// a check-free fast path; otherwise a slow path replays the exact
+    /// per-event check order with a virtual event counter, so budget,
+    /// watchdog, and injected faults trigger at the same event counts with
+    /// the same payloads as the unbatched loop.
     pub fn try_run(mut self) -> Result<RunResult, SimError> {
+        let watchdog = self.cfg.watchdog;
+        let mut wd_next_check = if watchdog.enabled() {
+            watchdog.check_events
+        } else {
+            u64::MAX
+        };
+        let mut wd_last_retired = 0u64;
+        let mut wd_stalled = 0u64;
+        let fault = self.cfg.fault;
+        let budget = if self.cfg.max_events > 0 {
+            self.cfg.max_events
+        } else {
+            u64::MAX
+        };
+        // Largest processed-event count at which an injected fault still
+        // cannot fire (`processed >= at_event` is the trigger).
+        let fault_clear = fault.map_or(u64::MAX, |f| f.at_event.saturating_sub(1));
+        let mut batch: Vec<Event> = Vec::new();
+        let mut ticks: Vec<Cycle> = Vec::new();
+        loop {
+            let before = self.queue.processed();
+            batch.clear();
+            let Some(now) = self.queue.pop_bucket_into(&mut batch) else {
+                break;
+            };
+            let after = before + batch.len() as u64;
+            // Fast path: no check can trigger anywhere in this bucket.
+            let clear = budget.min(wd_next_check.saturating_sub(1)).min(fault_clear);
+            if after <= clear {
+                self.dispatch_bucket(&batch, now, &mut ticks);
+                continue;
+            }
+            // Slow path: replay the exact per-event check order of the
+            // unbatched loop; `processed` is the count the queue would
+            // have reported right after popping this event.
+            for (i, &event) in batch.iter().enumerate() {
+                let processed = before + i as u64 + 1;
+                if self.cfg.max_events > 0 && processed > self.cfg.max_events {
+                    return Err(SimError::EventBudgetExhausted {
+                        events: processed,
+                        now: now.raw(),
+                        snapshot: Box::new(self.iommu.snapshot()),
+                    });
+                }
+                if processed >= wd_next_check {
+                    wd_next_check = processed + watchdog.check_events;
+                    let retired = self.metrics.instructions_completed();
+                    if retired == wd_last_retired {
+                        wd_stalled += 1;
+                        if wd_stalled >= watchdog.stall_epochs {
+                            return Err(SimError::Livelock {
+                                events: processed,
+                                now: now.raw(),
+                                stalled_epochs: wd_stalled,
+                                retired_instructions: retired,
+                                snapshot: Box::new(self.iommu.snapshot()),
+                            });
+                        }
+                    } else {
+                        wd_stalled = 0;
+                        wd_last_retired = retired;
+                    }
+                }
+                if let Some(fault) = fault {
+                    if processed >= fault.at_event {
+                        match fault.kind {
+                            FaultKind::Panic => panic!(
+                                "injected fault: panic at event {} (cycle {now})",
+                                fault.at_event
+                            ),
+                            FaultKind::Livelock => {
+                                // Swallow the event and push it one cycle
+                                // out: the event stream keeps flowing while
+                                // retired instructions freeze — the exact
+                                // signature the watchdog exists to catch.
+                                self.queue.schedule(now + 1u64, event);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                self.handle_event(event, now);
+            }
+        }
+        self.finish()
+    }
+
+    /// The pre-batching event loop: pops and checks one event at a time.
+    ///
+    /// Kept verbatim as the differential oracle for
+    /// [`try_run`](Self::try_run) — `tests/batched_dispatch_oracle.rs`
+    /// pins every (benchmark × policy) cell to a bit-identical
+    /// [`RunResult`] across the two loops.
+    pub fn try_run_unbatched(mut self) -> Result<RunResult, SimError> {
         let watchdog = self.cfg.watchdog;
         let mut wd_next_check = if watchdog.enabled() {
             watchdog.check_events
@@ -561,28 +752,20 @@ impl System {
                             fault.at_event
                         ),
                         FaultKind::Livelock => {
-                            // Swallow the event and push it one cycle out:
-                            // the event stream keeps flowing while retired
-                            // instructions freeze — the exact signature
-                            // the watchdog exists to catch.
                             self.queue.schedule(now + 1u64, event);
                             continue;
                         }
                     }
                 }
             }
-            match event {
-                Event::WfReady(wf) => self.handle_wf_ready(wf, now),
-                Event::TranslationDone { wf } => self.handle_translation_done(wf, now),
-                Event::L2TlbArrive { wf, page } => self.handle_l2_tlb_arrive(wf, page, now),
-                Event::L2TlbLookup { wf, page } => self.handle_l2_tlb_lookup(wf, page, now),
-                Event::IommuArrival { wf, page } => self.handle_iommu_arrival(wf, page, now),
-                Event::WalkerIssue { walker, addr } => self.handle_walker_issue(walker, addr, now),
-                Event::DataSubmit { line } => self.handle_data_submit(line, now),
-                Event::LineDone { wf } => self.handle_line_done(wf, now),
-                Event::MemTick => self.handle_mem_tick(now),
-            }
+            self.handle_event(event, now);
         }
+        self.finish()
+    }
+
+    /// Post-loop result assembly shared by both run loops: deadlock
+    /// detection, CU finishing, and metric aggregation.
+    fn finish(mut self) -> Result<RunResult, SimError> {
         let end = self.queue.now();
         let unretired = self
             .wavefronts

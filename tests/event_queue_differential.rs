@@ -89,3 +89,64 @@ fn bucketed_queue_matches_binary_heap_oracle() {
     }
     assert_eq!(dut.len(), 0);
 }
+
+/// Same differential drive, but the DUT drains via [`EventQueue::
+/// pop_bucket_into`] (the batched-dispatch entry point), interleaved with
+/// single pops. Every drained bucket must reproduce, element for element,
+/// the per-event pop sequence of the heap oracle — bucket draining is
+/// pure mechanics, never ordering.
+#[test]
+fn bucket_drain_matches_binary_heap_oracle() {
+    let mut rng = SplitMix64::new(0xB0CC_E7ED);
+    let mut dut: EventQueue<u64> = EventQueue::new();
+    let mut oracle = HeapQueue::default();
+    let mut payload = 0u64;
+    let mut pending = 0usize;
+    let mut batch: Vec<u64> = Vec::new();
+
+    for op in 0..100_000u32 {
+        let schedule = pending < 4096 && (pending == 0 || rng.next_below(5) < 3);
+        if schedule {
+            let delta = match rng.next_below(100) {
+                0..=39 => 0,
+                40..=79 => rng.next_below(96),
+                80..=95 => rng.next_below(HORIZON - 1),
+                _ => HORIZON + rng.next_below(3 * HORIZON),
+            };
+            let at = Cycle::new(dut.now().raw() + delta);
+            dut.schedule(at, payload);
+            oracle.schedule(at, payload);
+            payload += 1;
+            pending += 1;
+        } else if rng.next_below(4) == 0 {
+            // Occasional single pop keeps the two drain styles interleaved.
+            let got = dut.pop();
+            let want = oracle.pop();
+            assert_eq!(got, want, "single-pop divergence at op {op}");
+            pending -= 1;
+        } else {
+            batch.clear();
+            let at = dut.pop_bucket_into(&mut batch).expect("pending > 0");
+            assert!(!batch.is_empty(), "a drained bucket is never empty");
+            for &got in &batch {
+                let (want_at, want) = oracle.pop().expect("oracle has pending events");
+                assert_eq!(at, want_at, "bucket time divergence at op {op}");
+                assert_eq!(got, want, "bucket payload divergence at op {op}");
+            }
+            assert_eq!(dut.now(), at, "queue clock follows the drained bucket");
+            pending -= batch.len();
+        }
+    }
+
+    // Final drain, all buckets.
+    batch.clear();
+    while let Some(at) = dut.pop_bucket_into(&mut batch) {
+        for &got in &batch {
+            let (want_at, want) = oracle.pop().expect("oracle drains in lockstep");
+            assert_eq!((at, got), (want_at, want), "divergence during final drain");
+        }
+        batch.clear();
+    }
+    assert_eq!(oracle.pop(), None, "oracle must drain with the DUT");
+    assert_eq!(dut.len(), 0);
+}
