@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use ptw_pagetable::pwc::{PageWalkCache, PwcConfig, WalkPlan};
 use ptw_pagetable::table::PageTable;
 use ptw_tlb::{Tlb, TlbConfig};
-use ptw_types::addr::{PhysAddr, PhysFrame, VirtPage};
+use ptw_types::addr::{PageSize, PhysAddr, PhysFrame, VirtPage};
 use ptw_types::ids::{InstrId, WalkerId};
 use ptw_types::time::Cycle;
 
@@ -110,6 +110,8 @@ pub enum TranslationOutcome {
         frame: PhysFrame,
         /// When the reply leaves the IOMMU.
         ready_at: Cycle,
+        /// Whether the hit came from a 2 MiB large-page entry.
+        large: bool,
     },
     /// Missed everywhere; a walk request was enqueued. The waiter token is
     /// returned later through [`WalkerStep::Done`].
@@ -148,6 +150,8 @@ pub struct CompletedTranslation<W> {
     /// Global service-order number of the satisfying walk (used for the
     /// interleaving analysis, Figure 5).
     pub service_seq: u64,
+    /// Whether the satisfying walk resolved a 2 MiB large-page leaf.
+    pub large: bool,
     /// Caller token from [`Iommu::translate`].
     pub waiter: W,
 }
@@ -180,6 +184,15 @@ pub struct IommuStats {
     pub total_walk_latency: u64,
     /// Number of completed walk requests (own + merged).
     pub completed_requests: u64,
+    /// Walks that resolved a 2 MiB large-page leaf (subset of
+    /// `walks_performed`).
+    pub large_walks_performed: u64,
+    /// Completed requests satisfied by a large-page walk (subset of
+    /// `completed_requests`).
+    pub large_completed_requests: u64,
+    /// Sum of (completion − enqueue) over large-page walk requests
+    /// (subset of `total_walk_latency`).
+    pub large_total_walk_latency: u64,
 }
 
 impl IommuStats {
@@ -199,6 +212,41 @@ impl IommuStats {
         } else {
             self.total_walk_accesses as f64 / self.walks_performed as f64
         }
+    }
+
+    /// Average large-page walk-request latency in cycles.
+    pub fn avg_large_walk_latency(&self) -> f64 {
+        if self.large_completed_requests == 0 {
+            0.0
+        } else {
+            self.large_total_walk_latency as f64 / self.large_completed_requests as f64
+        }
+    }
+
+    /// Average base (4 KiB) walk-request latency in cycles.
+    pub fn avg_base_walk_latency(&self) -> f64 {
+        let base_requests = self.completed_requests - self.large_completed_requests;
+        if base_requests == 0 {
+            0.0
+        } else {
+            (self.total_walk_latency - self.large_total_walk_latency) as f64 / base_requests as f64
+        }
+    }
+
+    /// Merges `other`'s counters into `self` (summing per-IOMMU stats
+    /// into the topology aggregate; `peak_pending` takes the max since
+    /// the shards' peaks need not coincide in time).
+    pub fn absorb(&mut self, other: &IommuStats) {
+        self.walk_requests += other.walk_requests;
+        self.walks_performed += other.walks_performed;
+        self.merged_completions += other.merged_completions;
+        self.total_walk_accesses += other.total_walk_accesses;
+        self.peak_pending = self.peak_pending.max(other.peak_pending);
+        self.total_walk_latency += other.total_walk_latency;
+        self.completed_requests += other.completed_requests;
+        self.large_walks_performed += other.large_walks_performed;
+        self.large_completed_requests += other.large_completed_requests;
+        self.large_total_walk_latency += other.large_total_walk_latency;
     }
 }
 
@@ -510,17 +558,40 @@ impl<W> Iommu<W> {
         waiter: W,
         now: Cycle,
     ) -> TranslationOutcome {
-        if let Some(frame) = self.l1_tlb.lookup(page) {
+        self.translate_sized(page, PageSize::Base4K, instr, waiter, now)
+    }
+
+    /// Page-size-aware form of [`translate`](Self::translate): `size` is
+    /// the caller's knowledge of the page's mapping size (from the
+    /// workload's page table), so SJF scoring estimates the shorter large
+    /// walk correctly. The all-4K call path is bit-identical to
+    /// [`translate`](Self::translate).
+    pub fn translate_sized(
+        &mut self,
+        page: VirtPage,
+        size: PageSize,
+        instr: InstrId,
+        waiter: W,
+        now: Cycle,
+    ) -> TranslationOutcome {
+        if let Some((frame, large)) = self.l1_tlb.lookup_sized(page) {
             return TranslationOutcome::Hit {
                 frame,
                 ready_at: now + self.cfg.tlb_cycles,
+                large,
             };
         }
-        if let Some(frame) = self.l2_tlb.lookup(page) {
-            self.l1_tlb.fill(page, frame);
+        if let Some((frame, large)) = self.l2_tlb.lookup_sized(page) {
+            if large {
+                let base = PhysFrame::new(frame.raw() - page.large_offset());
+                self.l1_tlb.fill_large(page, base);
+            } else {
+                self.l1_tlb.fill(page, frame);
+            }
             return TranslationOutcome::Hit {
                 frame,
                 ready_at: now + 2 * self.cfg.tlb_cycles,
+                large,
             };
         }
         let enqueued_at = now + 2 * self.cfg.tlb_cycles;
@@ -535,7 +606,7 @@ impl<W> Iommu<W> {
         let mut own_estimate = 0u8;
         let mut score = 0u32;
         if !self.has_free_walker() && self.scheduler.uses_scores() {
-            own_estimate = self.pwc.estimate(page).accesses;
+            own_estimate = self.pwc.estimate_sized(page, size).accesses;
             // All pending requests of one instruction share a score, so
             // the chain head holds the prior (O(1)); the rescore walks
             // only this instruction's chain (O(chain), not O(buffer)).
@@ -666,6 +737,29 @@ impl<W> Iommu<W> {
     ///
     /// Panics if `walker` is idle (a protocol violation by the caller).
     pub fn memory_done(&mut self, walker: WalkerId, now: Cycle) -> WalkerStep<W> {
+        let mut completions = Vec::new();
+        match self.memory_done_into(walker, now, &mut completions) {
+            Some(read) => WalkerStep::Read(read),
+            None => WalkerStep::Done(completions),
+        }
+    }
+
+    /// Buffer-reusing form of [`memory_done`](Self::memory_done): returns
+    /// `Some(read)` when the walk needs another PTE read, or `None` when
+    /// it finished — in which case the completed translations (the
+    /// walker's own plus all piggybacked same-page requests) have been
+    /// *appended* to `completions`. With a warmed buffer this path
+    /// performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walker` is idle (a protocol violation by the caller).
+    pub fn memory_done_into(
+        &mut self,
+        walker: WalkerId,
+        now: Cycle,
+        completions: &mut Vec<CompletedTranslation<W>>,
+    ) -> Option<MemRead> {
         let widx = walker.0 as usize;
         let state = &mut self.walkers[widx];
         let WalkerState::Busy {
@@ -676,7 +770,7 @@ impl<W> Iommu<W> {
         };
         *reads_done += 1;
         if *reads_done < plan.pte_reads().len() {
-            return WalkerStep::Read(MemRead {
+            return Some(MemRead {
                 walker,
                 addr: plan.pte_reads()[*reads_done],
                 issue_at: now,
@@ -696,9 +790,17 @@ impl<W> Iommu<W> {
         self.start_blocked = false;
         let page = request.page;
         let frame = plan.frame;
+        let large = plan.is_large();
         self.pwc.complete_walk(&plan);
-        self.l2_tlb.fill(page, frame);
-        self.l1_tlb.fill(page, frame);
+        if large {
+            let base = plan.base_frame();
+            self.l2_tlb.fill_large(page, base);
+            self.l1_tlb.fill_large(page, base);
+            self.stats.large_walks_performed += 1;
+        } else {
+            self.l2_tlb.fill(page, frame);
+            self.l1_tlb.fill(page, frame);
+        }
         if let Some(i) = self
             .inflight_pages
             .iter()
@@ -707,9 +809,12 @@ impl<W> Iommu<W> {
             self.inflight_pages.swap_remove(i);
         }
 
-        let mut completions = Vec::new();
         self.stats.total_walk_latency += now - request.enqueued_at;
         self.stats.completed_requests += 1;
+        if large {
+            self.stats.large_total_walk_latency += now - request.enqueued_at;
+            self.stats.large_completed_requests += 1;
+        }
         completions.push(CompletedTranslation {
             page,
             frame,
@@ -719,6 +824,7 @@ impl<W> Iommu<W> {
             via_walk: true,
             walk_accesses: plan.accesses(),
             service_seq,
+            large,
             waiter: request.waiter,
         });
         // Same-page requests piggyback on this walk's TLB fill, collected
@@ -738,6 +844,10 @@ impl<W> Iommu<W> {
             self.stats.merged_completions += 1;
             self.stats.total_walk_latency += done_at - r.enqueued_at;
             self.stats.completed_requests += 1;
+            if large {
+                self.stats.large_total_walk_latency += done_at - r.enqueued_at;
+                self.stats.large_completed_requests += 1;
+            }
             completions.push(CompletedTranslation {
                 page,
                 frame,
@@ -747,10 +857,11 @@ impl<W> Iommu<W> {
                 via_walk: false,
                 walk_accesses: plan.accesses(),
                 service_seq,
+                large,
                 waiter: r.waiter,
             });
         }
-        WalkerStep::Done(completions)
+        None
     }
 }
 
@@ -818,9 +929,14 @@ mod tests {
             .iommu
             .translate(page, InstrId::new(2), 1, Cycle::new(10_000))
         {
-            TranslationOutcome::Hit { frame, ready_at } => {
+            TranslationOutcome::Hit {
+                frame,
+                ready_at,
+                large,
+            } => {
                 assert_eq!(frame, done[0].frame);
                 assert_eq!(ready_at.raw(), 10_000 + 8);
+                assert!(!large);
             }
             other => panic!("expected hit, got {other:?}"),
         }
@@ -1040,6 +1156,90 @@ mod tests {
         let expected = t - done[0].enqueued_at;
         assert_eq!(f.iommu.stats().total_walk_latency, expected);
         assert!(f.iommu.stats().avg_walk_latency() > 0.0);
+    }
+
+    #[test]
+    fn large_page_walk_round_trip() {
+        let mut f = fixture(IommuConfig::paper_baseline());
+        let base = f
+            .alloc
+            .alloc_contiguous(ptw_types::addr::PAGES_PER_LARGE_PAGE);
+        let start = VirtPage::new(8 << 9);
+        f.table.map_large(start, base, &mut f.alloc).unwrap();
+        let page = VirtPage::new(start.raw() + 5);
+        let out = f
+            .iommu
+            .translate_sized(page, PageSize::Large2M, InstrId::new(1), 7, Cycle::ZERO);
+        assert_eq!(out, TranslationOutcome::WalkPending);
+        let reads = f.iommu.start_walkers(&f.table, Cycle::ZERO);
+        // A cold large walk needs exactly 3 reads (levels 4, 3, 2).
+        let mut count = 1;
+        let mut read = reads[0];
+        let mut t = read.issue_at;
+        let done = loop {
+            t += 100;
+            match f.iommu.memory_done(read.walker, t) {
+                WalkerStep::Read(next) => {
+                    count += 1;
+                    read = next;
+                }
+                WalkerStep::Done(done) => break done,
+            }
+        };
+        assert_eq!(count, 3);
+        assert!(done[0].large);
+        assert_eq!(done[0].walk_accesses, 3);
+        assert_eq!(done[0].frame, PhysFrame::new(base.raw() + 5));
+        assert_eq!(f.iommu.stats().large_walks_performed, 1);
+        assert_eq!(f.iommu.stats().large_completed_requests, 1);
+
+        // A *different* page of the same region now hits the large-side
+        // TLB entry.
+        let sibling = VirtPage::new(start.raw() + 300);
+        match f
+            .iommu
+            .translate_sized(sibling, PageSize::Large2M, InstrId::new(2), 8, t)
+        {
+            TranslationOutcome::Hit { frame, large, .. } => {
+                assert!(large);
+                assert_eq!(frame, PhysFrame::new(base.raw() + 300));
+            }
+            other => panic!("expected large hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_done_into_appends_without_wrapper() {
+        let mut f = fixture(IommuConfig::paper_baseline());
+        let page = map(&mut f, 0x7100);
+        f.iommu.translate(page, InstrId::new(1), 42, Cycle::ZERO);
+        let reads = f.iommu.start_walkers(&f.table, Cycle::ZERO);
+        let mut completions = Vec::new();
+        let mut read = reads[0];
+        let mut t = read.issue_at;
+        loop {
+            t += 100;
+            match f.iommu.memory_done_into(read.walker, t, &mut completions) {
+                Some(next) => read = next,
+                None => break,
+            }
+        }
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].waiter, 42);
+        // The buffer is appended to, not cleared: a second walk adds to it.
+        let page2 = map(&mut f, 0x7200);
+        f.iommu.translate(page2, InstrId::new(2), 43, t);
+        let reads = f.iommu.start_walkers(&f.table, t);
+        let mut read = reads[0];
+        loop {
+            t += 100;
+            match f.iommu.memory_done_into(read.walker, t, &mut completions) {
+                Some(next) => read = next,
+                None => break,
+            }
+        }
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[1].waiter, 43);
     }
 
     #[test]

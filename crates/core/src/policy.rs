@@ -44,7 +44,11 @@ pub struct Candidate {
     pub instr: InstrId,
     /// Arrival order at the IOMMU buffer (unique, monotonic).
     pub seq: u64,
-    /// Per-instruction score (estimated total walk accesses).
+    /// Per-instruction score (estimated total walk accesses). The estimate
+    /// is page-size-aware: a walk to a 2 MiB mapping terminates at the
+    /// level-2 leaf, so it contributes at most 3 accesses (fewer on PWC
+    /// hits) where a 4 KiB walk contributes up to 4 — SJF-style policies
+    /// therefore naturally prefer large-page walks of equal PWC locality.
     pub score: u32,
 }
 

@@ -40,6 +40,12 @@ pub struct FrameAllocator {
     /// Additive offset of the scrambled layout (seed-dependent). The
     /// affine map `i·m + offset (mod 2^k)` stays a bijection for odd `m`.
     offset: u64,
+    /// Physical offsets at and above this are reserved for contiguous
+    /// large-page runs, handed out top-down by
+    /// [`alloc_contiguous`](Self::alloc_contiguous). Equal to `capacity`
+    /// when nothing is reserved, which keeps [`alloc`](Self::alloc)
+    /// bit-identical to the reservation-free allocator.
+    reserved_floor: u64,
 }
 
 /// Odd multiplier used by the scrambled layout (splitmix-derived constant).
@@ -81,6 +87,7 @@ impl FrameAllocator {
             next: 0,
             layout,
             offset,
+            reserved_floor: capacity,
         }
     }
 
@@ -107,28 +114,81 @@ impl FrameAllocator {
         self.capacity - self.next
     }
 
+    /// Number of frames currently reserved for contiguous runs.
+    pub fn reserved(&self) -> u64 {
+        self.capacity - self.reserved_floor
+    }
+
     /// Allocates the next frame.
+    ///
+    /// With contiguous runs reserved, layout positions that fall inside
+    /// the reserved top region are skipped (the underlying index stream
+    /// keeps advancing, so the walk stays deterministic). With nothing
+    /// reserved the emitted frame sequence is bit-identical to an
+    /// allocator that never heard of reservations.
     ///
     /// # Panics
     ///
     /// Panics if the capacity is exhausted.
     pub fn alloc(&mut self) -> PhysFrame {
-        assert!(
-            self.next < self.capacity,
-            "physical memory exhausted after {} frames",
-            self.capacity
-        );
-        let i = self.next;
-        self.next += 1;
-        let off = match self.layout {
-            FrameLayout::Sequential => i,
-            FrameLayout::Scrambled => {
-                i.wrapping_mul(SCRAMBLE_MULTIPLIER)
-                    .wrapping_add(self.offset)
-                    & (self.capacity - 1)
+        loop {
+            assert!(
+                self.next < self.capacity,
+                "physical memory exhausted after {} frames",
+                self.capacity
+            );
+            let i = self.next;
+            self.next += 1;
+            let off = match self.layout {
+                FrameLayout::Sequential => i,
+                FrameLayout::Scrambled => {
+                    i.wrapping_mul(SCRAMBLE_MULTIPLIER)
+                        .wrapping_add(self.offset)
+                        & (self.capacity - 1)
+                }
+            };
+            if off < self.reserved_floor {
+                return PhysFrame::new(self.base + off);
             }
-        };
-        PhysFrame::new(self.base + off)
+        }
+    }
+
+    /// Reserves a physically contiguous run of `count` frames and returns
+    /// its first frame. Runs are carved top-down from the high end of the
+    /// range so the single-frame [`alloc`](Self::alloc) stream below the
+    /// reservation floor is unperturbed.
+    ///
+    /// Under the scrambled layout every run must be reserved *before* the
+    /// first single-frame allocation: the scramble spans the whole range,
+    /// so a frame handed out earlier could alias a region reserved later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, if the remaining range cannot hold the
+    /// run, or if single-frame allocation has already started under the
+    /// scrambled layout.
+    pub fn alloc_contiguous(&mut self, count: u64) -> PhysFrame {
+        assert!(count > 0, "contiguous run must be nonempty");
+        assert!(
+            self.layout == FrameLayout::Sequential || self.next == 0,
+            "contiguous runs must be reserved before scrambled single-frame allocation"
+        );
+        assert!(
+            self.reserved_floor >= count && self.reserved_floor - count >= self.next_sequential(),
+            "physical memory exhausted reserving a {count}-frame run"
+        );
+        self.reserved_floor -= count;
+        PhysFrame::new(self.base + self.reserved_floor)
+    }
+
+    /// The lowest physical offset a future sequential alloc could emit
+    /// (zero under the scrambled layout, where the pre-allocation
+    /// requirement already rules out overlap).
+    fn next_sequential(&self) -> u64 {
+        match self.layout {
+            FrameLayout::Sequential => self.next,
+            FrameLayout::Scrambled => 0,
+        }
     }
 }
 
@@ -184,6 +244,65 @@ mod tests {
     fn with_memory_bytes_reserves_low_memory() {
         let mut a = FrameAllocator::with_memory_bytes(1 << 30, FrameLayout::Sequential);
         assert!(a.alloc().raw() >= 0x1000);
+    }
+
+    #[test]
+    fn contiguous_runs_come_from_the_top() {
+        let mut a = FrameAllocator::new(100, 1 << 10, FrameLayout::Sequential);
+        let run1 = a.alloc_contiguous(512);
+        assert_eq!(run1.raw(), 100 + 1024 - 512);
+        let run2 = a.alloc_contiguous(512);
+        assert_eq!(run2.raw(), 100);
+        assert_eq!(a.reserved(), 1024);
+    }
+
+    #[test]
+    fn alloc_skips_reserved_region() {
+        let mut a = FrameAllocator::new(0, 1 << 10, FrameLayout::Scrambled);
+        let run = a.alloc_contiguous(512);
+        assert_eq!(run.raw(), 512);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            let f = a.alloc().raw();
+            assert!(f < 512, "single-frame alloc {f} aliased the reserved run");
+            assert!(seen.insert(f), "duplicate frame");
+        }
+    }
+
+    #[test]
+    fn reserving_alloc_is_the_filtered_plain_sequence() {
+        // A reserving allocator must emit exactly the plain allocator's
+        // stream with reserved-zone positions skipped — the determinism
+        // the mixed-page workload builds rely on.
+        let mut plain = FrameAllocator::with_seed(0, 1 << 10, FrameLayout::Scrambled, 7);
+        let mut reserving = FrameAllocator::with_seed(0, 1 << 10, FrameLayout::Scrambled, 7);
+        reserving.alloc_contiguous(256);
+        let filtered: Vec<u64> = (0..512)
+            .map(|_| plain.alloc().raw())
+            .filter(|&f| f < 1024 - 256)
+            .collect();
+        let got: Vec<u64> = (0..filtered.len())
+            .map(|_| reserving.alloc().raw())
+            .collect();
+        assert_eq!(got, filtered);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scrambled_contiguous_after_alloc_panics() {
+        let mut a = FrameAllocator::new(0, 1 << 10, FrameLayout::Scrambled);
+        a.alloc();
+        a.alloc_contiguous(512);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sequential_contiguous_overlap_panics() {
+        let mut a = FrameAllocator::new(0, 16, FrameLayout::Sequential);
+        for _ in 0..10 {
+            a.alloc();
+        }
+        a.alloc_contiguous(8);
     }
 }
 

@@ -16,7 +16,7 @@
 //! keeping arrival-time scores honest.
 
 use ptw_mem::assoc::{AssocArray, Replacement, SetIndex};
-use ptw_types::addr::{PhysAddr, PhysFrame, VirtPage};
+use ptw_types::addr::{PageSize, PhysAddr, PhysFrame, VirtPage};
 
 use crate::table::{PageTable, WalkPath};
 
@@ -92,10 +92,13 @@ pub struct PwcStats {
 /// The result of consulting the PWC for a walk (or an estimate).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PwcHit {
-    /// Deepest cached level on the page's path (2, 3 or 4), or `None` on a
+    /// Deepest cached level on the page's path (2, 3 or 4 for base pages;
+    /// 3 or 4 for large pages, whose leaf *is* level 2), or `None` on a
     /// complete miss.
     pub deepest: Option<u8>,
-    /// Memory accesses the walk needs: 1 (hit at level 2) … 4 (miss).
+    /// Memory accesses the walk needs: 1 (hit one level above the leaf) up
+    /// to 4 for a base-page miss, or 3 for a large-page miss (large walks
+    /// terminate at the level-2 leaf).
     pub accesses: u8,
 }
 
@@ -139,6 +142,27 @@ impl WalkPlan {
     /// Number of memory accesses this walk performs (1–4).
     pub fn accesses(&self) -> u8 {
         self.len
+    }
+
+    /// Page size of the mapping this walk resolves.
+    pub fn page_size(&self) -> PageSize {
+        self.path.page_size()
+    }
+
+    /// Whether this walk terminates at a 2 MiB large-page leaf.
+    pub fn is_large(&self) -> bool {
+        self.path.leaf_level == 2
+    }
+
+    /// Base frame of the mapping: for a large page, the first frame of the
+    /// contiguous 512-frame run (what the large-side TLB caches); for a
+    /// base page, simply [`frame`](Self::frame).
+    pub fn base_frame(&self) -> PhysFrame {
+        if self.is_large() {
+            PhysFrame::new(self.frame.raw() - self.page.large_offset())
+        } else {
+            self.frame
+        }
     }
 }
 
@@ -185,34 +209,54 @@ impl PageWalkCache {
         self.set_ix.of(key)
     }
 
-    /// Finds the deepest cached level for `page` without touching recency.
-    fn deepest_hit(&self, page: VirtPage) -> Option<u8> {
-        PWC_LEVELS.iter().copied().find(|&level| {
-            let key = page.prefix(level);
-            self.levels[level_slot(level)]
-                .probe(self.set_of(key), key)
-                .is_some()
-        })
+    /// Finds the deepest cached level strictly above `leaf_level` for
+    /// `page` without touching recency. (Levels at or below the leaf are
+    /// the TLB's job: a large page's level-2 entry is its leaf, so only
+    /// levels 3 and 4 are consulted for it.)
+    fn deepest_hit(&self, page: VirtPage, leaf_level: u8) -> Option<u8> {
+        PWC_LEVELS
+            .iter()
+            .copied()
+            .filter(|&level| level > leaf_level)
+            .find(|&level| {
+                let key = page.prefix(level);
+                self.levels[level_slot(level)]
+                    .probe(self.set_of(key), key)
+                    .is_some()
+            })
     }
 
-    fn hit_to_accesses(deepest: Option<u8>) -> u8 {
+    fn hit_to_accesses(deepest: Option<u8>, leaf_level: u8) -> u8 {
         match deepest {
-            Some(level) => level - 1,
-            None => 4,
+            Some(level) => level - leaf_level,
+            None => 5 - leaf_level,
         }
     }
 
     /// Scheduler action **1-a**: probes the PWC to *estimate* how many
-    /// memory accesses a walk for `page` would need right now.
+    /// memory accesses a walk for `page` would need right now, assuming a
+    /// base 4 KiB mapping.
     ///
     /// Does not update recency (it is a probe, not a use); when counter
     /// pinning is enabled, increments the 2-bit counters of every entry on
     /// the page's cached path, reserving them for the eventual walk.
     pub fn estimate(&mut self, page: VirtPage) -> PwcHit {
+        self.estimate_sized(page, PageSize::Base4K)
+    }
+
+    /// Page-size-aware form of [`estimate`](Self::estimate): a
+    /// [`PageSize::Large2M`] page walks to the level-2 leaf, so only
+    /// levels 3 and 4 are probed (and reserved) and a complete miss costs
+    /// 3 accesses instead of 4.
+    pub fn estimate_sized(&mut self, page: VirtPage, size: PageSize) -> PwcHit {
+        let leaf = size.leaf_level();
         self.stats.probes += 1;
-        let deepest = self.deepest_hit(page);
+        let deepest = self.deepest_hit(page, leaf);
         if self.cfg.counter_pinning {
             for level in PWC_LEVELS {
+                if level <= leaf {
+                    continue;
+                }
                 let key = page.prefix(level);
                 let set = self.set_of(key);
                 if let Some(e) = self.levels[level_slot(level)].probe_mut(set, key) {
@@ -222,7 +266,7 @@ impl PageWalkCache {
         }
         PwcHit {
             deepest,
-            accesses: Self::hit_to_accesses(deepest),
+            accesses: Self::hit_to_accesses(deepest, leaf),
         }
     }
 
@@ -233,13 +277,17 @@ impl PageWalkCache {
     /// Returns `None` if the page is not mapped in `table`.
     pub fn begin_walk(&mut self, table: &PageTable, page: VirtPage) -> Option<WalkPlan> {
         let path = table.walk_path(page)?;
+        let leaf = path.leaf_level;
         self.stats.lookups += 1;
-        let deepest = self.deepest_hit(page);
+        let deepest = self.deepest_hit(page, leaf);
         if deepest.is_some() {
             self.stats.lookup_hits += 1;
         }
         // Touch + unreserve the entries actually consulted.
         for level in PWC_LEVELS {
+            if level <= leaf {
+                continue;
+            }
             let key = page.prefix(level);
             let set = self.set_of(key);
             if let Some(e) = self.levels[level_slot(level)].lookup_mut(set, key) {
@@ -255,7 +303,7 @@ impl PageWalkCache {
         let mut levels = [0u8; 4];
         let mut pte_reads = [PhysAddr::default(); 4];
         let mut len = 0usize;
-        for l in (1..=start).rev() {
+        for l in (leaf..=start).rev() {
             levels[len] = l;
             pte_reads[len] = path.pte_addr(l);
             len += 1;
@@ -276,7 +324,7 @@ impl PageWalkCache {
     /// (falling back to LRU when all ways are pinned), per the paper.
     pub fn complete_walk(&mut self, plan: &WalkPlan) {
         for &level in plan.levels() {
-            if !(2..=4).contains(&level) {
+            if !(2..=4).contains(&level) || level <= plan.path.leaf_level {
                 continue; // the leaf PTE goes to the TLBs, not the PWC
             }
             let key = plan.page.prefix(level);
@@ -461,6 +509,43 @@ mod tests {
         }
         // LRU evicted page 0's level-2 entry despite the earlier estimate.
         assert_eq!(pwc.cached_child(pages[0], 2), None);
+    }
+
+    #[test]
+    fn large_page_cold_walk_needs_three_accesses() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let base = alloc.alloc_contiguous(ptw_types::addr::PAGES_PER_LARGE_PAGE);
+        let page = VirtPage::new(6 << 9);
+        pt.map_large(page, base, &mut alloc).unwrap();
+        assert_eq!(pwc.estimate_sized(page, PageSize::Large2M).accesses, 3);
+        let plan = pwc.begin_walk(&pt, page).unwrap();
+        assert!(plan.is_large());
+        assert_eq!(plan.page_size(), PageSize::Large2M);
+        assert_eq!(plan.levels(), &[4, 3, 2][..]);
+        assert_eq!(plan.base_frame(), base);
+    }
+
+    #[test]
+    fn warm_large_walk_needs_one_access_and_skips_level_two_fill() {
+        let (mut alloc, mut pt, mut pwc) = setup();
+        let base = alloc.alloc_contiguous(ptw_types::addr::PAGES_PER_LARGE_PAGE);
+        let page = VirtPage::new(6 << 9);
+        pt.map_large(page, base, &mut alloc).unwrap();
+        let plan = pwc.begin_walk(&pt, page).unwrap();
+        pwc.complete_walk(&plan);
+        // Levels 4 and 3 are cached; the level-2 leaf must NOT be (its
+        // "child" is the translation, which belongs in the TLB).
+        assert!(pwc.cached_child(page, 4).is_some());
+        assert!(pwc.cached_child(page, 3).is_some());
+        assert_eq!(pwc.cached_child(page, 2), None);
+        assert_eq!(pwc.estimate_sized(page, PageSize::Large2M).accesses, 1);
+        let warm = pwc.begin_walk(&pt, page).unwrap();
+        assert_eq!(warm.levels(), &[2][..]);
+        let inner = VirtPage::new(page.raw() + 300);
+        assert_eq!(warm.base_frame(), base);
+        let inner_plan = pwc.begin_walk(&pt, inner).unwrap();
+        assert_eq!(inner_plan.frame, PhysFrame::new(base.raw() + 300));
+        assert_eq!(inner_plan.base_frame(), base);
     }
 
     #[test]

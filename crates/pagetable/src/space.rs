@@ -7,7 +7,9 @@
 //! (`translate_data`) used to turn virtual lane addresses into physical
 //! line addresses once the TLB lookup has (functionally) succeeded.
 
-use ptw_types::addr::{PhysAddr, VirtAddr, VirtPage, PAGE_SIZE};
+use std::collections::HashMap;
+
+use ptw_types::addr::{PhysAddr, PhysFrame, VirtAddr, VirtPage, PAGES_PER_LARGE_PAGE, PAGE_SIZE};
 
 use crate::frames::FrameAllocator;
 use crate::table::PageTable;
@@ -50,6 +52,82 @@ impl Buffer {
     }
 }
 
+/// A set of 2 MiB regions to promote to large-page leaves, each backed by
+/// a contiguous 512-frame physical run reserved up front with
+/// [`FrameAllocator::alloc_contiguous`].
+///
+/// Scrambled-layout allocators require every contiguous run to be reserved
+/// before the first single-frame allocation (including the page-table
+/// root), so promotion is planned in two passes: [`plan_buffer_bases`] +
+/// [`eligible_large_regions`] decide *which* regions promote before any
+/// frame is handed out, runs are reserved, and the resulting plan is
+/// passed to [`AddressSpace::alloc_buffer_promoted`].
+#[derive(Clone, Debug, Default)]
+pub struct LargePagePlan {
+    /// Large-region index → base frame of the reserved run.
+    regions: HashMap<u64, PhysFrame>,
+}
+
+impl LargePagePlan {
+    /// Registers the region starting at 2 MiB-aligned `start` as promoted,
+    /// backed by the run beginning at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not 2 MiB-aligned.
+    pub fn insert(&mut self, start: VirtPage, base: PhysFrame) {
+        assert!(start.is_large_aligned(), "plan region {start:?} unaligned");
+        self.regions.insert(start.large_index(), base);
+    }
+
+    /// The reserved run base backing `page`'s region, if promoted.
+    pub fn base_of(&self, page: VirtPage) -> Option<PhysFrame> {
+        self.regions.get(&page.large_index()).copied()
+    }
+
+    /// Number of promoted regions in the plan.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the plan promotes no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Base virtual addresses [`AddressSpace::alloc_buffer`] will assign to a
+/// sequence of buffers with the given byte lengths, without building
+/// anything — the planning half of the two-pass promotion flow.
+pub fn plan_buffer_bases(lens: &[u64]) -> Vec<VirtAddr> {
+    let mut next_va = HEAP_BASE;
+    lens.iter()
+        .map(|&len| {
+            assert!(len > 0, "zero-length buffer in layout plan");
+            let base = VirtAddr::new(next_va);
+            let pages = len.div_ceil(PAGE_SIZE as u64);
+            next_va += (pages + GUARD_PAGES) * PAGE_SIZE as u64;
+            base
+        })
+        .collect()
+}
+
+/// The 2 MiB-aligned region start pages fully covered by a buffer at
+/// `base` spanning `len` bytes — its large-page promotion candidates, in
+/// ascending VA order.
+pub fn eligible_large_regions(base: VirtAddr, len: u64) -> Vec<VirtPage> {
+    let first = base.page().raw();
+    let pages = len.div_ceil(PAGE_SIZE as u64);
+    let mut out = Vec::new();
+    // First 2 MiB boundary at or after the buffer start.
+    let mut start = first.next_multiple_of(PAGES_PER_LARGE_PAGE);
+    while start + PAGES_PER_LARGE_PAGE <= first + pages {
+        out.push(VirtPage::new(start));
+        start += PAGES_PER_LARGE_PAGE;
+    }
+    out
+}
+
 /// A fully mapped process address space.
 ///
 /// ```
@@ -79,21 +157,54 @@ impl AddressSpace {
         }
     }
 
-    /// Allocates and eagerly maps a buffer of `len` bytes.
+    /// Allocates and eagerly maps a buffer of `len` bytes with 4 KiB pages.
     ///
     /// # Panics
     ///
     /// Panics if physical memory is exhausted.
     pub fn alloc_buffer(&mut self, name: &str, len: u64, alloc: &mut FrameAllocator) -> Buffer {
+        // An empty plan never allocates (HashMap::new is lazy) and takes
+        // the exact 4 KiB mapping path below.
+        self.alloc_buffer_promoted(name, len, alloc, &LargePagePlan::default())
+    }
+
+    /// Allocates and eagerly maps a buffer of `len` bytes, promoting the
+    /// 2 MiB regions listed in `plan` to large-page leaves. Regions in the
+    /// plan must have been reserved with
+    /// [`FrameAllocator::alloc_contiguous`] beforehand; pages outside any
+    /// planned region are mapped with individually allocated 4 KiB frames
+    /// in exactly the order [`alloc_buffer`](Self::alloc_buffer) would use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted.
+    pub fn alloc_buffer_promoted(
+        &mut self,
+        name: &str,
+        len: u64,
+        alloc: &mut FrameAllocator,
+        plan: &LargePagePlan,
+    ) -> Buffer {
         assert!(len > 0, "zero-length buffer {name}");
         let base = VirtAddr::new(self.next_va);
         let pages = len.div_ceil(PAGE_SIZE as u64);
-        for i in 0..pages {
+        let mut i = 0;
+        while i < pages {
             let page = VirtPage::new(base.page().raw() + i);
+            if page.is_large_aligned() && i + PAGES_PER_LARGE_PAGE <= pages {
+                if let Some(run_base) = plan.base_of(page) {
+                    self.table
+                        .map_large(page, run_base, alloc)
+                        .expect("fresh VA range cannot be double-mapped");
+                    i += PAGES_PER_LARGE_PAGE;
+                    continue;
+                }
+            }
             let frame = alloc.alloc();
             self.table
                 .map(page, frame, alloc)
                 .expect("fresh VA range cannot be double-mapped");
+            i += 1;
         }
         self.next_va += (pages + GUARD_PAGES) * PAGE_SIZE as u64;
         let buf = Buffer {
@@ -189,6 +300,63 @@ mod tests {
         let (mut alloc, mut s) = space();
         s.alloc_buffer("a", 4097, &mut alloc);
         assert_eq!(s.footprint_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn plan_buffer_bases_matches_alloc_buffer() {
+        let (mut alloc, mut s) = space();
+        let lens = [10 * 4096u64, 4097, 4096];
+        let planned = plan_buffer_bases(&lens);
+        for (i, &len) in lens.iter().enumerate() {
+            let b = s.alloc_buffer("x", len, &mut alloc);
+            assert_eq!(b.base, planned[i]);
+        }
+    }
+
+    #[test]
+    fn eligible_regions_require_full_coverage() {
+        // HEAP_BASE is 2 MiB-aligned, so a buffer there is region-aligned.
+        let base = VirtAddr::new(HEAP_BASE);
+        let two_mb = PAGES_PER_LARGE_PAGE * PAGE_SIZE as u64;
+        assert_eq!(eligible_large_regions(base, 2 * two_mb).len(), 2);
+        // Lengths round up to whole pages, so one byte short still covers
+        // both regions; one *page* short leaves only the first eligible.
+        assert_eq!(eligible_large_regions(base, 2 * two_mb - 1).len(), 2);
+        assert_eq!(eligible_large_regions(base, 2 * two_mb - 4096).len(), 1);
+        // Unaligned start: the partial leading region is skipped.
+        let off = VirtAddr::new(HEAP_BASE + 4096);
+        assert_eq!(eligible_large_regions(off, 2 * two_mb).len(), 1);
+        assert_eq!(
+            eligible_large_regions(off, 2 * two_mb)[0],
+            VirtPage::new(base.page().raw() + PAGES_PER_LARGE_PAGE)
+        );
+    }
+
+    #[test]
+    fn promoted_buffer_mixes_large_and_base_pages() {
+        let mut alloc = FrameAllocator::new(0x1000, 1 << 24, FrameLayout::Sequential);
+        let two_mb = PAGES_PER_LARGE_PAGE * PAGE_SIZE as u64;
+        let len = 2 * two_mb + 3 * 4096; // two regions + 3 tail pages
+        let bases = plan_buffer_bases(&[len]);
+        let regions = eligible_large_regions(bases[0], len);
+        assert_eq!(regions.len(), 2);
+        // Promote only the second region.
+        let mut plan = LargePagePlan::default();
+        let run = alloc.alloc_contiguous(PAGES_PER_LARGE_PAGE);
+        plan.insert(regions[1], run);
+        let mut s = AddressSpace::new(&mut alloc);
+        let buf = s.alloc_buffer_promoted("m", len, &mut alloc, &plan);
+        assert_eq!(buf.base, bases[0]);
+        assert_eq!(s.table().large_regions(), 1);
+        assert!(!s.table().is_large(buf.base.page()));
+        assert!(s.table().is_large(regions[1]));
+        // Every page still translates, and offsets inside the large region
+        // land in the reserved run.
+        let inside = regions[1].raw() + 17 - buf.base.page().raw();
+        let pa = s.translate_data(buf.at(inside * 4096 + 5));
+        assert_eq!(pa.frame(), PhysFrame::new(run.raw() + 17));
+        let tail = s.translate_data(buf.at(len - 1));
+        assert!(tail.frame().raw() < run.raw()); // tail pages use singles
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use ptw_types::addr::{PhysAddr, PhysFrame, VirtPage};
+use ptw_types::addr::{PageSize, PhysAddr, PhysFrame, VirtPage, PAGES_PER_LARGE_PAGE};
 
 use crate::frames::FrameAllocator;
 
@@ -69,6 +69,10 @@ pub struct WalkPath {
     pub node_frames: [PhysFrame; 4],
     /// The final translation.
     pub frame: PhysFrame,
+    /// Level whose entry is the leaf PTE: 1 for a 4 KiB mapping, 2 for a
+    /// 2 MiB large-page mapping (the walk reads one fewer level). Slots
+    /// below the leaf level in `pte_addrs`/`node_frames` are unused.
+    pub leaf_level: u8,
 }
 
 impl WalkPath {
@@ -84,17 +88,27 @@ impl WalkPath {
 
     /// Frame of the child node reached *after* reading the entry at
     /// `level` — i.e. the value a PWC entry for `level` caches. For
-    /// `level == 1` this is the final translation frame.
+    /// `level == leaf_level` this is the final translation frame; levels
+    /// below the leaf have no child node (the PWC must not cache them).
     ///
     /// # Panics
     ///
-    /// Panics if `level` is not in `1..=4`.
+    /// Panics if `level` is not in `leaf_level..=4`.
     pub fn child_frame(&self, level: u8) -> PhysFrame {
-        assert!((1..=4).contains(&level));
-        if level == 1 {
+        assert!((self.leaf_level..=4).contains(&level));
+        if level == self.leaf_level {
             self.frame
         } else {
             self.node_frames[(4 - level) as usize + 1]
+        }
+    }
+
+    /// Page size of the mapping this path resolves.
+    pub fn page_size(&self) -> PageSize {
+        if self.leaf_level == 2 {
+            PageSize::Large2M
+        } else {
+            PageSize::Base4K
         }
     }
 }
@@ -121,6 +135,9 @@ pub struct PageTable {
     /// Root node index (always 0).
     root: usize,
     mapped: HashMap<u64, PhysFrame>,
+    /// 2 MiB large-page leaves: large-region index → base frame of the
+    /// 512-frame contiguous physical run backing the region.
+    large: HashMap<u64, PhysFrame>,
 }
 
 impl PageTable {
@@ -131,6 +148,7 @@ impl PageTable {
             nodes: vec![Node::new(root_frame)],
             root: 0,
             mapped: HashMap::new(),
+            large: HashMap::new(),
         }
     }
 
@@ -149,6 +167,28 @@ impl PageTable {
         self.nodes.len()
     }
 
+    /// Number of 2 MiB large-page regions mapped via [`map_large`].
+    ///
+    /// [`map_large`]: PageTable::map_large
+    pub fn large_regions(&self) -> usize {
+        self.large.len()
+    }
+
+    /// Whether `page` is backed by a 2 MiB large-page leaf.
+    pub fn is_large(&self, page: VirtPage) -> bool {
+        self.large.contains_key(&page.large_index())
+    }
+
+    /// Page size backing `page` (meaningful only for mapped pages;
+    /// unmapped pages report [`PageSize::Base4K`]).
+    pub fn page_size_of(&self, page: VirtPage) -> PageSize {
+        if self.is_large(page) {
+            PageSize::Large2M
+        } else {
+            PageSize::Base4K
+        }
+    }
+
     /// Maps `page` to `frame`, allocating interior nodes as needed.
     ///
     /// # Errors
@@ -161,7 +201,7 @@ impl PageTable {
         frame: PhysFrame,
         alloc: &mut FrameAllocator,
     ) -> Result<(), MapError> {
-        if self.mapped.contains_key(&page.raw()) {
+        if self.mapped.contains_key(&page.raw()) || self.is_large(page) {
             return Err(MapError::AlreadyMapped(page));
         }
         let mut node = self.root;
@@ -189,23 +229,103 @@ impl PageTable {
         Ok(())
     }
 
+    /// Maps the 2 MiB region containing `page` as a large-page leaf
+    /// backed by the contiguous 512-frame physical run starting at
+    /// `base_frame` (reserve it with
+    /// [`FrameAllocator::alloc_contiguous`]). The level-2 (PD) entry
+    /// becomes the leaf, so hardware walks terminate one level early.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::AlreadyMapped`] if any 4 KiB page inside the
+    /// region already has a translation (base or large).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not 2 MiB-aligned.
+    pub fn map_large(
+        &mut self,
+        page: VirtPage,
+        base_frame: PhysFrame,
+        alloc: &mut FrameAllocator,
+    ) -> Result<(), MapError> {
+        assert!(
+            page.is_large_aligned(),
+            "large mapping must start on a 2 MiB boundary: {page:?}"
+        );
+        if self.is_large(page) {
+            return Err(MapError::AlreadyMapped(page));
+        }
+        for i in 0..PAGES_PER_LARGE_PAGE {
+            if self.mapped.contains_key(&(page.raw() + i)) {
+                return Err(MapError::AlreadyMapped(VirtPage::new(page.raw() + i)));
+            }
+        }
+        let mut node = self.root;
+        for level in [4u8, 3] {
+            let idx = page.table_index(level);
+            let next = match self.nodes[node].children[idx] {
+                Some(child) => child as usize,
+                None => {
+                    let child_frame = alloc.alloc();
+                    self.nodes.push(Node::new(child_frame));
+                    let child = self.nodes.len() - 1;
+                    self.nodes[node].children[idx] = Some(child as u64);
+                    child
+                }
+            };
+            node = next;
+        }
+        let pd_idx = page.table_index(2);
+        debug_assert!(
+            self.nodes[node].children[pd_idx].is_none(),
+            "PD slot occupied but no page in the region is mapped"
+        );
+        // The PD entry holds the base frame of the large leaf. It is never
+        // followed as a node index: `map` and `walk_path` consult the
+        // `large` map before descending past level 3.
+        self.nodes[node].children[pd_idx] = Some(base_frame.raw());
+        for i in 0..PAGES_PER_LARGE_PAGE {
+            self.mapped
+                .insert(page.raw() + i, PhysFrame::new(base_frame.raw() + i));
+        }
+        self.large.insert(page.large_index(), base_frame);
+        Ok(())
+    }
+
     /// Looks up the translation for `page` without modelling the walk.
     pub fn translate(&self, page: VirtPage) -> Option<PhysFrame> {
         self.mapped.get(&page.raw()).copied()
     }
 
     /// Returns the full hardware walk path for `page`, or `None` if the
-    /// page is unmapped.
+    /// page is unmapped. A page inside a large-page region yields a
+    /// three-read path terminating at the level-2 leaf.
     pub fn walk_path(&self, page: VirtPage) -> Option<WalkPath> {
+        let large_base = self.large.get(&page.large_index()).copied();
         let mut node = self.root;
         let mut pte_addrs = [PhysAddr::new(0); 4];
         let mut node_frames = [PhysFrame::new(0); 4];
-        for (i, level) in [4u8, 3, 2].into_iter().enumerate() {
+        for (i, level) in [4u8, 3].into_iter().enumerate() {
             let idx = page.table_index(level);
             node_frames[i] = self.nodes[node].frame;
             pte_addrs[i] = self.nodes[node].frame.addr_at(idx as u64 * PTE_BYTES);
             node = self.nodes[node].children[idx]? as usize;
         }
+        let pd_idx = page.table_index(2);
+        node_frames[2] = self.nodes[node].frame;
+        pte_addrs[2] = self.nodes[node].frame.addr_at(pd_idx as u64 * PTE_BYTES);
+        if let Some(base) = large_base {
+            // The level-2 entry is the leaf: the walk stops here.
+            let frame = PhysFrame::new(base.raw() + page.large_offset());
+            return Some(WalkPath {
+                pte_addrs,
+                node_frames,
+                frame,
+                leaf_level: 2,
+            });
+        }
+        node = self.nodes[node].children[pd_idx]? as usize;
         let leaf_idx = page.table_index(1);
         node_frames[3] = self.nodes[node].frame;
         pte_addrs[3] = self.nodes[node].frame.addr_at(leaf_idx as u64 * PTE_BYTES);
@@ -214,6 +334,7 @@ impl PageTable {
             pte_addrs,
             node_frames,
             frame,
+            leaf_level: 1,
         })
     }
 }
@@ -331,6 +452,96 @@ mod tests {
     fn walk_path_unmapped_is_none() {
         let (_alloc, pt) = setup();
         assert!(pt.walk_path(VirtPage::new(99)).is_none());
+    }
+
+    #[test]
+    fn map_large_round_trips_every_subpage() {
+        let (mut alloc, mut pt) = setup();
+        let page = VirtPage::new(2 << 9); // 2 MiB-aligned (large_offset == 0)
+        let base = alloc.alloc_contiguous(PAGES_PER_LARGE_PAGE);
+        pt.map_large(page, base, &mut alloc).unwrap();
+        assert!(pt.is_large(page));
+        assert_eq!(pt.large_regions(), 1);
+        assert_eq!(pt.page_size_of(page), PageSize::Large2M);
+        for i in [0u64, 1, 255, 511] {
+            let p = VirtPage::new(page.raw() + i);
+            assert_eq!(pt.translate(p), Some(PhysFrame::new(base.raw() + i)));
+        }
+    }
+
+    #[test]
+    fn large_walk_path_has_three_levels() {
+        let (mut alloc, mut pt) = setup();
+        let page = VirtPage::new(7 << 9);
+        let base = alloc.alloc_contiguous(PAGES_PER_LARGE_PAGE);
+        pt.map_large(page, base, &mut alloc).unwrap();
+        let inner = VirtPage::new(page.raw() + 42);
+        let path = pt.walk_path(inner).unwrap();
+        assert_eq!(path.leaf_level, 2);
+        assert_eq!(path.page_size(), PageSize::Large2M);
+        assert_eq!(path.frame, PhysFrame::new(base.raw() + 42));
+        assert_eq!(path.node_frames[0], pt.root_frame());
+        // Three distinct node frames, rooted at CR3; the level-1 slot is
+        // unused.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_ne!(path.node_frames[i], path.node_frames[j]);
+            }
+        }
+        // The leaf PTE is the level-2 entry; child_frame at the leaf is
+        // the final translation.
+        assert_eq!(
+            path.pte_addr(2),
+            path.node_frames[2].addr_at(inner.table_index(2) as u64 * PTE_BYTES)
+        );
+        assert_eq!(path.child_frame(2), path.frame);
+    }
+
+    #[test]
+    fn large_and_base_mappings_conflict() {
+        let (mut alloc, mut pt) = setup();
+        let page = VirtPage::new(3 << 9);
+        let f = alloc.alloc();
+        pt.map(VirtPage::new(page.raw() + 5), f, &mut alloc)
+            .unwrap();
+        let base = alloc.alloc_contiguous(PAGES_PER_LARGE_PAGE);
+        // A 4K page inside the region blocks the large mapping…
+        assert!(matches!(
+            pt.map_large(page, base, &mut alloc),
+            Err(MapError::AlreadyMapped(_))
+        ));
+        // …and a large mapping blocks later 4K maps inside it.
+        let other = VirtPage::new(9 << 9);
+        pt.map_large(other, base, &mut alloc).unwrap();
+        assert_eq!(
+            pt.map(VirtPage::new(other.raw() + 100), f, &mut alloc),
+            Err(MapError::AlreadyMapped(VirtPage::new(other.raw() + 100)))
+        );
+        assert_eq!(
+            pt.map_large(other, base, &mut alloc),
+            Err(MapError::AlreadyMapped(other))
+        );
+    }
+
+    #[test]
+    fn large_region_coexists_with_neighbouring_base_pages() {
+        let (mut alloc, mut pt) = setup();
+        let base = alloc.alloc_contiguous(PAGES_PER_LARGE_PAGE);
+        let large = VirtPage::new(4 << 9);
+        let small = VirtPage::new((5 << 9) + 3); // next 2 MiB region
+        let f = alloc.alloc();
+        pt.map_large(large, base, &mut alloc).unwrap();
+        pt.map(small, f, &mut alloc).unwrap();
+        assert!(pt.is_large(large));
+        assert!(!pt.is_large(small));
+        let pl = pt.walk_path(VirtPage::new(large.raw() + 1)).unwrap();
+        let ps = pt.walk_path(small).unwrap();
+        assert_eq!(pl.leaf_level, 2);
+        assert_eq!(ps.leaf_level, 1);
+        // Same PD node (adjacent regions), different PD entries.
+        assert_eq!(pl.node_frames[2], ps.node_frames[2]);
+        assert_ne!(pl.pte_addr(2), ps.pte_addr(2));
+        assert_eq!(ps.frame, f);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!
 //! NAMES: table1 table2 fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11
 //!        fig12 fig13 fig14 ablation followon seeds stats all (default: all)
+//!        topology (explicit-only: never included in `all`)
 //! ```
 //!
 //! Output is a sequence of markdown tables, one per figure, each with a
@@ -130,12 +131,15 @@ fn main() -> ExitCode {
                     "usage: figures [NAMES...] [--scale small|medium|paper] [--seed N] \
                      [--quiet] [--csv DIR] [--jobs N | --serial] [--resume FILE] \
                      [--inject-fault BENCH:SCHED:KIND@EVENT] [--fail-fast | --keep-going]\n\
-                     names: {} all",
+                     names: {} all topology",
                     figures::NAMES.join(" ")
                 );
                 return ExitCode::SUCCESS;
             }
             "all" => names.extend(figures::NAMES.iter().map(|s| (*s).to_owned())),
+            // Explicit-only studies: never part of `all` (whose output is
+            // equivalence-pinned), must be asked for by name.
+            "topology" => names.push(a),
             name if figures::NAMES.contains(&name) => names.push(name.to_owned()),
             other => {
                 eprintln!("unknown figure {other:?}; try --help");
@@ -212,6 +216,11 @@ fn main() -> ExitCode {
             "followon" => figures::followon(&mut lab),
             "seeds" => {
                 let (t, failures) = figures::seeds(&lab, &exec);
+                extra_failures.extend(failures);
+                t
+            }
+            "topology" => {
+                let (t, failures) = figures::topology(&lab, &exec);
                 extra_failures.extend(failures);
                 t
             }

@@ -11,12 +11,20 @@
 //!           [--reps N]              # timed repetitions per cell (default 3)
 //!           [--jobs N]              # cells on N threads, 0 = auto (default 1)
 //!           [--policies LIST]       # comma-separated subset (default: all 7)
+//!           [--topology NxM]        # N GPU shards x M IOMMUs (default 1x1)
+//!           [--large-page-frac F]   # 2 MiB promotion fraction in permille
 //!           [--out FILE]            # write/refresh a BENCH_*.json baseline
 //!           [--label TEXT]          # history label recorded with --out
 //!           [--check FILE]          # CI smoke: compare against a baseline
 //!           [--max-regress PCT]     # allowed events/sec regression (default 20)
 //!           [--quiet]
 //! ```
+//!
+//! `--topology` and `--large-page-frac` override the Table I baseline's
+//! single-IOMMU all-4K configuration for every cell; when either is given,
+//! the run ends with a greppable `topology-smoke:` aggregate line (total
+//! 2 MiB walks, the least-loaded IOMMU's walk count, worst imbalance)
+//! that `scripts/ci.sh` asserts against.
 //!
 //! Each cell is simulated `--reps` times and timed independently; the
 //! recorded `wall_ms` is the **minimum** across repetitions (the run
@@ -64,6 +72,12 @@ struct Cell {
     events: u64,
     wall_ms: f64,
     wall_ms_median: f64,
+    /// 2 MiB walks performed (summed over IOMMUs); zero in all-4K runs.
+    large_walks: u64,
+    /// Walks per IOMMU, in topology order.
+    per_iommu_walks: Vec<u64>,
+    /// Busiest IOMMU's walks over the mean (1.0 = balanced).
+    imbalance: f64,
 }
 
 impl Cell {
@@ -73,6 +87,27 @@ impl Cell {
         } else {
             self.events as f64 / (self.wall_ms / 1000.0)
         }
+    }
+}
+
+/// Topology overrides applied to every cell of a sweep
+/// (`None` / 0‰ = the Table I single-IOMMU all-4K baseline).
+#[derive(Clone, Copy)]
+struct TopologyShape {
+    /// `(gpu_shards, iommus)` when `--topology NxM` was given.
+    topology: Option<(usize, usize)>,
+    /// `--large-page-frac` in permille (0 = all 4K).
+    large_page_permille: u32,
+}
+
+impl TopologyShape {
+    const BASELINE: TopologyShape = TopologyShape {
+        topology: None,
+        large_page_permille: 0,
+    };
+
+    fn is_baseline(self) -> bool {
+        self.topology.is_none() && self.large_page_permille == 0
     }
 }
 
@@ -109,11 +144,21 @@ fn time_cell(
     scale: Scale,
     seed: u64,
     reps: usize,
+    shape: TopologyShape,
 ) -> Result<Cell, String> {
     let mut spec = RunSpec::new(bench, sched, scale);
     spec.seed = seed;
+    if let Some((shards, iommus)) = shape.topology {
+        spec.config = spec.config.with_topology(shards, iommus);
+    }
+    spec.config = spec
+        .config
+        .with_large_page_permille(shape.large_page_permille);
     let mut walls = Vec::with_capacity(reps);
     let mut events = 0u64;
+    let mut large_walks = 0u64;
+    let mut per_iommu_walks = Vec::new();
+    let mut imbalance = 1.0f64;
     for rep in 0..reps {
         let started = Instant::now();
         let result =
@@ -121,6 +166,9 @@ fn time_cell(
         walls.push(started.elapsed().as_secs_f64() * 1000.0);
         if rep == 0 {
             events = result.events;
+            large_walks = result.iommu.large_walks_performed;
+            per_iommu_walks = result.per_iommu_walks;
+            imbalance = result.iommu_imbalance;
         } else {
             debug_assert_eq!(events, result.events, "simulation must be deterministic");
         }
@@ -132,6 +180,9 @@ fn time_cell(
         events,
         wall_ms: walls[0],
         wall_ms_median: walls[walls.len() / 2],
+        large_walks,
+        per_iommu_walks,
+        imbalance,
     })
 }
 
@@ -142,12 +193,14 @@ fn time_cell(
 /// at any worker count — but concurrent cells contend for cache and memory
 /// bandwidth, which inflates per-cell wall times. Committed baselines
 /// should be recorded with `jobs = 1`.
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     scale: Scale,
     seed: u64,
     reps: usize,
     jobs: usize,
     policies: &[SchedulerKind],
+    shape: TopologyShape,
     quiet: bool,
 ) -> Result<Vec<Cell>, String> {
     assert!(reps >= 1, "sweep needs at least one repetition");
@@ -158,7 +211,7 @@ fn sweep(
         }
     }
     let outcomes = SweepExecutor::new(jobs).map(&specs, |_, &(bench, sched)| {
-        time_cell(bench, sched, scale, seed, reps)
+        time_cell(bench, sched, scale, seed, reps, shape)
     });
     let mut cells = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
@@ -368,6 +421,7 @@ fn main() -> ExitCode {
     let mut label = String::from("measurement");
     let mut max_regress_pct = 20.0f64;
     let mut quiet = false;
+    let mut shape = TopologyShape::BASELINE;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -439,6 +493,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--topology" => {
+                let parsed = args.next().and_then(|s| {
+                    let (n, m) = s.split_once(['x', 'X'])?;
+                    Some((n.parse::<usize>().ok()?, m.parse::<usize>().ok()?))
+                });
+                match parsed {
+                    Some((n, m)) if n >= 1 && m >= 1 => shape.topology = Some((n, m)),
+                    _ => {
+                        eprintln!("--topology needs NxM with N, M >= 1 (e.g. 2x2)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--large-page-frac" => match args.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(f) if f <= 1000 => shape.large_page_permille = f,
+                _ => {
+                    eprintln!("--large-page-frac needs a permille value in 0..=1000");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
@@ -452,7 +526,10 @@ fn main() -> ExitCode {
                      bandwidth, inflating per-cell wall times — record committed baselines \
                      with --jobs 1.\n\
                      --policies takes a comma-separated subset (e.g. fcfs,simt-aware); \
-                     default is all 7 extended policies."
+                     default is all 7 extended policies.\n\
+                     --topology NxM runs every cell on N GPU shards x M IOMMUs and \
+                     --large-page-frac F promotes roughly F permille of eligible 2 MiB \
+                     regions; either flag adds a greppable topology-smoke summary line."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -475,7 +552,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let cells = match sweep(Scale::Small, seed, reps, jobs, &policies, true) {
+        let cells = match sweep(Scale::Small, seed, reps, jobs, &policies, shape, true) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");
@@ -497,7 +574,7 @@ fn main() -> ExitCode {
     }
 
     let started = Instant::now();
-    let cells = match sweep(scale, seed, reps, jobs, &policies, quiet) {
+    let cells = match sweep(scale, seed, reps, jobs, &policies, shape, quiet) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("[ptw-bench] {e}");
@@ -518,11 +595,37 @@ fn main() -> ExitCode {
         total.events_per_sec(),
         started.elapsed().as_secs_f64()
     );
+    if !shape.is_baseline() {
+        // Aggregate across cells: elementwise per-IOMMU sums, total 2 MiB
+        // walks, and the worst per-cell imbalance. One greppable line for
+        // the CI topology smoke cell.
+        let width = cells
+            .iter()
+            .map(|c| c.per_iommu_walks.len())
+            .max()
+            .unwrap_or(0);
+        let mut per_iommu = vec![0u64; width];
+        for c in &cells {
+            for (total, &w) in per_iommu.iter_mut().zip(&c.per_iommu_walks) {
+                *total += w;
+            }
+        }
+        let large_walks: u64 = cells.iter().map(|c| c.large_walks).sum();
+        let min_iommu_walks = per_iommu.iter().copied().min().unwrap_or(0);
+        let max_imbalance = cells.iter().map(|c| c.imbalance).fold(1.0f64, f64::max);
+        let (shards, iommus) = shape.topology.unwrap_or((1, 1));
+        println!(
+            "[ptw-bench] topology-smoke: topology={shards}x{iommus} \
+             permille={} large_walks={large_walks} min_iommu_walks={min_iommu_walks} \
+             max_imbalance={max_imbalance:.3} per_iommu={per_iommu:?}",
+            shape.large_page_permille
+        );
+    }
 
     if let Some(path) = out {
         // The small-scale smoke aggregate rides along in the same file so
         // CI has a fast comparison point.
-        let smoke_cells = match sweep(Scale::Small, seed, reps, jobs, &policies, true) {
+        let smoke_cells = match sweep(Scale::Small, seed, reps, jobs, &policies, shape, true) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");

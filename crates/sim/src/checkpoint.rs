@@ -39,7 +39,10 @@ use crate::runner::ConfigVariant;
 use crate::system::RunResult;
 
 /// Checkpoint format version (bump on any encoding change).
-const VERSION: u64 = 1;
+///
+/// v2 added the topology fields: per-IOMMU walk counts, the imbalance
+/// ratio, the per-page-size IOMMU counters, and GPU large-page TLB hits.
+const VERSION: u64 = 2;
 
 /// One sweep cell's identity.
 pub type CellKey = (BenchmarkId, SchedulerKind, ConfigVariant);
@@ -157,6 +160,10 @@ fn encode_record(key: CellKey, r: &RunResult) -> String {
             "\"io_merged\":{io_m},\"io_accesses\":{io_a},",
             "\"io_peak_pending\":{io_pp},\"io_latency\":{io_l},",
             "\"io_completed\":{io_c},",
+            "\"io_large_walks\":{io_lw},\"io_large_completed\":{io_lc},",
+            "\"io_large_latency\":{io_ll},",
+            "\"per_iommu_walks\":{per_io},\"imbalance_bits\":{imb},",
+            "\"gpu_large_hits\":{glh},",
             "\"mem_data\":{mem_d},\"mem_walk\":{mem_w},",
             "\"mem_row_hits\":{mem_rh},\"mem_row_conflicts\":{mem_rc},",
             "\"mem_latency\":{mem_l},\"mem_completed\":{mem_c},",
@@ -189,6 +196,12 @@ fn encode_record(key: CellKey, r: &RunResult) -> String {
         io_pp = io.peak_pending,
         io_l = io.total_walk_latency,
         io_c = io.completed_requests,
+        io_lw = io.large_walks_performed,
+        io_lc = io.large_completed_requests,
+        io_ll = io.large_total_walk_latency,
+        per_io = arr(&r.per_iommu_walks),
+        imb = r.iommu_imbalance.to_bits(),
+        glh = r.gpu_tlb_large_hits,
         mem_d = mem.data_requests,
         mem_w = mem.walk_requests,
         mem_rh = mem.row_hits,
@@ -240,6 +253,9 @@ fn decode_record(line: &str) -> Option<(CellKey, RunResult)> {
         peak_pending: usize::try_from(u("io_peak_pending")?).ok()?,
         total_walk_latency: u("io_latency")?,
         completed_requests: u("io_completed")?,
+        large_walks_performed: u("io_large_walks")?,
+        large_completed_requests: u("io_large_completed")?,
+        large_total_walk_latency: u("io_large_latency")?,
     };
     let mem = MemStats {
         data_requests: u("mem_data")?,
@@ -254,6 +270,9 @@ fn decode_record(line: &str) -> Option<(CellKey, RunResult)> {
         RunResult {
             metrics,
             iommu,
+            per_iommu_walks: a("per_iommu_walks")?,
+            iommu_imbalance: f("imbalance_bits")?,
+            gpu_tlb_large_hits: u("gpu_large_hits")?,
             mem,
             gpu_l1_tlb_hit_rate: f("l1_tlb_bits")?,
             gpu_l2_tlb_hit_rate: f("l2_tlb_bits")?,
@@ -465,6 +484,9 @@ mod tests {
                 peak_pending: rng.index(500),
                 total_walk_latency: rng.next_u64() >> 32,
                 completed_requests: rng.next_below(1 << 16),
+                large_walks_performed: rng.next_below(1 << 12),
+                large_completed_requests: rng.next_below(1 << 12),
+                large_total_walk_latency: rng.next_u64() >> 40,
             },
             mem: MemStats {
                 data_requests: rng.next_below(1 << 24),
@@ -474,6 +496,9 @@ mod tests {
                 total_latency: rng.next_u64() >> 24,
                 completed: rng.next_below(1 << 24),
             },
+            per_iommu_walks: vec![rng.next_below(1 << 14), rng.next_below(1 << 14)],
+            iommu_imbalance: 1.0 + rng.next_f64(),
+            gpu_tlb_large_hits: rng.next_below(1 << 18),
             gpu_l1_tlb_hit_rate: rng.next_f64(),
             gpu_l2_tlb_hit_rate: rng.next_f64(),
             l1_cache_hit_rate: rng.next_f64(),

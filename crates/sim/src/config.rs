@@ -123,6 +123,120 @@ impl FaultInjection {
     }
 }
 
+/// Largest accepted large-page fraction, in permille (1000 = promote
+/// every eligible 2 MiB region).
+pub const MAX_LARGE_PAGE_PERMILLE: u32 = 1000;
+
+/// A half-open virtual-page range `[start_page, end_page)` owned by one
+/// IOMMU in an explicit shard map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VaRange {
+    /// First VPN of the range.
+    pub start_page: u64,
+    /// One past the last VPN of the range.
+    pub end_page: u64,
+    /// Index of the owning IOMMU.
+    pub iommu: usize,
+}
+
+impl VaRange {
+    fn overlaps(&self, other: &VaRange) -> bool {
+        self.start_page < other.end_page && other.start_page < self.end_page
+    }
+}
+
+/// How walk traffic is sharded across IOMMUs.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum ShardMap {
+    /// Interleave 2 MiB-region indices modulo the IOMMU count (the
+    /// default). Keeping a whole 2 MiB region on one IOMMU means a large
+    /// page never straddles shards.
+    #[default]
+    Interleave,
+    /// Explicit VA ranges, each owned by one IOMMU; pages outside every
+    /// range fall back to interleaving.
+    VaRanges(Vec<VaRange>),
+}
+
+/// Shape of the translation fabric: how many GPU shards feed how many
+/// IOMMUs, how traffic is sharded, and what fraction of eligible 2 MiB
+/// regions the workload promotes to large pages.
+///
+/// The default (`1×1`, interleaved, all-4K) is pinned bit-identical to the
+/// pre-topology simulator — golden metrics must not move.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyConfig {
+    /// GPU shards (each with its own shared L2 TLB).
+    pub gpu_shards: usize,
+    /// IOMMUs the walk traffic is sharded across.
+    pub iommus: usize,
+    /// How pages map to IOMMUs.
+    pub shard_map: ShardMap,
+    /// Fraction of eligible 2 MiB regions promoted to large pages, in
+    /// permille (`0..=1000`). Zero keeps the all-4K behaviour.
+    pub large_page_permille: u32,
+}
+
+impl TopologyConfig {
+    /// The equivalence-pinned single-IOMMU, all-4K topology.
+    pub fn single() -> Self {
+        TopologyConfig {
+            gpu_shards: 1,
+            iommus: 1,
+            shard_map: ShardMap::Interleave,
+            large_page_permille: 0,
+        }
+    }
+
+    /// An `N×M` interleaved topology with a large-page fraction.
+    pub fn sharded(gpu_shards: usize, iommus: usize, large_page_permille: u32) -> Self {
+        TopologyConfig {
+            gpu_shards,
+            iommus,
+            shard_map: ShardMap::Interleave,
+            large_page_permille,
+        }
+    }
+
+    /// Whether this is the pinned `1×1` all-4K default.
+    pub fn is_single(&self) -> bool {
+        *self == Self::single()
+    }
+
+    /// The IOMMU owning `page`'s walk traffic. Sharding is by 2 MiB
+    /// region so a large page never straddles IOMMUs.
+    pub fn iommu_of_page(&self, page: ptw_types::addr::VirtPage) -> usize {
+        if self.iommus <= 1 {
+            return 0;
+        }
+        if let ShardMap::VaRanges(ranges) = &self.shard_map {
+            let vpn = page.raw();
+            if let Some(r) = ranges
+                .iter()
+                .find(|r| r.start_page <= vpn && vpn < r.end_page)
+            {
+                return r.iommu;
+            }
+        }
+        (page.large_index() % self.iommus as u64) as usize
+    }
+
+    /// The GPU shard a compute unit belongs to (CUs are striped evenly).
+    pub fn shard_of_cu(&self, cu: usize, cus: usize) -> usize {
+        if self.gpu_shards <= 1 {
+            return 0;
+        }
+        let per = cus.div_ceil(self.gpu_shards);
+        (cu / per).min(self.gpu_shards - 1)
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
 /// The complete configuration of the simulated system.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemConfig {
@@ -150,6 +264,8 @@ pub struct SystemConfig {
     pub watchdog: WatchdogConfig,
     /// Optional deterministic fault injection (tests / CI smoke only).
     pub fault: Option<FaultInjection>,
+    /// Translation-fabric topology and page-size mix.
+    pub topology: TopologyConfig,
 }
 
 impl SystemConfig {
@@ -168,6 +284,7 @@ impl SystemConfig {
             epoch_accesses: 1024,
             watchdog: WatchdogConfig::paper_baseline(),
             fault: None,
+            topology: TopologyConfig::single(),
         }
     }
 
@@ -226,6 +343,53 @@ impl SystemConfig {
         if self.watchdog.enabled() && self.watchdog.stall_epochs == 0 {
             return Err(ConfigError::WatchdogStallEpochsZero);
         }
+        let topo = &self.topology;
+        if topo.iommus == 0 {
+            return Err(ConfigError::ZeroIommus);
+        }
+        if topo.gpu_shards == 0 {
+            return Err(ConfigError::ZeroGpuShards);
+        }
+        if topo.gpu_shards > self.gpu.cus {
+            return Err(ConfigError::MoreShardsThanCus {
+                shards: topo.gpu_shards,
+                cus: self.gpu.cus,
+            });
+        }
+        if topo.large_page_permille > MAX_LARGE_PAGE_PERMILLE {
+            return Err(ConfigError::LargePagePermilleOutOfRange {
+                got: topo.large_page_permille,
+            });
+        }
+        if let ShardMap::VaRanges(ranges) = &topo.shard_map {
+            if ranges.is_empty() {
+                return Err(ConfigError::EmptyShardMap);
+            }
+            for r in ranges {
+                if r.start_page >= r.end_page {
+                    return Err(ConfigError::EmptyVaRange {
+                        start_page: r.start_page,
+                        end_page: r.end_page,
+                    });
+                }
+                if r.iommu >= topo.iommus {
+                    return Err(ConfigError::ShardTargetOutOfRange {
+                        iommu: r.iommu,
+                        iommus: topo.iommus,
+                    });
+                }
+            }
+            for (i, a) in ranges.iter().enumerate() {
+                for b in &ranges[i + 1..] {
+                    if a.overlaps(b) {
+                        return Err(ConfigError::OverlappingVaRanges {
+                            first: (a.start_page, a.end_page),
+                            second: (b.start_page, b.end_page),
+                        });
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -252,6 +416,25 @@ impl SystemConfig {
         self.iommu.buffer_entries = entries;
         self
     }
+
+    /// Baseline with an `N×M` sharded topology (interleaved sharding).
+    pub fn with_topology(mut self, gpu_shards: usize, iommus: usize) -> Self {
+        self.topology.gpu_shards = gpu_shards;
+        self.topology.iommus = iommus;
+        self
+    }
+
+    /// Baseline with a large-page promotion fraction in permille.
+    pub fn with_large_page_permille(mut self, permille: u32) -> Self {
+        self.topology.large_page_permille = permille;
+        self
+    }
+
+    /// Baseline with an explicit VA-range shard map.
+    pub fn with_shard_map(mut self, map: ShardMap) -> Self {
+        self.topology.shard_map = map;
+        self
+    }
 }
 
 impl Default for SystemConfig {
@@ -276,6 +459,138 @@ mod tests {
         assert_eq!(c.l2_cache.size_bytes, 4 * 1024 * 1024);
         assert_eq!(c.dram.channels, 2);
         assert_eq!(c.iommu.scheduler, SchedulerKind::Fcfs);
+    }
+
+    #[test]
+    fn default_topology_is_the_pinned_single() {
+        let c = SystemConfig::paper_baseline();
+        assert!(c.topology.is_single());
+        assert_eq!(c.topology, TopologyConfig::default());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_topologies() {
+        use crate::error::ConfigError;
+        let mut c = SystemConfig::paper_baseline();
+        c.topology.iommus = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroIommus));
+
+        let mut c = SystemConfig::paper_baseline();
+        c.topology.gpu_shards = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroGpuShards));
+
+        let c = SystemConfig::paper_baseline().with_topology(64, 2);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::MoreShardsThanCus { shards: 64, cus: 8 })
+        );
+
+        let c = SystemConfig::paper_baseline().with_large_page_permille(1001);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::LargePagePermilleOutOfRange { got: 1001 })
+        );
+
+        let c = SystemConfig::paper_baseline().with_shard_map(ShardMap::VaRanges(vec![]));
+        assert_eq!(c.validate(), Err(ConfigError::EmptyShardMap));
+
+        let c = SystemConfig::paper_baseline()
+            .with_topology(2, 2)
+            .with_shard_map(ShardMap::VaRanges(vec![VaRange {
+                start_page: 10,
+                end_page: 10,
+                iommu: 0,
+            }]));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::EmptyVaRange {
+                start_page: 10,
+                end_page: 10
+            })
+        );
+
+        let c = SystemConfig::paper_baseline()
+            .with_topology(2, 2)
+            .with_shard_map(ShardMap::VaRanges(vec![VaRange {
+                start_page: 0,
+                end_page: 10,
+                iommu: 5,
+            }]));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ShardTargetOutOfRange {
+                iommu: 5,
+                iommus: 2
+            })
+        );
+
+        let c = SystemConfig::paper_baseline()
+            .with_topology(2, 2)
+            .with_shard_map(ShardMap::VaRanges(vec![
+                VaRange {
+                    start_page: 0,
+                    end_page: 100,
+                    iommu: 0,
+                },
+                VaRange {
+                    start_page: 50,
+                    end_page: 150,
+                    iommu: 1,
+                },
+            ]));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OverlappingVaRanges {
+                first: (0, 100),
+                second: (50, 150)
+            })
+        );
+
+        // A well-formed sharded topology passes.
+        let c = SystemConfig::paper_baseline()
+            .with_topology(2, 2)
+            .with_large_page_permille(500);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn interleave_sharding_keeps_regions_whole() {
+        use ptw_types::addr::{VirtPage, PAGES_PER_LARGE_PAGE};
+        let t = TopologyConfig::sharded(2, 2, 0);
+        // Every page of one 2 MiB region lands on the same IOMMU.
+        let region = 7 * PAGES_PER_LARGE_PAGE;
+        let owner = t.iommu_of_page(VirtPage::new(region));
+        for off in [0, 1, 255, 511] {
+            assert_eq!(t.iommu_of_page(VirtPage::new(region + off)), owner);
+        }
+        // Adjacent regions alternate.
+        assert_ne!(
+            t.iommu_of_page(VirtPage::new(region)),
+            t.iommu_of_page(VirtPage::new(region + PAGES_PER_LARGE_PAGE))
+        );
+        // Explicit ranges override the interleave.
+        let t = TopologyConfig {
+            shard_map: ShardMap::VaRanges(vec![VaRange {
+                start_page: 0,
+                end_page: 1 << 30,
+                iommu: 1,
+            }]),
+            ..TopologyConfig::sharded(2, 2, 0)
+        };
+        assert_eq!(t.iommu_of_page(VirtPage::new(12345)), 1);
+    }
+
+    #[test]
+    fn cu_striping_covers_all_shards() {
+        let t = TopologyConfig::sharded(2, 2, 0);
+        let shards: Vec<usize> = (0..8).map(|cu| t.shard_of_cu(cu, 8)).collect();
+        assert_eq!(shards, [0, 0, 0, 0, 1, 1, 1, 1]);
+        // Uneven split still places every CU in range.
+        let t3 = TopologyConfig::sharded(3, 1, 0);
+        for cu in 0..8 {
+            assert!(t3.shard_of_cu(cu, 8) < 3);
+        }
     }
 
     #[test]

@@ -42,6 +42,45 @@ pub enum ConfigError {
     /// The watchdog is enabled (`check_events > 0`) but would never fire
     /// because `stall_epochs` is zero.
     WatchdogStallEpochsZero,
+    /// The topology has zero IOMMUs; no walk could ever be serviced.
+    ZeroIommus,
+    /// The topology has zero GPU shards; no CU could be placed.
+    ZeroGpuShards,
+    /// More GPU shards than compute units: some shards would be empty.
+    MoreShardsThanCus {
+        /// Requested shard count.
+        shards: usize,
+        /// Available compute units.
+        cus: usize,
+    },
+    /// The large-page fraction exceeds 1000 permille.
+    LargePagePermilleOutOfRange {
+        /// The rejected value.
+        got: u32,
+    },
+    /// An explicit shard map was given but contains no VA ranges.
+    EmptyShardMap,
+    /// A shard-map VA range is empty (`start_page >= end_page`).
+    EmptyVaRange {
+        /// First VPN of the rejected range.
+        start_page: u64,
+        /// One past the last VPN of the rejected range.
+        end_page: u64,
+    },
+    /// A shard-map range names an IOMMU index outside the topology.
+    ShardTargetOutOfRange {
+        /// The out-of-range IOMMU index.
+        iommu: usize,
+        /// The topology's IOMMU count.
+        iommus: usize,
+    },
+    /// Two shard-map VA ranges overlap; a page would have two owners.
+    OverlappingVaRanges {
+        /// `(start_page, end_page)` of the first range.
+        first: (u64, u64),
+        /// `(start_page, end_page)` of the overlapping range.
+        second: (u64, u64),
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -65,6 +104,35 @@ impl std::fmt::Display for ConfigError {
             ConfigError::WatchdogStallEpochsZero => write!(
                 f,
                 "watchdog enabled but stall_epochs is zero; it would never fire"
+            ),
+            ConfigError::ZeroIommus => write!(f, "topology needs at least one IOMMU"),
+            ConfigError::ZeroGpuShards => write!(f, "topology needs at least one GPU shard"),
+            ConfigError::MoreShardsThanCus { shards, cus } => write!(
+                f,
+                "topology has {shards} GPU shards but only {cus} compute units"
+            ),
+            ConfigError::LargePagePermilleOutOfRange { got } => write!(
+                f,
+                "large-page fraction {got}\u{2030} out of range (need 0..=1000)"
+            ),
+            ConfigError::EmptyShardMap => {
+                write!(f, "explicit shard map contains no VA ranges")
+            }
+            ConfigError::EmptyVaRange {
+                start_page,
+                end_page,
+            } => write!(
+                f,
+                "shard-map VA range [{start_page:#x}, {end_page:#x}) is empty"
+            ),
+            ConfigError::ShardTargetOutOfRange { iommu, iommus } => write!(
+                f,
+                "shard-map range targets IOMMU {iommu} but the topology has {iommus}"
+            ),
+            ConfigError::OverlappingVaRanges { first, second } => write!(
+                f,
+                "shard-map VA ranges [{:#x}, {:#x}) and [{:#x}, {:#x}) overlap",
+                first.0, first.1, second.0, second.1
             ),
         }
     }

@@ -763,6 +763,89 @@ pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
     (t, failures)
 }
 
+/// Extension study: the irregular benchmarks on a 2×2 sharded topology
+/// (2 GPU shards × 2 IOMMUs) with half of all 2 MiB-aligned buffer regions
+/// promoted to large pages. Reports the new per-IOMMU occupancy and
+/// per-page-size latency columns the multi-IOMMU refactor added.
+///
+/// Not a paper figure, and deliberately *not* listed in [`NAMES`]: the
+/// `figures all` output is equivalence-pinned, so this study only runs when
+/// asked for by name (`figures topology`). Like [`seeds`], its runs vary
+/// config knobs the [`Lab`] cache does not key on, so they bypass the cache
+/// (and its failure ledger) and go straight through `exec`; the second
+/// element of the return value lists any cells that failed.
+pub fn topology(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
+    use crate::runner::RunSpec;
+    use crate::SystemConfig;
+
+    let mut t = Table::new(
+        "Extension: 2x2 sharded topology, 500\u{2030} large-page promotion",
+        &[
+            "bench",
+            "sched",
+            "per-IOMMU walks",
+            "imbalance",
+            "2M walks",
+            "4K walk lat",
+            "2M walk lat",
+            "GPU TLB 2M hits",
+        ],
+    );
+    let kinds = [SchedulerKind::Fcfs, SchedulerKind::SimtAware];
+    let mut specs = Vec::new();
+    for id in BenchmarkId::IRREGULAR {
+        for kind in kinds {
+            specs.push(RunSpec {
+                benchmark: id,
+                scheduler: kind,
+                scale: lab.scale(),
+                seed: lab.seed(),
+                config: SystemConfig::paper_baseline()
+                    .with_topology(2, 2)
+                    .with_large_page_permille(500),
+            });
+        }
+    }
+    let report = exec.try_run(&specs);
+    let failures: Vec<String> = report
+        .failed()
+        .map(|c| {
+            let err = c.result.as_ref().expect_err("failed() yields errors");
+            format!("{} (topology study) failed: {err}", c.label)
+        })
+        .collect();
+    let mut cells = report.cells.iter();
+    for id in BenchmarkId::IRREGULAR {
+        for kind in kinds {
+            let cell = cells.next().expect("one cell per (bench, sched)");
+            let mut row = vec![id.abbrev().to_owned(), kind.label().to_owned()];
+            match &cell.result {
+                Ok(r) => {
+                    row.push(format!("{:?}", r.per_iommu_walks));
+                    row.push(format!("{:.3}", r.iommu_imbalance));
+                    row.push(r.iommu.large_walks_performed.to_string());
+                    row.push(format!("{:.0}", r.iommu.avg_base_walk_latency()));
+                    row.push(format!("{:.0}", r.iommu.avg_large_walk_latency()));
+                    row.push(r.gpu_tlb_large_hits.to_string());
+                }
+                Err(_) => row.extend((0..6).map(|_| FAILED_CELL.to_owned())),
+            }
+            t.row(row);
+        }
+    }
+    t.row(vec![
+        "note".into(),
+        "-".into(),
+        "imbalance = max/mean IOMMU walks (1.0 = balanced)".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    (t, failures)
+}
+
 /// Diagnostic summary of every benchmark under FCFS (not a paper figure;
 /// used to sanity-check the simulated regime).
 pub fn stats(lab: &mut Lab) -> Table {

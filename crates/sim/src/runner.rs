@@ -20,7 +20,7 @@ use std::io;
 use std::path::PathBuf;
 
 use ptw_core::sched::SchedulerKind;
-use ptw_workloads::{build, BenchmarkId, Scale};
+use ptw_workloads::{build_with_large_pages, BenchmarkId, Scale};
 
 use crate::checkpoint::{CellKey, SweepCheckpoint};
 use crate::config::{FaultInjection, SystemConfig};
@@ -76,7 +76,14 @@ impl RunSpec {
 /// isolation go through [`SweepExecutor`].
 pub fn run_benchmark(spec: &RunSpec) -> Result<RunResult, RunError> {
     let cfg = spec.config.clone().with_scheduler(spec.scheduler);
-    let workload = build(spec.benchmark, spec.scale, spec.seed);
+    // The topology's large-page knob reaches the workload builder here:
+    // at the default 0‰ this is exactly the all-4K `build` path.
+    let workload = build_with_large_pages(
+        spec.benchmark,
+        spec.scale,
+        spec.seed,
+        cfg.topology.large_page_permille,
+    );
     Ok(System::try_new(cfg, workload)?.try_run()?)
 }
 
@@ -221,6 +228,11 @@ impl Lab {
     /// The workload scale in use.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// The workload seed in use.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Attaches a crash-safe checkpoint file: previously persisted results

@@ -19,13 +19,13 @@
 //! 9. reply — `TranslationDone`, after which the data phase runs
 //!    (`DataSubmit`, `LineDone`).
 
-use ptw_core::iommu::{Iommu, TranslationOutcome, WalkerStep};
+use ptw_core::iommu::{CompletedTranslation, Iommu, TranslationOutcome};
 use ptw_core::IommuStats;
 use ptw_gpu::{coalesce_split, Cu, InstructionStream, Wavefront, WavefrontPhase};
 use ptw_mem::cache::{Cache, Mshr, MshrOutcome};
 use ptw_mem::controller::{MemSource, MemStats, MemoryController};
 use ptw_tlb::Tlb;
-use ptw_types::addr::{LineAddr, PhysAddr, VirtAddr, VirtPage};
+use ptw_types::addr::{LineAddr, PhysAddr, PhysFrame, VirtAddr, VirtPage};
 use ptw_types::ids::{InstrId, InstrIdAllocator, WavefrontId};
 use ptw_types::time::Cycle;
 use ptw_workloads::Workload;
@@ -56,7 +56,11 @@ enum Event {
     /// A GPU-TLB-missing translation request reaches the IOMMU.
     IommuArrival { wf: u32, page: VirtPage },
     /// A walker submits a PTE read to the memory controller.
-    WalkerIssue { walker: u8, addr: PhysAddr },
+    WalkerIssue {
+        iommu: u8,
+        walker: u8,
+        addr: PhysAddr,
+    },
     /// A data-cache miss is submitted to the memory controller.
     DataSubmit { line: LineAddr },
     /// One cache-line fetch of the wavefront's instruction finished.
@@ -73,8 +77,17 @@ enum Event {
 pub struct RunResult {
     /// The per-figure metrics.
     pub metrics: RunMetrics,
-    /// IOMMU counters (walks, merges, latencies).
+    /// IOMMU counters (walks, merges, latencies), summed over every
+    /// IOMMU in the topology.
     pub iommu: IommuStats,
+    /// Walks performed by each IOMMU, indexed by topology position.
+    pub per_iommu_walks: Vec<u64>,
+    /// Load imbalance across IOMMUs: the busiest IOMMU's walk count over
+    /// the mean walk count (1.0 = perfectly balanced or a single IOMMU).
+    pub iommu_imbalance: f64,
+    /// Large-page (2 MiB) hits across every GPU TLB (per-CU L1s plus the
+    /// per-shard L2s). Zero in an all-4K run.
+    pub gpu_tlb_large_hits: u64,
     /// DRAM counters.
     pub mem: MemStats,
     /// GPU per-CU L1 TLB aggregate hit rate.
@@ -108,18 +121,24 @@ pub struct System {
     wavefronts: Vec<Wavefront>,
     cus: Vec<Cu>,
     gpu_l1_tlbs: Vec<Tlb>,
-    gpu_l2_tlb: Tlb,
-    iommu: Iommu<Token>,
+    /// One shared L2 TLB per GPU shard (a single TLB in the pinned
+    /// default topology).
+    gpu_l2_tlbs: Vec<Tlb>,
+    /// One IOMMU per topology position; walk traffic is routed by
+    /// [`TopologyConfig::iommu_of_page`](crate::config::TopologyConfig).
+    iommus: Vec<Iommu<Token>>,
+    /// Shard owning each CU, precomputed from the topology.
+    cu_shards: Vec<usize>,
     l1_caches: Vec<Cache>,
     l2_cache: Cache,
     l2_mshr: Mshr<(usize, u32)>,
     mem: MemoryController,
-    /// Outstanding PTE reads: at most one per walker, so a tiny dense
-    /// list beats a hash map in the per-completion lookup.
-    walk_reads: Vec<(ptw_mem::MemReqId, ptw_types::ids::WalkerId)>,
+    /// Outstanding PTE reads: at most one per walker per IOMMU, so a
+    /// tiny dense list beats a hash map in the per-completion lookup.
+    walk_reads: Vec<(ptw_mem::MemReqId, u8, ptw_types::ids::WalkerId)>,
     mem_tick_at: Option<Cycle>,
-    /// Next cycle at which the shared L2 TLB can accept a lookup.
-    l2_tlb_free: Cycle,
+    /// Next cycle at which each shard's L2 TLB can accept a lookup.
+    l2_tlb_free: Vec<Cycle>,
     /// Next cycle at which each CU can forward an L1 TLB miss.
     l1_miss_free: Vec<Cycle>,
     inflight: Vec<Option<InflightInstr>>,
@@ -137,6 +156,8 @@ pub struct System {
     mem_completions: Vec<ptw_mem::MemCompletion>,
     /// Scratch: first PTE reads of walks started by a walker kick.
     walker_reads: Vec<ptw_core::iommu::MemRead>,
+    /// Scratch: completed translations drained from a finishing walker.
+    walk_completions: Vec<CompletedTranslation<Token>>,
     /// Recycled line buffers for [`InflightInstr::lines`].
     line_pool: Vec<Vec<VirtAddr>>,
 }
@@ -187,20 +208,30 @@ impl System {
         for wf in 0..n_wf {
             queue.schedule(Cycle::ZERO, Event::WfReady(wf as u32));
         }
+        let shards = cfg.topology.gpu_shards;
         Ok(System {
             queue,
             wavefronts,
             cus,
             gpu_l1_tlbs: (0..cus_n).map(|_| Tlb::new(cfg.gpu_l1_tlb)).collect(),
-            gpu_l2_tlb: Tlb::new(cfg.gpu_l2_tlb),
-            iommu: Iommu::new(cfg.iommu),
+            // Salt 0 reproduces the single-TLB replacement stream exactly,
+            // so shard 0 of any topology matches the pinned default.
+            gpu_l2_tlbs: (0..shards)
+                .map(|s| Tlb::with_seed_salt(cfg.gpu_l2_tlb, s as u64))
+                .collect(),
+            iommus: (0..cfg.topology.iommus)
+                .map(|_| Iommu::new(cfg.iommu))
+                .collect(),
+            cu_shards: (0..cus_n)
+                .map(|c| cfg.topology.shard_of_cu(c, cus_n))
+                .collect(),
             l1_caches: (0..cus_n).map(|_| Cache::new(cfg.l1_cache)).collect(),
             l2_cache: Cache::new(cfg.l2_cache),
             l2_mshr: Mshr::new(),
             mem: MemoryController::new(cfg.dram.clone(), cfg.mem_policy),
             walk_reads: Vec::new(),
             mem_tick_at: None,
-            l2_tlb_free: Cycle::ZERO,
+            l2_tlb_free: vec![Cycle::ZERO; shards],
             l1_miss_free: vec![Cycle::ZERO; cus_n],
             inflight: (0..n_wf).map(|_| None).collect(),
             instr_ids: InstrIdAllocator::new(),
@@ -211,6 +242,7 @@ impl System {
             mshr_waiters: Vec::new(),
             mem_completions: Vec::new(),
             walker_reads: Vec::new(),
+            walk_completions: Vec::new(),
             line_pool: Vec::new(),
             workload,
             cfg,
@@ -242,18 +274,20 @@ impl System {
         }
     }
 
-    /// Starts idle walkers on pending requests and schedules their reads.
-    fn kick_walkers(&mut self, now: Cycle) {
-        if !self.iommu.can_start() {
+    /// Starts idle walkers of IOMMU `io` on pending requests and
+    /// schedules their reads.
+    fn kick_walkers(&mut self, io: usize, now: Cycle) {
+        if !self.iommus[io].can_start() {
             return;
         }
         let mut reads = std::mem::take(&mut self.walker_reads);
         let table = self.workload.space().table();
-        self.iommu.start_walkers_into(table, now, &mut reads);
+        self.iommus[io].start_walkers_into(table, now, &mut reads);
         for &r in &reads {
             self.queue.schedule(
                 r.issue_at.max(now),
                 Event::WalkerIssue {
+                    iommu: io as u8,
                     walker: r.walker.0,
                     addr: r.addr,
                 },
@@ -261,6 +295,28 @@ impl System {
         }
         reads.clear();
         self.walker_reads = reads;
+    }
+
+    /// Kicks every IOMMU's walker pool (IOMMU order is fixed, so the
+    /// event sequence stays deterministic).
+    fn kick_all_walkers(&mut self, now: Cycle) {
+        for io in 0..self.iommus.len() {
+            self.kick_walkers(io, now);
+        }
+    }
+
+    /// Installs a finished translation in a CU's L1 TLB and its shard's
+    /// L2 TLB, using the large-page side when the mapping is 2 MiB.
+    fn fill_gpu_tlbs(&mut self, cu: usize, page: VirtPage, frame: PhysFrame, large: bool) {
+        let shard = self.cu_shards[cu];
+        if large {
+            let base = PhysFrame::new(frame.raw() - page.large_offset());
+            self.gpu_l2_tlbs[shard].fill_large(page, base);
+            self.gpu_l1_tlbs[cu].fill_large(page, base);
+        } else {
+            self.gpu_l2_tlbs[shard].fill(page, frame);
+            self.gpu_l1_tlbs[cu].fill(page, frame);
+        }
     }
 
     fn handle_wf_ready(&mut self, wf: u32, now: Cycle) {
@@ -314,18 +370,25 @@ impl System {
     }
 
     fn handle_l2_tlb_arrive(&mut self, wf: u32, page: VirtPage, now: Cycle) {
+        let shard = self.cu_shards[self.cu_of(wf)];
         let g = &self.cfg.gpu;
-        let grant = self.l2_tlb_free.max(now);
-        self.l2_tlb_free = grant + g.l2_tlb_port_cycles;
+        let grant = self.l2_tlb_free[shard].max(now);
+        self.l2_tlb_free[shard] = grant + g.l2_tlb_port_cycles;
         self.queue
             .schedule(grant + g.l2_tlb_cycles, Event::L2TlbLookup { wf, page });
     }
 
     fn handle_l2_tlb_lookup(&mut self, wf: u32, page: VirtPage, now: Cycle) {
         let cu = self.cu_of(wf);
+        let shard = self.cu_shards[cu];
         self.metrics.l2_tlb_access(wf);
-        if let Some(frame) = self.gpu_l2_tlb.lookup(page) {
-            self.gpu_l1_tlbs[cu].fill(page, frame);
+        if let Some((frame, large)) = self.gpu_l2_tlbs[shard].lookup_sized(page) {
+            if large {
+                let base = PhysFrame::new(frame.raw() - page.large_offset());
+                self.gpu_l1_tlbs[cu].fill_large(page, base);
+            } else {
+                self.gpu_l1_tlbs[cu].fill(page, frame);
+            }
             self.queue.schedule(now, Event::TranslationDone { wf });
         } else {
             self.queue.schedule(
@@ -340,25 +403,31 @@ impl System {
             .as_ref()
             .expect("arrival for idle wavefront")
             .instr;
-        match self.iommu.translate(page, instr, Token { wf }, now) {
-            TranslationOutcome::Hit { frame, ready_at } => {
+        let io = self.cfg.topology.iommu_of_page(page);
+        let size = self.workload.space().table().page_size_of(page);
+        match self.iommus[io].translate_sized(page, size, instr, Token { wf }, now) {
+            TranslationOutcome::Hit {
+                frame,
+                ready_at,
+                large,
+            } => {
                 let cu = self.cu_of(wf);
-                self.gpu_l2_tlb.fill(page, frame);
-                self.gpu_l1_tlbs[cu].fill(page, frame);
+                self.fill_gpu_tlbs(cu, page, frame, large);
                 self.queue.schedule(
                     ready_at + self.cfg.gpu.iommu_hop_cycles,
                     Event::TranslationDone { wf },
                 );
             }
             TranslationOutcome::WalkPending => {
-                self.kick_walkers(now);
+                self.kick_walkers(io, now);
             }
         }
     }
 
-    fn handle_walker_issue(&mut self, walker: u8, addr: PhysAddr, now: Cycle) {
+    fn handle_walker_issue(&mut self, iommu: u8, walker: u8, addr: PhysAddr, now: Cycle) {
         let id = self.mem.submit(addr.line(), MemSource::PageWalk, now);
-        self.walk_reads.push((id, ptw_types::ids::WalkerId(walker)));
+        self.walk_reads
+            .push((id, iommu, ptw_types::ids::WalkerId(walker)));
         self.touch_mem(now);
     }
 
@@ -381,26 +450,31 @@ impl System {
                     let slot = self
                         .walk_reads
                         .iter()
-                        .position(|(id, _)| *id == c.id)
+                        .position(|(id, _, _)| *id == c.id)
                         .expect("walk read without walker");
-                    let (_, walker) = self.walk_reads.swap_remove(slot);
-                    match self.iommu.memory_done(walker, now) {
-                        WalkerStep::Read(r) => {
+                    let (_, io, walker) = self.walk_reads.swap_remove(slot);
+                    // Completions land in a reusable scratch buffer
+                    // (`memory_done_into`) — the per-walk `Vec` the
+                    // allocating wrapper would build was the hot-path
+                    // fan-out cost here.
+                    let mut done = std::mem::take(&mut self.walk_completions);
+                    match self.iommus[io as usize].memory_done_into(walker, now, &mut done) {
+                        Some(r) => {
                             self.queue.schedule(
                                 r.issue_at.max(now),
                                 Event::WalkerIssue {
+                                    iommu: io,
                                     walker: r.walker.0,
                                     addr: r.addr,
                                 },
                             );
                         }
-                        WalkerStep::Done(translations) => {
+                        None => {
                             walker_finished = true;
-                            for ct in translations {
+                            for ct in &done {
                                 let wf = ct.waiter.wf;
                                 let cu = self.cu_of(wf);
-                                self.gpu_l2_tlb.fill(ct.page, ct.frame);
-                                self.gpu_l1_tlbs[cu].fill(ct.page, ct.frame);
+                                self.fill_gpu_tlbs(cu, ct.page, ct.frame, ct.large);
                                 self.inflight[wf as usize]
                                     .as_mut()
                                     .expect("completion for idle wavefront")
@@ -419,6 +493,8 @@ impl System {
                             }
                         }
                     }
+                    done.clear();
+                    self.walk_completions = done;
                 }
                 MemSource::Data => {
                     let mut waiters = std::mem::take(&mut self.mshr_waiters);
@@ -436,7 +512,7 @@ impl System {
         completions.clear();
         self.mem_completions = completions;
         if walker_finished {
-            self.kick_walkers(now);
+            self.kick_all_walkers(now);
         }
         self.touch_mem(now);
     }
@@ -519,7 +595,11 @@ impl System {
             Event::L2TlbArrive { wf, page } => self.handle_l2_tlb_arrive(wf, page, now),
             Event::L2TlbLookup { wf, page } => self.handle_l2_tlb_lookup(wf, page, now),
             Event::IommuArrival { wf, page } => self.handle_iommu_arrival(wf, page, now),
-            Event::WalkerIssue { walker, addr } => self.handle_walker_issue(walker, addr, now),
+            Event::WalkerIssue {
+                iommu,
+                walker,
+                addr,
+            } => self.handle_walker_issue(iommu, walker, addr, now),
             Event::DataSubmit { line } => self.handle_data_submit(line, now),
             Event::LineDone { wf } => self.handle_line_done(wf, now),
             Event::MemTick => self.handle_mem_tick(now),
@@ -550,9 +630,14 @@ impl System {
                     let mut armed = self.mem_tick_at;
                     loop {
                         match batch.get(i) {
-                            Some(&Event::WalkerIssue { walker, addr }) => {
+                            Some(&Event::WalkerIssue {
+                                iommu,
+                                walker,
+                                addr,
+                            }) => {
                                 let id = self.mem.submit(addr.line(), MemSource::PageWalk, now);
-                                self.walk_reads.push((id, ptw_types::ids::WalkerId(walker)));
+                                self.walk_reads
+                                    .push((id, iommu, ptw_types::ids::WalkerId(walker)));
                             }
                             Some(&Event::DataSubmit { line }) => {
                                 self.mem.submit(line, MemSource::Data, now);
@@ -654,7 +739,7 @@ impl System {
                     return Err(SimError::EventBudgetExhausted {
                         events: processed,
                         now: now.raw(),
-                        snapshot: Box::new(self.iommu.snapshot()),
+                        snapshot: Box::new(self.iommus[0].snapshot()),
                     });
                 }
                 if processed >= wd_next_check {
@@ -668,7 +753,7 @@ impl System {
                                 now: now.raw(),
                                 stalled_epochs: wd_stalled,
                                 retired_instructions: retired,
-                                snapshot: Box::new(self.iommu.snapshot()),
+                                snapshot: Box::new(self.iommus[0].snapshot()),
                             });
                         }
                     } else {
@@ -722,7 +807,7 @@ impl System {
                 return Err(SimError::EventBudgetExhausted {
                     events: processed,
                     now: now.raw(),
-                    snapshot: Box::new(self.iommu.snapshot()),
+                    snapshot: Box::new(self.iommus[0].snapshot()),
                 });
             }
             if processed >= wd_next_check {
@@ -736,7 +821,7 @@ impl System {
                             now: now.raw(),
                             stalled_epochs: wd_stalled,
                             retired_instructions: retired,
-                            snapshot: Box::new(self.iommu.snapshot()),
+                            snapshot: Box::new(self.iommus[0].snapshot()),
                         });
                     }
                 } else {
@@ -776,7 +861,7 @@ impl System {
             return Err(SimError::Deadlock {
                 now: end.raw(),
                 unretired_wavefronts: unretired,
-                snapshot: Box::new(self.iommu.snapshot()),
+                snapshot: Box::new(self.iommus[0].snapshot()),
             });
         }
         for cu in &mut self.cus {
@@ -784,7 +869,26 @@ impl System {
         }
         let stall: u64 = self.cus.iter().map(Cu::stall_cycles).sum();
         let instructions = self.workload.issued_instructions();
-        let iommu_stats = *self.iommu.stats();
+        // Sum per-IOMMU counters into the pinned aggregate; the per-IOMMU
+        // breakdown survives alongside it for the imbalance figure.
+        let mut iommu_stats = *self.iommus[0].stats();
+        for io in &self.iommus[1..] {
+            iommu_stats.absorb(io.stats());
+        }
+        let per_iommu_walks: Vec<u64> = self
+            .iommus
+            .iter()
+            .map(|io| io.stats().walks_performed)
+            .collect();
+        let iommu_imbalance = {
+            let max = per_iommu_walks.iter().copied().max().unwrap_or(0);
+            let mean = per_iommu_walks.iter().sum::<u64>() as f64 / per_iommu_walks.len() as f64;
+            if mean == 0.0 {
+                1.0
+            } else {
+                max as f64 / mean
+            }
+        };
         let metrics = self.metrics.finish(
             end.raw(),
             instructions,
@@ -829,12 +933,31 @@ impl System {
                 max as f64 / mean
             }
         };
+        let l2_tlb_rate = {
+            let (h, t) = self.gpu_l2_tlbs.iter().fold((0u64, 0u64), |(h, t), tlb| {
+                (h + tlb.stats().hits(), t + tlb.stats().total())
+            });
+            if t == 0 {
+                0.0
+            } else {
+                h as f64 / t as f64
+            }
+        };
+        let gpu_tlb_large_hits = self
+            .gpu_l1_tlbs
+            .iter()
+            .chain(self.gpu_l2_tlbs.iter())
+            .map(Tlb::large_hits)
+            .sum();
         Ok(RunResult {
             metrics,
             iommu: iommu_stats,
+            per_iommu_walks,
+            iommu_imbalance,
+            gpu_tlb_large_hits,
             mem: *self.mem.stats(),
             gpu_l1_tlb_hit_rate: l1_tlb_rate,
-            gpu_l2_tlb_hit_rate: self.gpu_l2_tlb.stats().rate(),
+            gpu_l2_tlb_hit_rate: l2_tlb_rate,
             l1_cache_hit_rate: l1_cache_rate,
             l2_cache_hit_rate: self.l2_cache.stats().rate(),
             events: self.queue.processed(),
@@ -900,5 +1023,60 @@ mod tests {
         let fcfs = run(BenchmarkId::Mvt, SchedulerKind::Fcfs);
         let simt = run(BenchmarkId::Mvt, SchedulerKind::SimtAware);
         assert_ne!(fcfs.metrics.cycles, simt.metrics.cycles);
+    }
+
+    #[test]
+    fn default_topology_reports_single_iommu_shape() {
+        let r = run(BenchmarkId::Mvt, SchedulerKind::Fcfs);
+        assert_eq!(r.per_iommu_walks, vec![r.iommu.walks_performed]);
+        assert_eq!(r.iommu_imbalance, 1.0);
+        assert_eq!(r.gpu_tlb_large_hits, 0, "all-4K run saw a 2M hit");
+        assert_eq!(r.iommu.large_walks_performed, 0);
+    }
+
+    #[test]
+    fn sharded_mixed_page_topology_runs_end_to_end() {
+        let cfg = SystemConfig::paper_baseline()
+            .with_scheduler(SchedulerKind::SimtAware)
+            .with_topology(2, 2)
+            .with_large_page_permille(500);
+        let w = ptw_workloads::build_with_large_pages(BenchmarkId::Mvt, Scale::Small, 1, 500);
+        let r = System::new(cfg, w).run();
+        assert!(r.metrics.cycles > 0);
+        assert_eq!(r.per_iommu_walks.len(), 2);
+        assert_eq!(
+            r.per_iommu_walks.iter().sum::<u64>(),
+            r.iommu.walks_performed
+        );
+        // Interleaved VA sharding spreads MVT's divergent rows over both
+        // IOMMUs...
+        assert!(
+            r.per_iommu_walks.iter().all(|&w| w > 0),
+            "an IOMMU sat idle: {:?}",
+            r.per_iommu_walks
+        );
+        assert!(r.iommu_imbalance >= 1.0);
+        // ...and half the eligible regions are 2 MiB, so large-page walks
+        // and GPU large-TLB hits both appear.
+        assert!(r.iommu.large_walks_performed > 0, "no 2M walk performed");
+        assert!(r.gpu_tlb_large_hits > 0, "no 2M GPU TLB hit");
+        assert!(
+            r.iommu.large_walks_performed < r.iommu.walks_performed,
+            "4K walks vanished"
+        );
+    }
+
+    #[test]
+    fn mixed_topology_is_deterministic() {
+        let run_once = || {
+            let cfg = SystemConfig::paper_baseline()
+                .with_topology(2, 2)
+                .with_large_page_permille(250);
+            let w = ptw_workloads::build_with_large_pages(BenchmarkId::Xsb, Scale::Small, 3, 250);
+            System::new(cfg, w).run()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
     }
 }

@@ -32,7 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 use ptw_mem::assoc::{AssocArray, Replacement, SetIndex};
-use ptw_types::addr::{PhysFrame, VirtPage};
+use ptw_types::addr::{PhysFrame, VirtPage, PAGES_PER_LARGE_PAGE};
 use ptw_types::stats::HitRate;
 
 /// Geometry of one TLB.
@@ -114,29 +114,53 @@ impl TlbConfig {
     }
 }
 
+/// The 2 MiB side of a split TLB, keyed by large-region index and caching
+/// the base frame of the backing contiguous run.
+#[derive(Debug)]
+struct LargeSide {
+    set_ix: SetIndex,
+    array: AssocArray<u64, PhysFrame>,
+}
+
 /// A single TLB (any level).
+///
+/// The structure is a split design: the base array holds 4 KiB
+/// translations keyed by VPN, and a second array of the same geometry —
+/// created lazily on the first large-page fill, so an all-4K run carries
+/// no extra state and draws no extra replacement randomness — holds 2 MiB
+/// translations keyed by large-region index.
 #[derive(Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
+    seed: u64,
     set_ix: SetIndex,
     array: AssocArray<u64, PhysFrame>,
+    large: Option<LargeSide>,
     stats: HitRate,
+    large_hits: u64,
 }
 
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new(cfg: TlbConfig) -> Self {
+        Self::with_seed_salt(cfg, 0)
+    }
+
+    /// Creates an empty TLB whose replacement RNG seed is salted with
+    /// `salt` — distinct shards of a sharded topology use distinct salts
+    /// so their eviction streams decorrelate. Salt 0 is exactly
+    /// [`new`](Self::new).
+    pub fn with_seed_salt(cfg: TlbConfig, salt: u64) -> Self {
         let sets = cfg.sets();
+        let seed = 0x71b_5eed ^ (cfg.entries as u64) << 8 ^ cfg.ways as u64 ^ salt;
         Tlb {
             cfg,
+            seed,
             set_ix: SetIndex::new(sets),
-            array: AssocArray::with_seed(
-                sets,
-                cfg.ways,
-                cfg.policy,
-                0x71b_5eed ^ (cfg.entries as u64) << 8 ^ cfg.ways as u64,
-            ),
+            array: AssocArray::with_seed(sets, cfg.ways, cfg.policy, seed),
+            large: None,
             stats: HitRate::new(),
+            large_hits: 0,
         }
     }
 
@@ -153,17 +177,30 @@ impl Tlb {
     /// Demand lookup: returns the cached translation on hit (recency
     /// updated), `None` on miss. Hit/miss statistics are recorded.
     pub fn lookup(&mut self, page: VirtPage) -> Option<PhysFrame> {
+        self.lookup_sized(page).map(|(frame, _)| frame)
+    }
+
+    /// Demand lookup consulting both page sizes: returns the translation
+    /// and whether it came from the 2 MiB side. The base side is checked
+    /// first; a large-side hit adds the page's offset within its region to
+    /// the cached run base.
+    pub fn lookup_sized(&mut self, page: VirtPage) -> Option<(PhysFrame, bool)> {
         let set = self.set_of(page);
-        match self.array.lookup(set, page.raw()) {
-            Some(&frame) => {
+        if let Some(&frame) = self.array.lookup(set, page.raw()) {
+            self.stats.hit();
+            return Some((frame, false));
+        }
+        if let Some(ls) = self.large.as_mut() {
+            let key = page.large_index();
+            let lset = ls.set_ix.of(key);
+            if let Some(&base) = ls.array.lookup(lset, key) {
                 self.stats.hit();
-                Some(frame)
-            }
-            None => {
-                self.stats.miss();
-                None
+                self.large_hits += 1;
+                return Some((PhysFrame::new(base.raw() + page.large_offset()), true));
             }
         }
+        self.stats.miss();
+        None
     }
 
     /// Checks for a translation without updating recency or statistics.
@@ -180,6 +217,27 @@ impl Tlb {
             .map(|(vpn, _)| VirtPage::new(vpn))
     }
 
+    /// Installs a 2 MiB translation for `page`'s region, caching `base`
+    /// (the first frame of the backing run). Returns the start page of the
+    /// evicted region, if any. The large side is created on first use.
+    pub fn fill_large(&mut self, page: VirtPage, base: PhysFrame) -> Option<VirtPage> {
+        let cfg = self.cfg;
+        let seed = self.seed;
+        let ls = self.large.get_or_insert_with(|| {
+            let sets = cfg.sets();
+            LargeSide {
+                set_ix: SetIndex::new(sets),
+                // Distinct seed stream from the base side.
+                array: AssocArray::with_seed(sets, cfg.ways, cfg.policy, seed ^ 0x2A17E),
+            }
+        });
+        let key = page.large_index();
+        let set = ls.set_ix.of(key);
+        ls.array
+            .fill(set, key, base)
+            .map(|(li, _)| VirtPage::new(li * PAGES_PER_LARGE_PAGE))
+    }
+
     /// Removes a translation if present.
     pub fn invalidate(&mut self, page: VirtPage) {
         let set = self.set_of(page);
@@ -189,16 +247,25 @@ impl Tlb {
     /// Removes every translation (e.g. on context switch).
     pub fn flush(&mut self) {
         self.array.clear();
+        if let Some(ls) = self.large.as_mut() {
+            ls.array.clear();
+        }
     }
 
-    /// Number of valid entries.
+    /// Number of valid entries (both page sizes).
     pub fn resident(&self) -> usize {
-        self.array.len()
+        self.array.len() + self.large.as_ref().map_or(0, |ls| ls.array.len())
     }
 
     /// Hit/miss statistics.
     pub fn stats(&self) -> &HitRate {
         &self.stats
+    }
+
+    /// Hits served by the 2 MiB side (a subset of
+    /// [`stats`](Self::stats)' hits).
+    pub fn large_hits(&self) -> u64 {
+        self.large_hits
     }
 }
 
@@ -311,6 +378,83 @@ mod tests {
         assert_eq!(t.fill(page(1), frame(9)), None);
         assert_eq!(t.probe(page(1)), Some(frame(9)));
         assert_eq!(t.resident(), 1);
+    }
+
+    #[test]
+    fn large_fill_serves_every_subpage() {
+        let mut t = Tlb::new(TlbConfig::paper_gpu_l1());
+        let start = page(4 << 9); // 2 MiB-aligned
+        t.fill_large(start, frame(0x8000));
+        for off in [0u64, 1, 300, 511] {
+            let (f, large) = t.lookup_sized(page(start.raw() + off)).unwrap();
+            assert!(large);
+            assert_eq!(f, frame(0x8000 + off));
+        }
+        assert_eq!(t.large_hits(), 4);
+        assert_eq!(t.stats().hits(), 4);
+        // A page outside the region still misses.
+        assert_eq!(t.lookup_sized(page(5 << 9)), None);
+        assert_eq!(t.resident(), 1);
+    }
+
+    #[test]
+    fn base_side_wins_over_large_side() {
+        let mut t = Tlb::new(TlbConfig::paper_gpu_l1());
+        let start = page(4 << 9);
+        t.fill_large(start, frame(0x8000));
+        t.fill(page(start.raw() + 7), frame(0x99));
+        let (f, large) = t.lookup_sized(page(start.raw() + 7)).unwrap();
+        assert!(!large);
+        assert_eq!(f, frame(0x99));
+        assert_eq!(t.large_hits(), 0);
+    }
+
+    #[test]
+    fn lookup_without_large_fills_is_unchanged() {
+        // lookup() and lookup_sized() agree, and the large side stays
+        // unallocated (all-4K equivalence path).
+        let mut t = Tlb::new(TlbConfig::paper_gpu_l2());
+        t.fill(page(1), frame(1));
+        assert_eq!(t.lookup(page(1)), Some(frame(1)));
+        assert_eq!(t.lookup(page(2)), None);
+        assert_eq!(t.lookup_sized(page(1)), Some((frame(1), false)));
+        assert_eq!(t.large_hits(), 0);
+        assert_eq!(t.stats().hits(), 2);
+        assert_eq!(t.stats().misses(), 1);
+    }
+
+    #[test]
+    fn flush_clears_both_sides() {
+        let mut t = Tlb::new(TlbConfig::paper_gpu_l1());
+        t.fill(page(1), frame(1));
+        t.fill_large(page(4 << 9), frame(0x8000));
+        assert_eq!(t.resident(), 2);
+        t.flush();
+        assert_eq!(t.resident(), 0);
+        assert_eq!(t.lookup_sized(page((4 << 9) + 3)), None);
+    }
+
+    #[test]
+    fn seed_salt_zero_is_identity() {
+        // Drive an eviction-heavy sequence through both constructions and
+        // require identical victim streams.
+        let cfg = TlbConfig {
+            entries: 4,
+            ways: 4,
+            policy: Replacement::Random,
+        };
+        let mut a = Tlb::new(cfg);
+        let mut b = Tlb::with_seed_salt(cfg, 0);
+        let mut c = Tlb::with_seed_salt(cfg, 0xDEAD);
+        let mut diverged = false;
+        for i in 0..64u64 {
+            let ea = a.fill(page(i), frame(i));
+            let eb = b.fill(page(i), frame(i));
+            let ec = c.fill(page(i), frame(i));
+            assert_eq!(ea, eb);
+            diverged |= ea != ec;
+        }
+        assert!(diverged, "salted TLB should evict differently");
     }
 
     #[test]

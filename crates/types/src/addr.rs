@@ -14,10 +14,68 @@ use core::ops::{Add, AddAssign, Sub};
 pub const PAGE_SIZE: usize = 4096;
 /// log2 of [`PAGE_SIZE`].
 pub const PAGE_SHIFT: u32 = 12;
+/// Size of a large page in bytes (2 MiB, the x86-64 level-2 leaf size).
+pub const LARGE_PAGE_SIZE: usize = 2 * 1024 * 1024;
+/// log2 of [`LARGE_PAGE_SIZE`].
+pub const LARGE_PAGE_SHIFT: u32 = 21;
+/// Base pages per large page (512: one full leaf page table).
+pub const PAGES_PER_LARGE_PAGE: u64 = 1 << (LARGE_PAGE_SHIFT - PAGE_SHIFT);
 /// Size of a cache line in bytes (Table I: 64 B blocks).
 pub const LINE_SIZE: usize = 64;
 /// log2 of [`LINE_SIZE`].
 pub const LINE_SHIFT: u32 = 6;
+
+/// Translation granule of a mapping: a 4 KiB base page (level-1 leaf in
+/// the x86-64 radix table) or a 2 MiB large page (level-2 leaf, one walk
+/// level shorter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PageSize {
+    /// 4 KiB base page.
+    #[default]
+    Base4K,
+    /// 2 MiB large page.
+    Large2M,
+}
+
+impl PageSize {
+    /// Size of the page in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            PageSize::Base4K => PAGE_SIZE,
+            PageSize::Large2M => LARGE_PAGE_SIZE,
+        }
+    }
+
+    /// log2 of [`bytes`](Self::bytes).
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Base4K => PAGE_SHIFT,
+            PageSize::Large2M => LARGE_PAGE_SHIFT,
+        }
+    }
+
+    /// The page-table level whose entry is the leaf for this size
+    /// (1 for 4 KiB, 2 for 2 MiB).
+    pub const fn leaf_level(self) -> u8 {
+        match self {
+            PageSize::Base4K => 1,
+            PageSize::Large2M => 2,
+        }
+    }
+
+    /// Whether this is the 2 MiB large size.
+    pub const fn is_large(self) -> bool {
+        matches!(self, PageSize::Large2M)
+    }
+
+    /// Short label used in report columns (`"4K"` / `"2M"`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            PageSize::Base4K => "4K",
+            PageSize::Large2M => "2M",
+        }
+    }
+}
 
 /// A virtual address in the shared CPU/GPU virtual address space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -149,6 +207,23 @@ impl VirtPage {
             "page table level {level} out of range"
         );
         self.0 >> (9 * (level as u32 - 1))
+    }
+
+    /// The index of the 2 MiB region containing this page (the VPN with
+    /// the low 9 bits dropped) — the key mixed-size TLBs and large-page
+    /// maps use.
+    pub const fn large_index(self) -> u64 {
+        self.0 >> (LARGE_PAGE_SHIFT - PAGE_SHIFT)
+    }
+
+    /// This page's position within its 2 MiB region (`0..512`).
+    pub const fn large_offset(self) -> u64 {
+        self.0 & (PAGES_PER_LARGE_PAGE - 1)
+    }
+
+    /// Whether this page starts a 2 MiB-aligned region.
+    pub const fn is_large_aligned(self) -> bool {
+        self.large_offset() == 0
     }
 }
 
@@ -335,6 +410,31 @@ mod tests {
     #[should_panic]
     fn table_index_rejects_level_zero() {
         VirtPage::new(0).table_index(0);
+    }
+
+    #[test]
+    fn page_size_geometry() {
+        assert_eq!(PageSize::Base4K.bytes(), PAGE_SIZE);
+        assert_eq!(PageSize::Large2M.bytes(), LARGE_PAGE_SIZE);
+        assert_eq!(PageSize::Large2M.bytes() / PageSize::Base4K.bytes(), 512);
+        assert_eq!(PageSize::Base4K.leaf_level(), 1);
+        assert_eq!(PageSize::Large2M.leaf_level(), 2);
+        assert!(!PageSize::Base4K.is_large());
+        assert!(PageSize::Large2M.is_large());
+        assert_eq!(PageSize::default(), PageSize::Base4K);
+        assert_eq!(PageSize::Large2M.label(), "2M");
+    }
+
+    #[test]
+    fn large_index_matches_level_two_prefix() {
+        // The 2 MiB region index is exactly the level-2 node prefix, so a
+        // large-page leaf and its PWC path agree on the key.
+        for vpn in [0u64, 0x1ff, 0x200, 0x12_3456] {
+            let p = VirtPage::new(vpn);
+            assert_eq!(p.large_index(), p.prefix(2));
+            assert_eq!(p.large_offset(), vpn & 0x1ff);
+            assert_eq!(p.is_large_aligned(), vpn % PAGES_PER_LARGE_PAGE == 0);
+        }
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod registry;
 pub mod workload;
 
 pub use kernel::{BufferRef, Kernel, LANES};
-pub use registry::{build, BenchmarkId, Scale};
+pub use registry::{build, build_with_large_pages, BenchmarkId, Scale};
 pub use workload::Workload;

@@ -10,7 +10,11 @@
 //! scale exceeds it several-fold for the irregular benchmarks).
 
 use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
-use ptw_pagetable::space::AddressSpace;
+use ptw_pagetable::space::{
+    eligible_large_regions, plan_buffer_bases, AddressSpace, LargePagePlan,
+};
+use ptw_types::addr::PAGES_PER_LARGE_PAGE;
+use ptw_types::rng::SplitMix64;
 
 use crate::kernel::{BufferRef, Kernel, LANES};
 use crate::workload::Workload;
@@ -258,20 +262,41 @@ fn dims(scale: Scale) -> Dims {
     }
 }
 
-/// Builds the synthetic workload for `id` at `scale`.
+/// Builds the synthetic workload for `id` at `scale`, all-4K mapped.
 ///
 /// `seed` controls the random gathers and the physical frame scramble;
-/// runs with equal `(id, scale, seed)` are bit-identical.
+/// runs with equal `(id, scale, seed)` are bit-identical. Equivalent to
+/// [`build_with_large_pages`] at 0‰ — the pinned-golden configuration.
 pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> Workload {
+    build_with_large_pages(id, scale, seed, 0)
+}
+
+/// Builds the synthetic workload for `id` at `scale`, promoting roughly
+/// `large_page_permille`/1000 of each buffer's fully covered 2 MiB-aligned
+/// regions to large-page (2 MiB) leaves.
+///
+/// Buffers are laid out in two passes: the first assigns virtual bases
+/// without touching the frame allocator (a Scrambled layout requires every
+/// contiguous 512-frame run to be reserved before the first single-frame
+/// allocation, page-table root included), each eligible region then rolls
+/// an independent promotion decision from a `seed`-derived stream, and
+/// only afterwards are the buffers physically mapped. At 0‰ the plan is
+/// empty and the allocator sees the exact request sequence [`build`]
+/// always issued, so the all-4K workload is bit-identical to the goldens.
+pub fn build_with_large_pages(
+    id: BenchmarkId,
+    scale: Scale,
+    seed: u64,
+    large_page_permille: u32,
+) -> Workload {
+    assert!(large_page_permille <= 1000, "fraction above 1000\u{2030}");
     let d = dims(scale);
-    let mut alloc = FrameAllocator::with_memory_bytes_seeded(2 << 30, FrameLayout::Scrambled, seed);
-    let mut space = AddressSpace::new(&mut alloc);
+    let mut planned: Vec<(String, u64)> = Vec::new();
     let mut mk = |name: &str, len: u64| -> BufferRef {
-        let b = space.alloc_buffer(name, len, &mut alloc);
-        BufferRef {
-            base: b.base,
-            len: b.len,
-        }
+        planned.push((name.to_owned(), len));
+        let lens: Vec<u64> = planned.iter().map(|&(_, len)| len).collect();
+        let base = *plan_buffer_bases(&lens).last().expect("just pushed");
+        BufferRef { base, len }
     };
 
     let matrix_len = d.rows * d.row_stride;
@@ -457,6 +482,26 @@ pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> Workload {
         }
     };
 
+    let mut alloc = FrameAllocator::with_memory_bytes_seeded(2 << 30, FrameLayout::Scrambled, seed);
+    let mut plan = LargePagePlan::default();
+    if large_page_permille > 0 {
+        let lens: Vec<u64> = planned.iter().map(|&(_, len)| len).collect();
+        let bases = plan_buffer_bases(&lens);
+        let mut rng = SplitMix64::new(seed ^ 0x2a17_9e05);
+        for (&base, &(_, len)) in bases.iter().zip(planned.iter()) {
+            for region in eligible_large_regions(base, len) {
+                if rng.next_below(1000) < u64::from(large_page_permille) {
+                    let run = alloc.alloc_contiguous(PAGES_PER_LARGE_PAGE);
+                    plan.insert(region, run);
+                }
+            }
+        }
+    }
+    let mut space = AddressSpace::new(&mut alloc);
+    for (name, len) in &planned {
+        space.alloc_buffer_promoted(name, *len, &mut alloc, &plan);
+    }
+
     Workload::new(id, space, kernels, wavefronts)
 }
 
@@ -584,6 +629,68 @@ mod tests {
                 w.space().footprint_bytes()
             );
         }
+    }
+
+    #[test]
+    fn zero_permille_build_matches_plain_build() {
+        let mut a = build(BenchmarkId::Mvt, Scale::Small, 11);
+        let mut b = build_with_large_pages(BenchmarkId::Mvt, Scale::Small, 11, 0);
+        assert!(a.space().table().large_regions() == 0);
+        assert!(b.space().table().large_regions() == 0);
+        for _ in 0..16 {
+            let ia = a.next_instruction(WavefrontId(0));
+            let ib = b.next_instruction(WavefrontId(0));
+            assert_eq!(ia, ib);
+            let Some(addrs) = ia else { break };
+            for addr in addrs {
+                assert_eq!(
+                    a.space().table().translate(addr.page()),
+                    b.space().table().translate(addr.page()),
+                    "frame divergence at {addr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_promotion_creates_large_mappings_everywhere_eligible() {
+        for id in [BenchmarkId::Mvt, BenchmarkId::Xsb, BenchmarkId::Kmn] {
+            let mut w = build_with_large_pages(id, Scale::Small, 5, 1000);
+            assert!(
+                w.space().table().large_regions() > 0,
+                "{id}: no region promoted at 1000\u{2030}"
+            );
+            // Promotion must not change reachability: every generated
+            // address still translates.
+            for _ in 0..8 {
+                let Some(addrs) = w.next_instruction(WavefrontId(0)) else {
+                    break;
+                };
+                for a in &addrs {
+                    assert!(
+                        w.space().table().translate(a.page()).is_some(),
+                        "{id}: unmapped address {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_promotion_is_deterministic_and_between_extremes() {
+        let w1 = build_with_large_pages(BenchmarkId::Xsb, Scale::Small, 9, 500);
+        let w2 = build_with_large_pages(BenchmarkId::Xsb, Scale::Small, 9, 500);
+        assert_eq!(
+            w1.space().table().large_regions(),
+            w2.space().table().large_regions()
+        );
+        let all = build_with_large_pages(BenchmarkId::Xsb, Scale::Small, 9, 1000);
+        let half = w1.space().table().large_regions();
+        assert!(half > 0, "500\u{2030} promoted nothing");
+        assert!(
+            half < all.space().table().large_regions(),
+            "500\u{2030} promoted as much as 1000\u{2030}"
+        );
     }
 
     #[test]

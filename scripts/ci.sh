@@ -54,4 +54,29 @@ else
     --jobs "${CI_BENCH_JOBS:-1}" --quiet
 fi
 
+echo "== topology smoke (2x2 IOMMU sharding with mixed 4K/2M pages)"
+# End-to-end exercise of the multi-IOMMU path: a 2x2 shard topology with
+# half the eligible 2 MiB regions promoted must actually perform large
+# walks and must send traffic to every IOMMU.
+topo_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$topo_out"' EXIT
+./target/release/ptw-bench --scale small --reps 1 --policies fcfs \
+  --topology 2x2 --large-page-frac 500 --quiet >"$topo_out" 2>&1
+topo_line="$(grep 'topology-smoke:' "$topo_out")" || {
+  echo "FAIL: no topology-smoke summary line"
+  cat "$topo_out"
+  exit 1
+}
+large_walks="$(sed -n 's/.*large_walks=\([0-9]*\).*/\1/p' <<<"$topo_line")"
+min_iommu="$(sed -n 's/.*min_iommu_walks=\([0-9]*\).*/\1/p' <<<"$topo_line")"
+if [[ -z "$large_walks" || "$large_walks" -eq 0 ]]; then
+  echo "FAIL: mixed-page-size run performed no 2M walks: $topo_line"
+  exit 1
+fi
+if [[ -z "$min_iommu" || "$min_iommu" -eq 0 ]]; then
+  echo "FAIL: an IOMMU shard received no walks: $topo_line"
+  exit 1
+fi
+echo "$topo_line"
+
 echo "CI OK"

@@ -143,6 +143,29 @@ fn full_run_metrics_match_golden() {
     );
 }
 
+/// An *explicit* 1×1 all-4K topology is the same machine as the implicit
+/// default: its metrics must match the golden file bit-for-bit, with no
+/// re-blessing. This pins the multi-IOMMU refactor's equivalence claim —
+/// sharding and page-size support ride entirely on config, and the
+/// degenerate config reproduces the pre-refactor system exactly.
+#[test]
+fn explicit_default_topology_matches_golden() {
+    for (bench, sched) in [
+        (BenchmarkId::Mvt, SchedulerKind::SimtAware),
+        (BenchmarkId::Xsb, SchedulerKind::Fcfs),
+    ] {
+        let mut spec = RunSpec::new(bench, sched, Scale::Small);
+        spec.config = spec.config.with_topology(1, 1).with_large_page_permille(0);
+        let result = run_benchmark(&spec).expect("pinned run must succeed");
+        let line = format!("{bench}/{}:{}", sched.label(), encode(&result));
+        assert!(
+            GOLDEN.lines().any(|l| l == line),
+            "explicit 1x1 all-4K topology diverged from golden for {bench}/{}",
+            sched.label()
+        );
+    }
+}
+
 /// The golden file covers every policy for every pinned benchmark.
 #[test]
 fn golden_covers_every_cell() {
