@@ -3,7 +3,9 @@
 //! ```text
 //! figures [NAMES...] [--scale small|medium|paper] [--seed N] [--quiet]
 //!         [--csv DIR] [--jobs N | --serial] [--resume FILE]
+//!         [--isolation thread|process] [--cell-timeout SECS]
 //!         [--inject-fault BENCH:SCHED:KIND@EVENT] [--fail-fast]
+//! figures worker        (internal: one-cell stdin/stdout worker)
 //!
 //! NAMES: table1 table2 fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11
 //!        fig12 fig13 fig14 ablation followon seeds stats all (default: all)
@@ -31,30 +33,39 @@
 //! `--inject-fault kmn:fcfs:panic@1000` forces a deterministic fault into
 //! one cell's run — the fault-injection hook the robustness tests and CI
 //! smoke run use.
+//!
+//! `--isolation process` runs every cell in a freshly spawned copy of this
+//! binary (`figures worker`): a crashed, aborted or hung cell kills only
+//! its child process, is retried with backoff, and finally degrades to a
+//! `FAILED` row while every other cell completes. `--cell-timeout SECS`
+//! bounds each attempt's wall clock in that mode.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ptw_core::sched::SchedulerKind;
 use ptw_sim::config::{FaultInjection, FaultKind};
 use ptw_sim::figures;
 use ptw_sim::runner::{ConfigVariant, Lab};
-use ptw_sim::sweep::SweepExecutor;
+use ptw_sim::sweep::{CellExecutor, SweepExecutor};
+use ptw_sim::Supervisor;
 use ptw_workloads::{BenchmarkId, Scale};
 
+// `figures all | head` must exit cleanly when the reader closes the pipe,
+// not panic mid-write: shadow `println!` with the checked writer.
+macro_rules! println {
+    ($($arg:tt)*) => { ptw_sim::out::println(format_args!($($arg)*)) };
+}
+
 /// Parses `BENCH:SCHED:KIND@EVENT` (case-insensitive), e.g.
-/// `kmn:fcfs:panic@1000` or `mvt:simt-aware:livelock@50000`.
+/// `kmn:fcfs:panic@1000` or `mvt:simt-aware:abort@50000`.
 fn parse_fault(s: &str) -> Option<(BenchmarkId, SchedulerKind, FaultInjection)> {
     let (head, at) = s.rsplit_once('@')?;
     let at_event: u64 = at.parse().ok()?;
     let mut parts = head.split(':');
     let bench = BenchmarkId::parse(parts.next()?)?;
     let sched = SchedulerKind::parse(parts.next()?)?;
-    let kind = match parts.next()?.to_ascii_lowercase().as_str() {
-        "panic" => FaultKind::Panic,
-        "livelock" => FaultKind::Livelock,
-        _ => return None,
-    };
+    let kind = FaultKind::parse(parts.next()?)?;
     if parts.next().is_some() {
         return None;
     }
@@ -62,12 +73,20 @@ fn parse_fault(s: &str) -> Option<(BenchmarkId, SchedulerKind, FaultInjection)> 
 }
 
 fn main() -> ExitCode {
+    // `figures worker` is the internal entry the process-isolation
+    // supervisor spawns: one spec in on stdin, one result line on stdout.
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        return ExitCode::from(ptw_sim::supervisor::worker_main());
+    }
+
     let mut names: Vec<String> = Vec::new();
     let mut scale = Scale::Medium;
     let mut seed = 0xC0FFEE_u64;
     let mut verbose = true;
     let mut csv_dir: Option<std::path::PathBuf> = None;
-    let mut exec = SweepExecutor::auto();
+    let mut jobs = 0_usize; // 0 = one worker per hardware thread
+    let mut process_isolation = false;
+    let mut cell_timeout: Option<Duration> = None;
     let mut checkpoint: Option<std::path::PathBuf> = None;
     let mut fault: Option<(BenchmarkId, SchedulerKind, FaultInjection)> = None;
     let mut fail_fast = false;
@@ -100,13 +119,28 @@ fn main() -> ExitCode {
                 }
             },
             "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
-                Some(n) => exec = SweepExecutor::new(n), // 0 = auto
+                Some(n) => jobs = n, // 0 = auto
                 None => {
                     eprintln!("--jobs needs an integer (0 = one per hardware thread)");
                     return ExitCode::FAILURE;
                 }
             },
-            "--serial" => exec = SweepExecutor::serial(),
+            "--serial" => jobs = 1,
+            "--isolation" => match args.next().as_deref() {
+                Some("thread") => process_isolation = false,
+                Some("process") => process_isolation = true,
+                _ => {
+                    eprintln!("--isolation needs thread or process");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cell-timeout" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) if secs > 0 => cell_timeout = Some(Duration::from_secs(secs)),
+                _ => {
+                    eprintln!("--cell-timeout needs a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--resume" | "--checkpoint" => match args.next() {
                 Some(path) => checkpoint = Some(path.into()),
                 None => {
@@ -119,7 +153,7 @@ fn main() -> ExitCode {
                 None => {
                     eprintln!(
                         "--inject-fault needs BENCH:SCHED:KIND@EVENT \
-                         (e.g. kmn:fcfs:panic@1000; KIND is panic or livelock)"
+                         (e.g. kmn:fcfs:panic@1000; KIND is panic, livelock, abort or hang)"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -130,6 +164,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: figures [NAMES...] [--scale small|medium|paper] [--seed N] \
                      [--quiet] [--csv DIR] [--jobs N | --serial] [--resume FILE] \
+                     [--isolation thread|process] [--cell-timeout SECS] \
                      [--inject-fault BENCH:SCHED:KIND@EVENT] [--fail-fast | --keep-going]\n\
                      names: {} all topology",
                     figures::NAMES.join(" ")
@@ -150,6 +185,21 @@ fn main() -> ExitCode {
     if names.is_empty() {
         names.extend(figures::NAMES.iter().map(|s| (*s).to_owned()));
     }
+    if cell_timeout.is_some() && !process_isolation {
+        eprintln!("--cell-timeout requires --isolation process");
+        return ExitCode::FAILURE;
+    }
+    let exec: Box<dyn CellExecutor> = if process_isolation {
+        match Supervisor::self_exec(&["worker"], jobs) {
+            Ok(sup) => Box::new(sup.with_cell_timeout(cell_timeout)),
+            Err(e) => {
+                eprintln!("cannot locate own executable for --isolation process: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Box::new(SweepExecutor::new(jobs))
+    };
 
     let started = Instant::now();
     let mut lab = Lab::new(scale, seed);
@@ -186,7 +236,7 @@ fn main() -> ExitCode {
         .iter()
         .flat_map(|n| figures::prefetch_keys(n))
         .collect();
-    lab.prefetch(&exec, wanted);
+    lab.prefetch(&*exec, wanted);
     let mut extra_failures: Vec<String> = Vec::new();
     if fail_fast && lab.has_failures() {
         eprintln!(
@@ -215,12 +265,12 @@ fn main() -> ExitCode {
             "stats" => figures::stats(&mut lab),
             "followon" => figures::followon(&mut lab),
             "seeds" => {
-                let (t, failures) = figures::seeds(&lab, &exec);
+                let (t, failures) = figures::seeds(&lab, &*exec);
                 extra_failures.extend(failures);
                 t
             }
             "topology" => {
-                let (t, failures) = figures::topology(&lab, &exec);
+                let (t, failures) = figures::topology(&lab, &*exec);
                 extra_failures.extend(failures);
                 t
             }

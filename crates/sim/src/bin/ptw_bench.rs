@@ -13,11 +13,14 @@
 //!           [--policies LIST]       # comma-separated subset (default: all 7)
 //!           [--topology NxM]        # N GPU shards x M IOMMUs (default 1x1)
 //!           [--large-page-frac F]   # 2 MiB promotion fraction in permille
+//!           [--isolation MODE]      # thread (default) or process
+//!           [--cell-timeout SECS]   # per-attempt wall bound (process mode)
 //!           [--out FILE]            # write/refresh a BENCH_*.json baseline
 //!           [--label TEXT]          # history label recorded with --out
 //!           [--check FILE]          # CI smoke: compare against a baseline
 //!           [--max-regress PCT]     # allowed events/sec regression (default 20)
 //!           [--quiet]
+//! ptw-bench worker                  # internal: one-cell stdin/stdout worker
 //! ```
 //!
 //! `--topology` and `--large-page-frac` override the Table I baseline's
@@ -51,18 +54,32 @@
 //! nonzero if measured events/sec fall more than `--max-regress` percent
 //! below the stored smoke baseline.
 //!
+//! `--isolation process` runs every repetition in a freshly spawned copy
+//! of this binary (`ptw-bench worker`), timing the full supervised
+//! round-trip — spawn, spec hand-off, simulation, result decode. That
+//! measures process-isolated sweep cost (what `figures --isolation
+//! process` pays per cell), not raw simulator throughput; committed
+//! baselines stay thread-mode.
+//!
 //! Wall-clock numbers are machine-dependent; refresh baselines on the
 //! machine that will compare against them.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ptw_core::sched::SchedulerKind;
 use ptw_sim::json::{escape, Value};
 use ptw_sim::runner::{run_benchmark, RunSpec};
 use ptw_sim::sweep::SweepExecutor;
+use ptw_sim::Supervisor;
 use ptw_workloads::{BenchmarkId, Scale};
+
+// `ptw-bench ... | head` must exit cleanly when the reader closes the
+// pipe, not panic mid-write: shadow `println!` with the checked writer.
+macro_rules! println {
+    ($($arg:tt)*) => { ptw_sim::out::println(format_args!($($arg)*)) };
+}
 
 /// One measured `(benchmark, scheduler)` cell. `wall_ms` is the minimum
 /// across repetitions; `wall_ms_median` the median (noise indicator).
@@ -137,7 +154,9 @@ impl Totals {
 /// Times one `(benchmark, scheduler)` cell: `reps` serial repetitions on
 /// the calling thread, recording the minimum and median wall time. Event
 /// counts are deterministic per cell, so the first repetition's count
-/// stands for all of them.
+/// stands for all of them. With a supervisor, each repetition is one
+/// supervised child process and the wall time covers the full round-trip.
+#[allow(clippy::too_many_arguments)]
 fn time_cell(
     bench: BenchmarkId,
     sched: SchedulerKind,
@@ -145,6 +164,7 @@ fn time_cell(
     seed: u64,
     reps: usize,
     shape: TopologyShape,
+    supervisor: Option<&Supervisor>,
 ) -> Result<Cell, String> {
     let mut spec = RunSpec::new(bench, sched, scale);
     spec.seed = seed;
@@ -161,8 +181,11 @@ fn time_cell(
     let mut imbalance = 1.0f64;
     for rep in 0..reps {
         let started = Instant::now();
-        let result =
-            run_benchmark(&spec).map_err(|e| format!("bench cell {} failed: {e}", spec.label()))?;
+        let result = match supervisor {
+            Some(sup) => sup.run_spec(&spec),
+            None => run_benchmark(&spec),
+        }
+        .map_err(|e| format!("bench cell {} failed: {e}", spec.label()))?;
         walls.push(started.elapsed().as_secs_f64() * 1000.0);
         if rep == 0 {
             events = result.events;
@@ -201,6 +224,7 @@ fn sweep(
     jobs: usize,
     policies: &[SchedulerKind],
     shape: TopologyShape,
+    supervisor: Option<&Supervisor>,
     quiet: bool,
 ) -> Result<Vec<Cell>, String> {
     assert!(reps >= 1, "sweep needs at least one repetition");
@@ -211,7 +235,7 @@ fn sweep(
         }
     }
     let outcomes = SweepExecutor::new(jobs).map(&specs, |_, &(bench, sched)| {
-        time_cell(bench, sched, scale, seed, reps, shape)
+        time_cell(bench, sched, scale, seed, reps, shape, supervisor)
     });
     let mut cells = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
@@ -411,11 +435,19 @@ fn load_smoke_baseline(path: &str) -> Result<f64, String> {
 }
 
 fn main() -> ExitCode {
+    // `ptw-bench worker` is the internal entry the process-isolation
+    // supervisor spawns: one spec in on stdin, one result line on stdout.
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        return ExitCode::from(ptw_sim::supervisor::worker_main());
+    }
+
     let mut scale = Scale::Medium;
     let mut seed = 0xC0FFEE_u64;
     let mut reps = 3usize;
     let mut jobs = 1usize;
     let mut policies: Vec<SchedulerKind> = SchedulerKind::EXTENDED.to_vec();
+    let mut process_isolation = false;
+    let mut cell_timeout: Option<Duration> = None;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut label = String::from("measurement");
@@ -513,11 +545,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--isolation" => match args.next().as_deref() {
+                Some("thread") => process_isolation = false,
+                Some("process") => process_isolation = true,
+                _ => {
+                    eprintln!("--isolation needs thread or process");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cell-timeout" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) if secs > 0 => cell_timeout = Some(Duration::from_secs(secs)),
+                _ => {
+                    eprintln!("--cell-timeout needs a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ptw-bench [--scale small|medium|paper] [--seed N] [--reps N] \
-                     [--jobs N] [--policies LIST] [--out FILE] [--label TEXT] [--check FILE] \
+                     [--jobs N] [--policies LIST] [--isolation thread|process] \
+                     [--cell-timeout SECS] [--out FILE] [--label TEXT] [--check FILE] \
                      [--max-regress PCT] [--quiet]\n\
                      \n\
                      --jobs N fans cells across N threads (0 = one per hardware thread, \
@@ -529,7 +577,10 @@ fn main() -> ExitCode {
                      default is all 7 extended policies.\n\
                      --topology NxM runs every cell on N GPU shards x M IOMMUs and \
                      --large-page-frac F promotes roughly F permille of eligible 2 MiB \
-                     regions; either flag adds a greppable topology-smoke summary line."
+                     regions; either flag adds a greppable topology-smoke summary line.\n\
+                     --isolation process runs each repetition in a fresh supervised child \
+                     process (timing the full round-trip); --cell-timeout SECS bounds one \
+                     attempt's wall clock in that mode."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -542,6 +593,22 @@ fn main() -> ExitCode {
 
     // Resolve auto up front so prints and the JSON record the real count.
     let jobs = SweepExecutor::new(jobs).workers();
+    if cell_timeout.is_some() && !process_isolation {
+        eprintln!("--cell-timeout requires --isolation process");
+        return ExitCode::FAILURE;
+    }
+    let supervisor = if process_isolation {
+        match Supervisor::self_exec(&["worker"], jobs) {
+            Ok(sup) => Some(sup.with_cell_timeout(cell_timeout)),
+            Err(e) => {
+                eprintln!("cannot locate own executable for --isolation process: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let supervisor = supervisor.as_ref();
 
     // CI smoke mode: small-scale sweep against the committed baseline.
     if let Some(path) = check {
@@ -552,7 +619,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let cells = match sweep(Scale::Small, seed, reps, jobs, &policies, shape, true) {
+        let cells = match sweep(
+            Scale::Small,
+            seed,
+            reps,
+            jobs,
+            &policies,
+            shape,
+            supervisor,
+            true,
+        ) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");
@@ -574,7 +650,7 @@ fn main() -> ExitCode {
     }
 
     let started = Instant::now();
-    let cells = match sweep(scale, seed, reps, jobs, &policies, shape, quiet) {
+    let cells = match sweep(scale, seed, reps, jobs, &policies, shape, supervisor, quiet) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("[ptw-bench] {e}");
@@ -625,7 +701,16 @@ fn main() -> ExitCode {
     if let Some(path) = out {
         // The small-scale smoke aggregate rides along in the same file so
         // CI has a fast comparison point.
-        let smoke_cells = match sweep(Scale::Small, seed, reps, jobs, &policies, shape, true) {
+        let smoke_cells = match sweep(
+            Scale::Small,
+            seed,
+            reps,
+            jobs,
+            &policies,
+            shape,
+            supervisor,
+            true,
+        ) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[ptw-bench] {e}");

@@ -102,12 +102,16 @@ impl SweepCheckpoint {
         &self.path
     }
 
-    /// Appends one completed cell, flushed before returning so the record
-    /// survives a subsequent crash.
+    /// Appends one completed cell, flushed **and fsynced** before
+    /// returning: once this call returns, the record survives not just a
+    /// process crash but a host power loss. A crash mid-append can lose at
+    /// most the in-flight line, which the torn-line skip in
+    /// [`open`](Self::open) tolerates.
     pub fn append(&mut self, key: CellKey, result: &RunResult) -> io::Result<()> {
         let line = encode_record(key, result);
         writeln!(self.file, "{line}")?;
-        self.file.flush()
+        self.file.flush()?;
+        self.file.sync_data()
     }
 }
 
@@ -137,6 +141,18 @@ fn decode_key(s: &str) -> Option<CellKey> {
 }
 
 fn encode_record(key: CellKey, r: &RunResult) -> String {
+    format!(
+        "{{\"key\":\"{}\",{}}}",
+        encode_key(key),
+        encode_result_fields(r)
+    )
+}
+
+/// Serializes every field of a [`RunResult`] as the comma-joined members
+/// of a flat JSON object (no surrounding braces). Shared between the
+/// checkpoint record line and the worker wire protocol
+/// (`crate::wire`), so both persist results bit-identically.
+pub(crate) fn encode_result_fields(r: &RunResult) -> String {
     let m = &r.metrics;
     let io = &r.iommu;
     let mem = &r.mem;
@@ -146,7 +162,6 @@ fn encode_record(key: CellKey, r: &RunResult) -> String {
     };
     format!(
         concat!(
-            "{{\"key\":\"{key}\",",
             "\"cycles\":{cycles},\"instructions\":{instructions},",
             "\"cu_stall_cycles\":{cu_stall},\"walk_requests\":{walk_reqs},",
             "\"walks_performed\":{walks},",
@@ -169,9 +184,8 @@ fn encode_record(key: CellKey, r: &RunResult) -> String {
             "\"mem_latency\":{mem_l},\"mem_completed\":{mem_c},",
             "\"l1_tlb_bits\":{l1t},\"l2_tlb_bits\":{l2t},",
             "\"l1_cache_bits\":{l1c},\"l2_cache_bits\":{l2c},",
-            "\"events\":{events},\"spread_bits\":{spread}}}"
+            "\"events\":{events},\"spread_bits\":{spread}"
         ),
-        key = encode_key(key),
         cycles = m.cycles,
         instructions = m.instructions,
         cu_stall = m.cu_stall_cycles,
@@ -220,6 +234,12 @@ fn encode_record(key: CellKey, r: &RunResult) -> String {
 fn decode_record(line: &str) -> Option<(CellKey, RunResult)> {
     let fields = parse_flat_json(line)?;
     let key = decode_key(fields.get("key")?.as_str()?)?;
+    Some((key, decode_result_fields(&fields)?))
+}
+
+/// Reconstructs a [`RunResult`] from the flat fields written by
+/// [`encode_result_fields`]; the inverse half of the shared codec.
+pub(crate) fn decode_result_fields(fields: &HashMap<String, Value>) -> Option<RunResult> {
     let u = |name: &str| -> Option<u64> { fields.get(name)?.as_u64() };
     let f = |name: &str| -> Option<f64> { Some(f64::from_bits(fields.get(name)?.as_u64()?)) };
     let a = |name: &str| -> Option<Vec<u64>> { fields.get(name)?.as_arr().map(<[u64]>::to_vec) };
@@ -265,49 +285,49 @@ fn decode_record(line: &str) -> Option<(CellKey, RunResult)> {
         total_latency: u("mem_latency")?,
         completed: u("mem_completed")?,
     };
-    Some((
-        key,
-        RunResult {
-            metrics,
-            iommu,
-            per_iommu_walks: a("per_iommu_walks")?,
-            iommu_imbalance: f("imbalance_bits")?,
-            gpu_tlb_large_hits: u("gpu_large_hits")?,
-            mem,
-            gpu_l1_tlb_hit_rate: f("l1_tlb_bits")?,
-            gpu_l2_tlb_hit_rate: f("l2_tlb_bits")?,
-            l1_cache_hit_rate: f("l1_cache_bits")?,
-            l2_cache_hit_rate: f("l2_cache_bits")?,
-            events: u("events")?,
-            finish_spread: f("spread_bits")?,
-        },
-    ))
+    Some(RunResult {
+        metrics,
+        iommu,
+        per_iommu_walks: a("per_iommu_walks")?,
+        iommu_imbalance: f("imbalance_bits")?,
+        gpu_tlb_large_hits: u("gpu_large_hits")?,
+        mem,
+        gpu_l1_tlb_hit_rate: f("l1_tlb_bits")?,
+        gpu_l2_tlb_hit_rate: f("l2_tlb_bits")?,
+        l1_cache_hit_rate: f("l1_cache_bits")?,
+        l2_cache_hit_rate: f("l2_cache_bits")?,
+        events: u("events")?,
+        finish_spread: f("spread_bits")?,
+    })
 }
 
-/// The only JSON values the checkpoint format uses.
+/// The only JSON values the checkpoint format (and the worker wire
+/// protocol built on it) uses. Integers are exact `u64` — unlike
+/// `crate::json`, whose `f64` numbers cannot carry the `f64::to_bits`
+/// patterns this codec stores.
 #[derive(Clone, Debug, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     U64(u64),
     Str(String),
     Arr(Vec<u64>),
 }
 
 impl Value {
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Value::U64(x) => Some(*x),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_arr(&self) -> Option<&[u64]> {
+    pub(crate) fn as_arr(&self) -> Option<&[u64]> {
         match self {
             Value::Arr(xs) => Some(xs),
             _ => None,
@@ -316,10 +336,10 @@ impl Value {
 }
 
 /// Parses one flat JSON object of the checkpoint subset: string keys
-/// mapping to unsigned integers, plain strings (no escapes beyond `\"`
-/// and `\\`), or arrays of unsigned integers. Returns `None` on any
-/// deviation — a malformed line is skipped, not guessed at.
-fn parse_flat_json(line: &str) -> Option<HashMap<String, Value>> {
+/// mapping to unsigned integers, strings (standard escapes), or arrays of
+/// unsigned integers. Returns `None` on any deviation — a malformed line
+/// is skipped, not guessed at.
+pub(crate) fn parse_flat_json(line: &str) -> Option<HashMap<String, Value>> {
     let mut p = Parser {
         bytes: line.trim().as_bytes(),
         pos: 0,
@@ -418,17 +438,38 @@ impl Parser<'_> {
                     return Some(out);
                 }
                 b'\\' => {
+                    // The escapes `crate::json::escape` emits: worker error
+                    // messages (panic payloads, watchdog snapshots) contain
+                    // newlines and tabs, so the wire protocol needs more
+                    // than the bare `\"`/`\\` the checkpoint itself writes.
                     self.pos += 1;
                     match self.peek()? {
                         b'"' => out.push('"'),
                         b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
                         _ => return None,
                     }
                     self.pos += 1;
                 }
-                b => {
-                    out.push(b as char);
+                _ => {
+                    // Consume one UTF-8 character whole (the input is a
+                    // &str, so the byte stream is valid UTF-8).
+                    let start = self.pos;
                     self.pos += 1;
+                    while self.peek().is_some_and(|b| (b & 0xC0) == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
                 }
             }
         }
@@ -574,6 +615,63 @@ mod tests {
         assert_eq!(loaded.len(), 1, "intact record kept, torn record dropped");
         assert_eq!(loaded[0].0, key);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_header_is_truncated_and_rerun() {
+        // Pins the v2 codec behavior: a file written by the v1 codec (no
+        // topology fields) must be discarded wholesale under --resume, not
+        // mis-decoded record by record.
+        let path = temp_path("v1-header");
+        let _ = std::fs::remove_file(&path);
+        let mut rng = SplitMix64::new(11);
+        let result = synthetic_result(&mut rng);
+        let key = (
+            BenchmarkId::Kmn,
+            SchedulerKind::SimtAware,
+            ConfigVariant::Baseline,
+        );
+        let v1_line = {
+            // A v1-era record: same key, no per-IOMMU fields. Even if it
+            // decoded, its values must never be trusted under v2.
+            let full = encode_record(key, &result);
+            full.replace(",\"per_iommu_walks\":", ",\"v1_walks\":")
+        };
+        std::fs::write(
+            &path,
+            format!("{{\"v\":1,\"scale\":\"small\",\"seed\":5}}\n{v1_line}\n"),
+        )
+        .expect("write v1 file");
+        let (mut cp, loaded) = SweepCheckpoint::open(&path, Scale::Small, 5).expect("reopen");
+        assert!(loaded.is_empty(), "v1 contents discarded, not decoded");
+        // The file was truncated and re-headered: a v2 append then reloads.
+        cp.append(key, &result).expect("append after truncate");
+        drop(cp);
+        let (_cp, loaded) = SweepCheckpoint::open(&path, Scale::Small, 5).expect("reload");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, result);
+        let content = std::fs::read_to_string(&path).expect("read");
+        assert!(
+            content.starts_with("{\"v\":2,"),
+            "header rewritten to v2: {content:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let message = "walk stalled\n\tpending=3 \"deadlock\" a\\b µ\u{1}";
+        let line = format!(
+            "{{\"err\":\"{}\",\"events\":7}}",
+            crate::json::escape(message)
+        );
+        let fields = parse_flat_json(&line).expect("parse");
+        assert_eq!(
+            fields.get("err").and_then(Value::as_str),
+            Some(message),
+            "escaped string round-trips through the checkpoint parser"
+        );
+        assert_eq!(fields.get("events").and_then(Value::as_u64), Some(7));
     }
 
     #[test]

@@ -70,6 +70,16 @@ pub enum FaultKind {
     /// it one cycle later: events keep flowing but no instruction ever
     /// retires again — exactly the signature the watchdog exists to catch.
     Livelock,
+    /// Call `std::process::abort()` when the trigger event is processed.
+    /// `catch_unwind` cannot observe an abort, so this fault is only
+    /// survivable under process isolation — it exists to exercise the
+    /// supervisor's crash-classification path deterministically.
+    Abort,
+    /// Stop consuming events and sleep forever once the trigger event is
+    /// processed: the process stays alive but makes no progress and never
+    /// answers. Only the supervisor's wall-clock timeout (kill + reap)
+    /// recovers from this; under thread isolation it wedges the sweep.
+    Hang,
 }
 
 impl FaultKind {
@@ -78,7 +88,21 @@ impl FaultKind {
         match self {
             FaultKind::Panic => "panic",
             FaultKind::Livelock => "livelock",
+            FaultKind::Abort => "abort",
+            FaultKind::Hang => "hang",
         }
+    }
+
+    /// Parses a [`label`](Self::label) (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        [
+            FaultKind::Panic,
+            FaultKind::Livelock,
+            FaultKind::Abort,
+            FaultKind::Hang,
+        ]
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(s))
     }
 }
 
@@ -108,6 +132,23 @@ impl FaultInjection {
     pub fn livelock_at(at_event: u64) -> Self {
         FaultInjection {
             kind: FaultKind::Livelock,
+            at_event,
+        }
+    }
+
+    /// A process abort at event `at_event` (process-isolation tests only).
+    pub fn abort_at(at_event: u64) -> Self {
+        FaultInjection {
+            kind: FaultKind::Abort,
+            at_event,
+        }
+    }
+
+    /// An eternal hang starting at event `at_event` (process-isolation
+    /// tests only — survivable only via the supervisor's timeout).
+    pub fn hang_at(at_event: u64) -> Self {
+        FaultInjection {
+            kind: FaultKind::Hang,
             at_event,
         }
     }

@@ -231,17 +231,45 @@ pub enum RunError {
         /// The panic message (or a placeholder for non-string payloads).
         message: String,
     },
+    /// A worker process died without reporting a result: nonzero exit,
+    /// killed by a signal (abort, OOM kill, stack overflow), or its stdout
+    /// held no decodable result line.
+    WorkerDied {
+        /// Exit classification plus a tail of the worker's stderr.
+        message: String,
+    },
+    /// A worker process exceeded the per-cell wall-clock timeout and was
+    /// killed and reaped by the supervisor.
+    WorkerTimeout {
+        /// The timeout that was enforced, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A worker process ran the cell and reported a failure the wire
+    /// protocol does not reconstruct as a fully typed error (config
+    /// rejection, livelock, deadlock); the message preserves the worker's
+    /// rendered diagnostic.
+    WorkerReported {
+        /// The worker-side error's full display text.
+        message: String,
+    },
 }
 
 impl RunError {
     /// Whether retrying the same spec could plausibly succeed.
     ///
     /// The simulator is deterministic, so a retry only helps when the
-    /// retry changes something — the sweep executor escalates the event
-    /// budget between attempts, which cures exactly one failure mode:
-    /// a budget set too low for a slow-but-progressing run.
+    /// retry changes something. Two failure modes qualify: an event budget
+    /// set too low for a slow-but-progressing run (the executor escalates
+    /// the budget between attempts), and a worker process that died or
+    /// timed out (host-side conditions — memory pressure, scheduling — are
+    /// not deterministic, so a backoff-delayed respawn can succeed).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RunError::Sim(SimError::EventBudgetExhausted { .. }))
+        matches!(
+            self,
+            RunError::Sim(SimError::EventBudgetExhausted { .. })
+                | RunError::WorkerDied { .. }
+                | RunError::WorkerTimeout { .. }
+        )
     }
 }
 
@@ -251,6 +279,11 @@ impl std::fmt::Display for RunError {
             RunError::Config(e) => write!(f, "invalid config: {e}"),
             RunError::Sim(e) => write!(f, "simulation failed: {e}"),
             RunError::Panicked { message } => write!(f, "run panicked: {message}"),
+            RunError::WorkerDied { message } => write!(f, "worker died: {message}"),
+            RunError::WorkerTimeout { timeout_ms } => {
+                write!(f, "worker killed after {timeout_ms} ms cell timeout")
+            }
+            RunError::WorkerReported { message } => write!(f, "worker reported: {message}"),
         }
     }
 }
@@ -274,7 +307,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn only_budget_exhaustion_is_retryable() {
+    fn worker_failures_classify_and_display() {
+        let died = RunError::WorkerDied {
+            message: "exit status: 134; stderr: abort".into(),
+        };
+        assert!(died.is_retryable(), "a dead worker is worth a respawn");
+        assert!(died.to_string().contains("worker died"));
+        let timeout = RunError::WorkerTimeout { timeout_ms: 1500 };
+        assert!(timeout.is_retryable());
+        assert!(timeout.to_string().contains("1500 ms"));
+        let reported = RunError::WorkerReported {
+            message: "simulation failed: livelock at cycle 10".into(),
+        };
+        assert!(!reported.is_retryable(), "typed worker reports are final");
+        assert!(reported.to_string().contains("livelock"));
+    }
+
+    #[test]
+    fn in_process_retryability_is_budget_exhaustion_only() {
         let snap = Box::new(IommuSnapshot::default());
         let budget = RunError::Sim(SimError::EventBudgetExhausted {
             events: 10,

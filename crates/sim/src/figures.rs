@@ -21,7 +21,7 @@ use ptw_workloads::{build, BenchmarkId};
 
 use crate::report::{percent, ratio, Table};
 use crate::runner::{ConfigVariant, Lab};
-use crate::sweep::SweepExecutor;
+use crate::sweep::CellExecutor;
 
 /// Rendered in place of any value whose underlying run failed: figures
 /// degrade cell-by-cell instead of aborting the whole sweep.
@@ -691,7 +691,7 @@ pub fn followon(lab: &mut Lab) -> Table {
 /// of that they also bypass the lab's failure ledger: the second element of
 /// the return value lists any cells that failed (empty when all ran
 /// cleanly), one summary line each.
-pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
+pub fn seeds(lab: &Lab, exec: &dyn CellExecutor) -> (Table, Vec<String>) {
     use crate::runner::RunSpec;
     use crate::SystemConfig;
 
@@ -716,7 +716,7 @@ pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
             }
         }
     }
-    let report = exec.try_run(&specs);
+    let report = exec.try_run_cells(&specs);
     let failures: Vec<String> = report
         .failed()
         .map(|c| {
@@ -774,7 +774,7 @@ pub fn seeds(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
 /// config knobs the [`Lab`] cache does not key on, so they bypass the cache
 /// (and its failure ledger) and go straight through `exec`; the second
 /// element of the return value lists any cells that failed.
-pub fn topology(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
+pub fn topology(lab: &Lab, exec: &dyn CellExecutor) -> (Table, Vec<String>) {
     use crate::runner::RunSpec;
     use crate::SystemConfig;
 
@@ -806,7 +806,7 @@ pub fn topology(lab: &Lab, exec: &SweepExecutor) -> (Table, Vec<String>) {
             });
         }
     }
-    let report = exec.try_run(&specs);
+    let report = exec.try_run_cells(&specs);
     let failures: Vec<String> = report
         .failed()
         .map(|c| {

@@ -8,10 +8,13 @@
 //! * [`metrics`] — per-figure metric collection;
 //! * [`runner`] — one-call experiment execution;
 //! * [`sweep`] — panic-isolated parallel fan-out of independent runs;
+//! * [`supervisor`] — process-isolated sweep workers (spawn/timeout/reap);
+//! * [`wire`] — the one-JSON-line-per-direction worker protocol;
 //! * [`checkpoint`] — crash-safe JSONL persistence of sweep results;
 //! * [`figures`] — regeneration of every table and figure;
 //! * [`report`] — plain-text table rendering;
-//! * [`json`] — minimal JSON reader for the `BENCH_*.json` baselines.
+//! * [`json`] — minimal JSON reader for the `BENCH_*.json` baselines;
+//! * [`out`] — broken-pipe-safe stdout for the CLI binaries.
 //!
 //! # Example: one run
 //!
@@ -37,14 +40,18 @@ pub mod error;
 pub mod figures;
 pub mod json;
 pub mod metrics;
+pub mod out;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
 pub mod sweep;
 pub mod system;
+pub mod wire;
 
 pub use config::SystemConfig;
 pub use error::{ConfigError, RunError, SimError};
 pub use metrics::RunMetrics;
 pub use runner::{run_benchmark, RunSpec};
-pub use sweep::{SweepExecutor, SweepReport};
+pub use supervisor::Supervisor;
+pub use sweep::{CellExecutor, SweepExecutor, SweepReport};
 pub use system::{RunResult, System};

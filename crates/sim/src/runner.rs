@@ -25,11 +25,11 @@ use ptw_workloads::{build_with_large_pages, BenchmarkId, Scale};
 use crate::checkpoint::{CellKey, SweepCheckpoint};
 use crate::config::{FaultInjection, SystemConfig};
 use crate::error::RunError;
-use crate::sweep::SweepExecutor;
+use crate::sweep::{CellExecutor, SweepExecutor};
 use crate::system::{RunResult, System};
 
 /// A fully specified simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunSpec {
     /// Which Table II benchmark to run.
     pub benchmark: BenchmarkId,
@@ -414,9 +414,14 @@ impl Lab {
     /// independent of the executor's worker count. Failed cells are
     /// recorded in [`failures`](Self::failures) — one bad run never stops
     /// the rest of the sweep.
+    ///
+    /// With a checkpoint attached, each completed result is appended **as
+    /// it arrives** (completion order), not after the whole sweep returns:
+    /// killing the supervisor mid-sweep loses at most the in-flight cells,
+    /// and `--resume` picks up every finished one.
     pub fn prefetch(
         &mut self,
-        exec: &SweepExecutor,
+        exec: &dyn CellExecutor,
         keys: impl IntoIterator<Item = CellKey>,
     ) -> usize {
         let mut missing: Vec<CellKey> = Vec::new();
@@ -439,13 +444,28 @@ impl Lab {
             );
         }
         let specs: Vec<RunSpec> = missing.iter().map(|&key| self.spec_for(key)).collect();
-        let report = exec.try_run(&specs);
+        // The checkpoint moves into the streaming sink for the duration of
+        // the sweep (the sink borrows it mutably while `self` stays
+        // readable), then moves back.
+        let mut checkpoint = self.checkpoint.take();
+        let report = exec.run_cells(&specs, &mut |outcome| {
+            if let (Some(cp), Ok(result)) = (checkpoint.as_mut(), outcome.result.as_ref()) {
+                if let Err(e) = cp.append(missing[outcome.index], result) {
+                    // Losing the checkpoint must not fail the sweep itself.
+                    eprintln!(
+                        "[lab] warning: checkpoint append to {} failed: {e}",
+                        cp.path().display()
+                    );
+                }
+            }
+        });
+        self.checkpoint = checkpoint;
         let executed = missing.len();
         for (key, cell) in missing.into_iter().zip(report.cells) {
             self.executed += 1;
             match cell.result {
                 Ok(result) => {
-                    self.persist(key, &result);
+                    // Already persisted by the streaming sink above.
                     self.cache.insert(key, result);
                 }
                 Err(error) => {
@@ -466,7 +486,7 @@ impl Lab {
     /// Prefetches every run the full figures sweep ([`crate::figures`])
     /// consumes, in parallel on `exec`. Returns the number of runs
     /// executed.
-    pub fn prefetch_figures(&mut self, exec: &SweepExecutor) -> usize {
+    pub fn prefetch_figures(&mut self, exec: &dyn CellExecutor) -> usize {
         let keys: Vec<_> = crate::figures::NAMES
             .iter()
             .flat_map(|name| crate::figures::prefetch_keys(name))

@@ -25,9 +25,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::thread;
+use std::time::Duration;
 
-use crate::error::RunError;
+use crate::error::{RunError, SimError};
 use crate::runner::{run_benchmark, RunSpec};
 use crate::system::RunResult;
 
@@ -36,8 +38,16 @@ use crate::system::RunResult;
 pub struct RetryPolicy {
     /// Total attempts per spec (1 = no retry).
     pub max_attempts: u32,
-    /// Multiplier applied to `max_events` before each retry.
+    /// Multiplier applied to `max_events` before each retry after a
+    /// budget-exhaustion failure.
     pub budget_factor: u64,
+    /// Base delay before the first retry, doubled for every further retry
+    /// (exponential backoff). Zero retries immediately — right for
+    /// in-process retries of a deterministic simulator, while the
+    /// process-isolated [`Supervisor`](crate::supervisor::Supervisor)
+    /// defaults to a nonzero base so a worker killed by host-side pressure
+    /// (OOM, scheduling) is respawned into a calmer machine.
+    pub backoff_ms: u64,
 }
 
 impl RetryPolicy {
@@ -46,17 +56,38 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             budget_factor: 1,
+            backoff_ms: 0,
         }
+    }
+
+    /// The same policy with a different backoff base.
+    pub fn with_backoff_ms(mut self, backoff_ms: u64) -> Self {
+        self.backoff_ms = backoff_ms;
+        self
+    }
+
+    /// The delay to sleep before retry attempt number `attempt`
+    /// (1-based; the first attempt of all never waits): the base backoff
+    /// doubled per prior retry, i.e. `backoff_ms × 2^(attempt − 2)`.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if self.backoff_ms == 0 || attempt < 2 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(16);
+        Duration::from_millis(self.backoff_ms.saturating_mul(1u64 << exp))
     }
 }
 
 impl Default for RetryPolicy {
     /// Three attempts with a 4× budget escalation each: a budget that was
     /// merely too tight gets 16× headroom before the cell is abandoned.
+    /// No backoff — in-process failures are deterministic, so waiting
+    /// between attempts buys nothing.
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 3,
             budget_factor: 4,
+            backoff_ms: 0,
         }
     }
 }
@@ -71,6 +102,9 @@ pub struct CellOutcome {
     pub label: String,
     /// Attempts consumed (≥ 2 means the retry path fired).
     pub attempts: u32,
+    /// The `max_events` budget of the final attempt (escalated by
+    /// [`RetryPolicy::budget_factor`] on every budget-exhaustion retry).
+    pub budget_events: u64,
     /// The run's result or its typed failure.
     pub result: Result<RunResult, RunError>,
 }
@@ -120,33 +154,165 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs one spec to its final outcome: panics are caught, and retryable
-/// failures re-run with an escalated event budget per `retry`.
-fn attempt_spec(spec: &RunSpec, retry: RetryPolicy) -> (u32, Result<RunResult, RunError>) {
+/// What one finished attempt loop reports: attempts consumed, the final
+/// attempt's event budget, and the result.
+pub(crate) type AttemptOutcome = (u32, u64, Result<RunResult, RunError>);
+
+/// Drives the shared retry loop: `run_attempt` executes one attempt of
+/// `spec`; retryable failures re-run after [`RetryPolicy::backoff_before`],
+/// with the event budget escalated by [`RetryPolicy::budget_factor`] when
+/// the failure was budget exhaustion. Used verbatim by both the
+/// thread-isolated executor and the process-isolated supervisor, so the
+/// two isolation modes retry identically.
+pub(crate) fn retry_loop(
+    spec: &RunSpec,
+    retry: RetryPolicy,
+    run_attempt: impl Fn(&RunSpec) -> Result<RunResult, RunError>,
+) -> AttemptOutcome {
     let mut spec = spec.clone();
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        let outcome = match catch_unwind(AssertUnwindSafe(|| run_benchmark(&spec))) {
+        match run_attempt(&spec) {
+            Err(e) if e.is_retryable() && attempts < retry.max_attempts => {
+                if matches!(e, RunError::Sim(SimError::EventBudgetExhausted { .. }))
+                    && spec.config.max_events > 0
+                {
+                    spec.config.max_events = spec
+                        .config
+                        .max_events
+                        .saturating_mul(retry.budget_factor.max(1));
+                }
+                let delay = retry.backoff_before(attempts + 1);
+                if !delay.is_zero() {
+                    thread::sleep(delay);
+                }
+            }
+            other => return (attempts, spec.config.max_events, other),
+        }
+    }
+}
+
+/// Runs one spec to its final outcome on the calling thread: panics are
+/// caught, and retryable failures re-run with an escalated event budget
+/// per `retry`.
+fn attempt_spec(spec: &RunSpec, retry: RetryPolicy) -> AttemptOutcome {
+    retry_loop(spec, retry, |spec| {
+        match catch_unwind(AssertUnwindSafe(|| run_benchmark(spec))) {
             Ok(r) => r,
             Err(payload) => Err(RunError::Panicked {
                 message: panic_message(payload),
             }),
-        };
-        match outcome {
-            Err(e)
-                if e.is_retryable()
-                    && attempts < retry.max_attempts
-                    && spec.config.max_events > 0 =>
-            {
-                spec.config.max_events = spec
-                    .config
-                    .max_events
-                    .saturating_mul(retry.budget_factor.max(1));
-            }
-            other => return (attempts, other),
         }
+    })
+}
+
+/// Anything that can execute a batch of independent [`RunSpec`]s with
+/// per-cell fault isolation: the thread-pool [`SweepExecutor`] or the
+/// process-isolated [`Supervisor`](crate::supervisor::Supervisor).
+///
+/// Both must return results **in spec order** and produce identical result
+/// rows for an all-healthy sweep; they differ only in what failures they
+/// can survive (a panic vs. an abort/OOM/hang) and in per-cell overhead.
+pub trait CellExecutor: Sync {
+    /// Worker parallelism (threads or processes).
+    fn workers(&self) -> usize;
+
+    /// Executes every spec, streaming each completed cell's outcome to
+    /// `sink` **as it arrives** (completion order, not spec order — the
+    /// hook crash-safe checkpointing rides on), and returns the full
+    /// report in spec order.
+    fn run_cells(&self, specs: &[RunSpec], sink: &mut dyn FnMut(&CellOutcome)) -> SweepReport;
+
+    /// Executes every spec and returns the report in spec order,
+    /// discarding the stream.
+    fn try_run_cells(&self, specs: &[RunSpec]) -> SweepReport {
+        self.run_cells(specs, &mut |_| {})
     }
+}
+
+/// Shared fan-out engine behind every [`CellExecutor`]: distributes cells
+/// dynamically over `workers` threads (each thread runs `attempt` — which
+/// may itself block on a child process), streams outcomes to `sink` as
+/// they complete, and assembles the spec-order report.
+pub(crate) fn fan_out_cells(
+    workers: usize,
+    specs: &[RunSpec],
+    sink: &mut dyn FnMut(&CellOutcome),
+    attempt: &(dyn Fn(&RunSpec) -> AttemptOutcome + Sync),
+) -> SweepReport {
+    let mut slots: Vec<Option<CellOutcome>> = (0..specs.len()).map(|_| None).collect();
+    if workers <= 1 || specs.len() <= 1 {
+        for (index, spec) in specs.iter().enumerate() {
+            let (attempts, budget_events, result) = attempt(spec);
+            let outcome = CellOutcome {
+                index,
+                label: spec.label(),
+                attempts,
+                budget_events,
+                result,
+            };
+            sink(&outcome);
+            slots[index] = Some(outcome);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<CellOutcome>();
+        thread::scope(|scope| {
+            for _ in 0..workers.min(specs.len()) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    // Dynamic work-stealing off a shared counter; outcomes
+                    // flow back over the channel as soon as they finish so
+                    // the sink (checkpointing) sees them immediately.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let (attempts, budget_events, result) = attempt(spec);
+                    let outcome = CellOutcome {
+                        index: i,
+                        label: spec.label(),
+                        attempts,
+                        budget_events,
+                        result,
+                    };
+                    if tx.send(outcome).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // A worker thread dying is all but impossible (every attempt is
+            // fault-isolated), but if one does its claimed cells simply
+            // never arrive and are reported as failures below — never a
+            // process abort. The receive loop ends when every sender is
+            // gone.
+            for outcome in rx {
+                sink(&outcome);
+                let index = outcome.index;
+                slots[index] = Some(outcome);
+            }
+        });
+    }
+    let cells = slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or_else(|| {
+                let label = specs[index].label();
+                CellOutcome {
+                    index,
+                    label: label.clone(),
+                    attempts: 0,
+                    budget_events: specs[index].config.max_events,
+                    result: Err(RunError::Panicked {
+                        message: format!("sweep worker died before reporting {label}"),
+                    }),
+                }
+            })
+        })
+        .collect();
+    SweepReport { cells }
 }
 
 /// Runs batches of independent [`RunSpec`]s on a fixed number of worker
@@ -206,67 +372,7 @@ impl SweepExecutor {
     /// regardless of which worker ran it or when it finished. A panic in
     /// one cell never disturbs the others.
     pub fn try_run(&self, specs: &[RunSpec]) -> SweepReport {
-        let mut slots: Vec<Option<(u32, Result<RunResult, RunError>)>> =
-            (0..specs.len()).map(|_| None).collect();
-        if self.workers == 1 || specs.len() <= 1 {
-            for (slot, spec) in slots.iter_mut().zip(specs) {
-                *slot = Some(attempt_spec(spec, self.retry));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            let retry = self.retry;
-            thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.workers.min(specs.len()))
-                    .map(|_| {
-                        scope.spawn(|| {
-                            // Dynamic work-stealing off a shared counter;
-                            // each worker keeps (index, outcome) pairs
-                            // locally so no lock is held while simulating.
-                            let mut done = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(spec) = specs.get(i) else { break };
-                                done.push((i, attempt_spec(spec, retry)));
-                            }
-                            done
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    // A worker dying is all but impossible (every run is
-                    // wrapped in catch_unwind), but if one does its claimed
-                    // cells stay `None` and are reported as failures below
-                    // — never a process abort.
-                    if let Ok(done) = h.join() {
-                        for (i, outcome) in done {
-                            slots[i] = Some(outcome);
-                        }
-                    }
-                }
-            });
-        }
-        let cells = slots
-            .into_iter()
-            .enumerate()
-            .map(|(index, slot)| {
-                let label = specs[index].label();
-                let (attempts, result) = slot.unwrap_or_else(|| {
-                    (
-                        0,
-                        Err(RunError::Panicked {
-                            message: format!("sweep worker died before reporting {label}"),
-                        }),
-                    )
-                });
-                CellOutcome {
-                    index,
-                    label,
-                    attempts,
-                    result,
-                }
-            })
-            .collect();
-        SweepReport { cells }
+        self.try_run_cells(specs)
     }
 
     /// Fans an arbitrary per-item job across the executor's workers and
@@ -350,6 +456,19 @@ impl SweepExecutor {
     }
 }
 
+impl CellExecutor for SweepExecutor {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run_cells(&self, specs: &[RunSpec], sink: &mut dyn FnMut(&CellOutcome)) -> SweepReport {
+        let retry = self.retry;
+        fan_out_cells(self.workers, specs, sink, &move |spec| {
+            attempt_spec(spec, retry)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,12 +537,17 @@ mod tests {
         let retry = RetryPolicy {
             max_attempts: 2,
             budget_factor: 2,
+            backoff_ms: 0,
         };
         let report = SweepExecutor::serial()
             .with_retry(retry)
             .try_run(std::slice::from_ref(&spec));
         let cell = &report.cells[0];
         assert_eq!(cell.attempts, 2, "both attempts consumed");
+        assert_eq!(
+            cell.budget_events, 20,
+            "final attempt ran with the escalated budget"
+        );
         assert!(
             matches!(
                 cell.result,
@@ -446,5 +570,30 @@ mod tests {
         assert_eq!(report.cells[0].attempts, 1);
         assert!(!report.all_ok());
         assert!(report.failure_summary().contains("KMN"));
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_per_retry() {
+        let retry = RetryPolicy::default().with_backoff_ms(100);
+        assert_eq!(retry.backoff_before(1), Duration::ZERO);
+        assert_eq!(retry.backoff_before(2), Duration::from_millis(100));
+        assert_eq!(retry.backoff_before(3), Duration::from_millis(200));
+        assert_eq!(retry.backoff_before(4), Duration::from_millis(400));
+        assert_eq!(
+            RetryPolicy::default().backoff_before(5),
+            Duration::ZERO,
+            "zero base never waits"
+        );
+    }
+
+    #[test]
+    fn run_cells_streams_every_outcome() {
+        let specs = specs();
+        let mut streamed = Vec::new();
+        let report = SweepExecutor::new(4).run_cells(&specs, &mut |c| streamed.push(c.index));
+        assert_eq!(streamed.len(), specs.len(), "one sink call per cell");
+        streamed.sort_unstable();
+        assert_eq!(streamed, (0..specs.len()).collect::<Vec<_>>());
+        assert!(report.all_ok());
     }
 }

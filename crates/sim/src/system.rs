@@ -41,6 +41,29 @@ struct Token {
     wf: u32,
 }
 
+/// Executes the process-fatal injected fault kinds. `Abort` kills the
+/// process outright (not catchable by `catch_unwind`); `Hang` sleeps
+/// forever without consuming events. Neither returns — only a supervising
+/// parent process (kill on timeout, reap on crash) recovers, which is
+/// exactly what these faults exist to exercise.
+fn trip_fatal_fault(kind: FaultKind, at_event: u64, now: Cycle) -> ! {
+    match kind {
+        FaultKind::Abort => {
+            eprintln!("injected fault: abort at event {at_event} (cycle {now})");
+            std::process::abort();
+        }
+        FaultKind::Hang => {
+            eprintln!("injected fault: hang at event {at_event} (cycle {now})");
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        FaultKind::Panic | FaultKind::Livelock => {
+            unreachable!("handled inline in the event loop")
+        }
+    }
+}
+
 /// Events of the system-level simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Event {
@@ -776,6 +799,9 @@ impl System {
                                 self.queue.schedule(now + 1u64, event);
                                 continue;
                             }
+                            FaultKind::Abort | FaultKind::Hang => {
+                                trip_fatal_fault(fault.kind, fault.at_event, now)
+                            }
                         }
                     }
                 }
@@ -839,6 +865,9 @@ impl System {
                         FaultKind::Livelock => {
                             self.queue.schedule(now + 1u64, event);
                             continue;
+                        }
+                        FaultKind::Abort | FaultKind::Hang => {
+                            trip_fatal_fault(fault.kind, fault.at_event, now)
                         }
                     }
                 }

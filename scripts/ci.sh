@@ -39,6 +39,34 @@ grep -q "Figure 2" "$smoke_out" || {
   exit 1
 }
 
+echo "== process-isolation smoke (abort@event worker must degrade to one FAILED cell)"
+# A worker that dies to SIGABRT mid-cell must cost exactly its own cell:
+# the supervisor respawns it, gives up after the retry budget, renders the
+# figure with one degraded FAILED row, and exits nonzero.
+proc_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$proc_out"' EXIT
+if ./target/release/figures fig2 --scale small --quiet --isolation process \
+    --inject-fault mvt:fcfs:abort@1000 >"$proc_out" 2>&1; then
+  echo "FAIL: figures exited zero despite an aborting worker"
+  cat "$proc_out"
+  exit 1
+fi
+grep -q "1 cell(s) FAILED" "$proc_out" || {
+  echo "FAIL: the aborting worker did not degrade to exactly one FAILED cell"
+  cat "$proc_out"
+  exit 1
+}
+grep -q "Figure 2" "$proc_out" || {
+  echo "FAIL: the process-isolated partial sweep did not render the figure"
+  cat "$proc_out"
+  exit 1
+}
+if ./target/release/figures fig2 --scale small --quiet --isolation process \
+    --inject-fault mvt:fcfs:abort@1000 --fail-fast >/dev/null 2>&1; then
+  echo "FAIL: --fail-fast exited zero despite an aborting worker"
+  exit 1
+fi
+
 echo "== bench smoke (events/sec vs committed BENCH_5.json, >20% regress fails)"
 # CI_BENCH_JOBS fans smoke cells across threads (0 = one per hardware
 # thread). Default stays 1: parallel cells contend for cache/bandwidth and
@@ -59,7 +87,7 @@ echo "== topology smoke (2x2 IOMMU sharding with mixed 4K/2M pages)"
 # half the eligible 2 MiB regions promoted must actually perform large
 # walks and must send traffic to every IOMMU.
 topo_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$topo_out"' EXIT
+trap 'rm -f "$smoke_out" "$proc_out" "$topo_out"' EXIT
 ./target/release/ptw-bench --scale small --reps 1 --policies fcfs \
   --topology 2x2 --large-page-frac 500 --quiet >"$topo_out" 2>&1
 topo_line="$(grep 'topology-smoke:' "$topo_out")" || {

@@ -178,6 +178,37 @@ fn injected_panic_isolates_one_cell_of_eight() {
     }
 }
 
+/// Thread-mode twin of the process-mode escalation test in
+/// `process_isolation.rs`: a budget that exhausts on attempts one and two
+/// (B, then 4B) succeeds on the third attempt at 16B, and the escalated
+/// run is bit-identical to an unconstrained one.
+#[test]
+fn budget_escalation_succeeds_on_the_third_attempt() {
+    let spec = RunSpec::new(BenchmarkId::Kmn, SchedulerKind::Fcfs, Scale::Small);
+    let clean = run_benchmark(&spec).expect("clean run");
+    assert!(clean.events >= 16, "need a nontrivial run to starve");
+
+    let budget = clean.events / 8;
+    let mut starved = spec;
+    starved.config.max_events = budget;
+    let report = SweepExecutor::serial()
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            budget_factor: 4,
+            backoff_ms: 0,
+        })
+        .try_run(std::slice::from_ref(&starved));
+
+    let cell = &report.cells[0];
+    let result = cell
+        .result
+        .as_ref()
+        .expect("third attempt must fit the escalated budget");
+    assert_eq!(cell.attempts, 3);
+    assert_eq!(cell.budget_events, budget * 16);
+    assert_eq!(result, &clean, "escalated run diverged from the clean run");
+}
+
 #[test]
 fn checkpoint_resume_reruns_only_the_failed_cell() {
     let path = std::env::temp_dir().join(format!("ptw-resume-{}.jsonl", std::process::id()));
