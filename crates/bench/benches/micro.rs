@@ -168,6 +168,7 @@ fn bench_iommu_translate(r: &mut Runner) {
     let mut iommu: Iommu<u64> = Iommu::new(IommuConfig::paper_baseline());
     let mut i = 0u64;
     let mut t = Cycle::ZERO;
+    let mut completions = Vec::new();
     r.bench("micro/iommu_translate_and_start", || {
         for _ in 0..1_000 {
             i = (i + 1) % 1024;
@@ -175,9 +176,10 @@ fn bench_iommu_translate(r: &mut Runner) {
             black_box(iommu.translate(VirtPage::new(i), InstrId::new(i as u32), i, t));
             // Drain walkers instantly so the buffer cannot grow unbounded.
             for read in iommu.start_walkers(&table, t) {
-                let mut step = iommu.memory_done(read.walker, t + 100);
-                while let ptw_core::iommu::WalkerStep::Read(next) = step {
-                    step = iommu.memory_done(next.walker, t + 100);
+                completions.clear();
+                let mut step = iommu.memory_done_into(read.walker, t + 100, &mut completions);
+                while let Some(next) = step {
+                    step = iommu.memory_done_into(next.walker, t + 100, &mut completions);
                 }
             }
         }

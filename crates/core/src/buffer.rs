@@ -125,6 +125,12 @@ impl<W> WalkBuffer<W> {
         (n != NIL).then_some(n)
     }
 
+    /// Handle of the next-older request before `handle` in arrival order.
+    pub fn prev(&self, handle: u32) -> Option<u32> {
+        let p = self.slots[handle as usize].prev;
+        (p != NIL).then_some(p)
+    }
+
     /// Hints the CPU cache to start loading `handle`'s slot. Traversals
     /// chase `prev`/`next` pointers through the slab, so the next slot's
     /// address is known one full iteration before it is read — prefetching

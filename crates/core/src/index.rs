@@ -1,0 +1,879 @@
+//! Incremental candidate index over the IOMMU walk buffer.
+//!
+//! Before this module, every walker kick re-derived the scheduler's
+//! candidate set from scratch: scan the window (up to 256 entries), test
+//! each entry's page against the inflight set (up to `walkers` entries),
+//! copy the survivors into a scratch buffer, and only then let the policy
+//! pick — `O(window × walkers)` per select. Walk completion was worse: the
+//! same-page piggyback collection walked the *entire* buffer, which at
+//! paper scale holds thousands of entries beyond the 256-entry window.
+//!
+//! [`CandidateIndex`] makes both incremental. It shadows the
+//! [`WalkBuffer`] with derived state that is updated on every enqueue,
+//! dequeue, walk start, and rescore, so selection touches only the delta
+//! since the last kick:
+//!
+//! * **Blocked flags** — an entry is *blocked* when its page has a walk in
+//!   flight. Blocking is monotone: a blocked entry never becomes eligible
+//!   again, because the completing walk removes it (piggyback). The flag
+//!   is therefore set exactly twice — at push (page already inflight) and
+//!   at walk start ([`block_page`](Self::block_page)) — and eligibility
+//!   tests become one bool load instead of an inflight-set scan.
+//! * **Window tracking** — the scheduler only sees the `window_cap` oldest
+//!   entries. The window is a prefix of the arrival list, so membership is
+//!   also monotone: entries enter at the back (when a removal makes room)
+//!   and leave only by removal. One tail cursor maintains it in O(1).
+//! * **Per-instruction aggregates** — for each instruction with at least
+//!   one eligible in-window entry: the eligible count, the oldest such
+//!   entry (batching picks, FCFS-of-instruction), and the min/max
+//!   `(score, seq)` keys (SJF / heaviest-first picks). The active
+//!   instructions form a compact list for round-robin rotation.
+//! * **Score buckets** — active instructions bucketed by their minimum
+//!   score (the page-size-aware `estimate_sized` accumulation) with an
+//!   occupancy bitmap, so the SJF global minimum is found without
+//!   scanning all active instructions.
+//! * **Eligible-head cursor** — the oldest non-blocked entry, for FCFS
+//!   (and batching fallbacks) in O(1).
+//! * **Starved set** — the handles whose bypass count crossed the aging
+//!   threshold. Bypass counters only move in
+//!   [`age_prefix`](Self::age_prefix), so membership is maintained there
+//!   and on eligibility changes.
+//! * **Page chains** — all pending entries of one page, in arrival order.
+//!   Walk completion drains exactly the same-page chain instead of
+//!   scanning the whole buffer.
+//!
+//! The index never decides anything by itself: [`Scheduler::
+//! select_in_buffer_indexed`](crate::sched::Scheduler::select_in_buffer_indexed)
+//! reads it to reproduce — bit for bit — the decisions of the one-pass
+//! window scan, which stays in place both as the fallback for custom
+//! policies and as the differential-test oracle.
+//!
+//! # Update contract
+//!
+//! The owning [`Iommu`](crate::iommu::Iommu) must call, in order:
+//!
+//! * [`on_push`](Self::on_push) *after* `buffer.push`, with the entry's
+//!   blocked state (page already inflight);
+//! * [`on_rescore`](Self::on_rescore) when an instruction's pending chain
+//!   is rescored to a new shared score;
+//! * [`block_page`](Self::block_page) when a walk starts on a page (after
+//!   removing the started entry itself);
+//! * [`pre_remove`](Self::pre_remove) *before* and
+//!   [`finish_remove`](Self::finish_remove) *after* every
+//!   `buffer.remove`, whatever the reason for the removal.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use ptw_types::ids::InstrId;
+
+use crate::buffer::WalkBuffer;
+
+/// Sentinel for "no slot / no position".
+const NIL: u32 = u32::MAX;
+
+/// Multiply-xor hasher for page-number keys. The page map is touched on
+/// every buffer push and remove, so it sits on the simulator's hottest
+/// path; the keys are trusted simulator state (virtual page numbers, not
+/// attacker-controlled input), so SipHash's DoS resistance buys nothing
+/// here and costs several times the whole map operation.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // One round of splitmix-style mixing: multiply by an odd constant,
+        // then fold the high bits down so low-bit-heavy page numbers
+        // spread across HashMap's power-of-two bucket mask.
+        let x = (self.0 ^ n).wrapping_mul(0xf135_7aea_2e62_a9c5);
+        self.0 = x ^ (x >> 29);
+    }
+}
+
+type PageMap = HashMap<u64, PageChain, BuildHasherDefault<PageHasher>>;
+
+/// Per-handle shadow state (parallel to the buffer's slab).
+#[derive(Clone, Copy, Debug)]
+struct HandleMeta {
+    /// The entry's page has a walk in flight; it will be consumed by that
+    /// walk's completion and is never a candidate. Monotone.
+    blocked: bool,
+    /// The entry is among the `window_cap` oldest (a candidate if also
+    /// not blocked). Monotone per entry: set at push or when older
+    /// removals make room, cleared only by removal.
+    in_window: bool,
+    /// Same-page chain links (arrival order within the page).
+    page_prev: u32,
+    page_next: u32,
+    /// Position in the starved list, or `NIL`.
+    starved_pos: u32,
+}
+
+const EMPTY_META: HandleMeta = HandleMeta {
+    blocked: false,
+    in_window: false,
+    page_prev: NIL,
+    page_next: NIL,
+    starved_pos: NIL,
+};
+
+/// Aggregates over one instruction's *eligible in-window* entries.
+#[derive(Clone, Copy, Debug)]
+struct InstrAgg {
+    /// Number of eligible in-window entries; the instruction is *active*
+    /// (listed, bucketed) iff this is non-zero.
+    count: u32,
+    /// Handle of the oldest eligible in-window entry.
+    oldest: u32,
+    /// Minimum `(score, seq)` key and its holder (SJF pick).
+    min_score: u32,
+    min_seq: u64,
+    min_handle: u32,
+    /// Maximum-score key, oldest on ties, and its holder (heaviest pick).
+    max_score: u32,
+    max_seq: u64,
+    max_handle: u32,
+    /// Position in the active list, or `NIL`.
+    active_pos: u32,
+    /// Position in `buckets.lists[min_score]`, or `NIL`.
+    bucket_pos: u32,
+}
+
+const EMPTY_AGG: InstrAgg = InstrAgg {
+    count: 0,
+    oldest: NIL,
+    min_score: 0,
+    min_seq: 0,
+    min_handle: NIL,
+    max_score: 0,
+    max_seq: 0,
+    max_handle: NIL,
+    active_pos: NIL,
+    bucket_pos: NIL,
+};
+
+/// Active instructions bucketed by their minimum score, with an occupancy
+/// bitmap for O(1) lowest-nonempty-score lookup.
+#[derive(Debug, Default)]
+struct ScoreBuckets {
+    lists: Vec<Vec<u32>>,
+    occ: Vec<u64>,
+}
+
+impl ScoreBuckets {
+    fn ensure(&mut self, score: u32) {
+        let s = score as usize;
+        if s >= self.lists.len() {
+            self.lists.resize_with(s + 1, Vec::new);
+            self.occ.resize(s / 64 + 1, 0);
+        }
+    }
+
+    fn min_score(&self) -> Option<u32> {
+        for (w, &bits) in self.occ.iter().enumerate() {
+            if bits != 0 {
+                return Some((w * 64 + bits.trailing_zeros() as usize) as u32);
+            }
+        }
+        None
+    }
+}
+
+/// First/last pending entry of one page (arrival order).
+#[derive(Clone, Copy, Debug)]
+struct PageChain {
+    head: u32,
+    tail: u32,
+}
+
+/// Bookkeeping carried from [`CandidateIndex::pre_remove`] to
+/// [`CandidateIndex::finish_remove`].
+#[derive(Clone, Copy, Debug)]
+struct PendingRemove {
+    /// The removed entry was in the window (an entrant may be pulled).
+    in_window: bool,
+    /// `win_tail` to resume from after the removal: the removed entry's
+    /// predecessor when it *was* the tail, the unchanged tail otherwise.
+    win_tail_base: u32,
+}
+
+/// Incremental, policy-aware candidate state over a [`WalkBuffer`]. See
+/// the module docs for the design and the update contract.
+#[derive(Debug)]
+pub struct CandidateIndex {
+    /// Scheduler lookahead (the IOMMU's `buffer_entries`).
+    window_cap: usize,
+    /// Bypass count at which an entry counts as starved (the scheduler's
+    /// aging threshold; both are built from the same config value).
+    threshold: u64,
+    meta: Vec<HandleMeta>,
+    /// Youngest in-window handle (`NIL` when the buffer is empty).
+    win_tail: u32,
+    /// Number of in-window entries: `min(len, window_cap)`.
+    win_count: usize,
+    /// Total eligible (non-blocked) in-window entries.
+    elig_count: usize,
+    /// Oldest non-blocked entry in arrival order, window or not (`NIL`
+    /// when every pending entry is blocked). The FCFS pick when in-window.
+    cursor: u32,
+    /// Per-instruction aggregates, direct-indexed by raw id.
+    instr: Vec<InstrAgg>,
+    /// Raw ids of active instructions (unordered, swap-removed).
+    active: Vec<u32>,
+    buckets: ScoreBuckets,
+    /// Handles with `bypassed >= threshold` (always eligible in-window).
+    starved: Vec<u32>,
+    pages: PageMap,
+    pending_remove: Option<PendingRemove>,
+}
+
+impl CandidateIndex {
+    /// An empty index for a scheduler window of `window_cap` entries and
+    /// the given starvation `threshold`.
+    pub fn new(window_cap: usize, threshold: u64) -> Self {
+        CandidateIndex {
+            window_cap,
+            threshold,
+            meta: Vec::new(),
+            win_tail: NIL,
+            win_count: 0,
+            elig_count: 0,
+            cursor: NIL,
+            instr: Vec::new(),
+            active: Vec::new(),
+            buckets: ScoreBuckets::default(),
+            starved: Vec::new(),
+            pages: PageMap::with_capacity_and_hasher(1024, BuildHasherDefault::default()),
+            pending_remove: None,
+        }
+    }
+
+    /// Number of eligible in-window entries (the candidate count the
+    /// one-pass scan would gather).
+    pub fn eligible_in_window(&self) -> usize {
+        self.elig_count
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation hooks
+    // ------------------------------------------------------------------
+
+    /// Records a freshly pushed entry. `blocked` is whether its page
+    /// already has a walk in flight. Call *after* `buffer.push`.
+    pub fn on_push<W>(&mut self, buf: &WalkBuffer<W>, handle: u32, blocked: bool) {
+        debug_assert!(self.pending_remove.is_none(), "push during removal");
+        let h = handle as usize;
+        if h >= self.meta.len() {
+            self.meta.resize(h + 1, EMPTY_META);
+        }
+        self.meta[h] = HandleMeta {
+            blocked,
+            ..EMPTY_META
+        };
+        let r = buf.get(handle);
+        let raw = r.instr.raw() as usize;
+        if raw >= self.instr.len() {
+            self.instr.resize(raw + 1, EMPTY_AGG);
+        }
+
+        // Page chain: append (arrival order).
+        let key = r.page.raw();
+        match self.pages.get_mut(&key) {
+            Some(chain) => {
+                self.meta[h].page_prev = chain.tail;
+                self.meta[chain.tail as usize].page_next = handle;
+                chain.tail = handle;
+            }
+            None => {
+                self.pages.insert(
+                    key,
+                    PageChain {
+                        head: handle,
+                        tail: handle,
+                    },
+                );
+            }
+        }
+
+        if !blocked && self.cursor == NIL {
+            self.cursor = handle;
+        }
+        if self.win_count < self.window_cap {
+            self.meta[h].in_window = true;
+            self.win_count += 1;
+            self.win_tail = handle;
+            if !blocked {
+                self.agg_add(handle, r.instr.raw(), r.seq, r.score, r.bypassed);
+            }
+        }
+    }
+
+    /// Records that `instr`'s pending chain was rescored to the shared
+    /// `score`. All of the instruction's eligible entries now carry the
+    /// same score, so both extremum keys collapse onto its oldest entry.
+    pub fn on_rescore<W>(&mut self, buf: &WalkBuffer<W>, instr: InstrId, score: u32) {
+        let raw = instr.raw() as usize;
+        let Some(a) = self.instr.get(raw) else { return };
+        if a.count == 0 {
+            return;
+        }
+        let oldest = a.oldest;
+        let oseq = buf.get(oldest).seq;
+        let old_key = a.min_score;
+        let a = &mut self.instr[raw];
+        a.min_score = score;
+        a.min_seq = oseq;
+        a.min_handle = oldest;
+        a.max_score = score;
+        a.max_seq = oseq;
+        a.max_handle = oldest;
+        if old_key != score {
+            self.bucket_move(raw as u32, old_key, score);
+        }
+    }
+
+    /// Marks every pending entry of `page` blocked: a walk on it just
+    /// started, so they will complete by piggyback, never by selection.
+    /// Call after removing the started entry itself from the buffer.
+    pub fn block_page<W>(&mut self, buf: &WalkBuffer<W>, page: u64) {
+        let Some(chain) = self.pages.get(&page) else {
+            return;
+        };
+        let mut cur = chain.head;
+        while cur != NIL {
+            let h = cur as usize;
+            cur = self.meta[h].page_next;
+            if self.meta[h].blocked {
+                continue;
+            }
+            self.meta[h].blocked = true;
+            if self.meta[h].in_window {
+                let r = buf.get(h as u32);
+                self.agg_remove(buf, h as u32, r.instr.raw());
+            }
+            if self.cursor == h as u32 {
+                self.advance_cursor_from(buf, buf.next(h as u32));
+            }
+        }
+    }
+
+    /// First half of a removal: updates every derived structure that needs
+    /// the entry's links while it is still threaded. Call *before*
+    /// `buffer.remove(handle)`, then [`finish_remove`](Self::finish_remove)
+    /// after it.
+    pub fn pre_remove<W>(&mut self, buf: &WalkBuffer<W>, handle: u32) {
+        debug_assert!(self.pending_remove.is_none(), "nested removal");
+        let h = handle as usize;
+        let r = buf.get(handle);
+
+        // Page chain unlink.
+        let (pp, pn) = (self.meta[h].page_prev, self.meta[h].page_next);
+        let key = r.page.raw();
+        if pp != NIL {
+            self.meta[pp as usize].page_next = pn;
+        }
+        if pn != NIL {
+            self.meta[pn as usize].page_prev = pp;
+        }
+        let chain = self.pages.get_mut(&key).expect("entry has a page chain");
+        if chain.head == handle {
+            chain.head = pn;
+        }
+        if chain.tail == handle {
+            chain.tail = pp;
+        }
+        if chain.head == NIL {
+            self.pages.remove(&key);
+        }
+
+        if self.meta[h].in_window && !self.meta[h].blocked {
+            self.agg_remove(buf, handle, r.instr.raw());
+        }
+        if self.cursor == handle {
+            self.advance_cursor_from(buf, buf.next(handle));
+        }
+        self.pending_remove = Some(PendingRemove {
+            in_window: self.meta[h].in_window,
+            win_tail_base: if self.win_tail == handle {
+                buf.prev(handle).unwrap_or(NIL)
+            } else {
+                self.win_tail
+            },
+        });
+    }
+
+    /// Second half of a removal: pulls the next entry into the window (if
+    /// any) now that an in-window slot freed up. Call *after*
+    /// `buffer.remove`.
+    pub fn finish_remove<W>(&mut self, buf: &WalkBuffer<W>) {
+        let pending = self.pending_remove.take().expect("pre_remove first");
+        if !pending.in_window {
+            return;
+        }
+        let entrant = match pending.win_tail_base {
+            NIL => buf.first(),
+            base => buf.next(base),
+        };
+        match entrant {
+            Some(e) => {
+                let m = &mut self.meta[e as usize];
+                debug_assert!(!m.in_window, "window entrant already in window");
+                m.in_window = true;
+                self.win_tail = e;
+                if !m.blocked {
+                    let r = buf.get(e);
+                    self.agg_add(e, r.instr.raw(), r.seq, r.score, r.bypassed);
+                }
+            }
+            None => {
+                self.win_count -= 1;
+                self.win_tail = pending.win_tail_base;
+            }
+        }
+    }
+
+    /// Applies the aging bookkeeping of a successful pick: every eligible
+    /// entry older than `chosen_seq` was bypassed once. Entries crossing
+    /// the threshold join the starved set. Mirrors the one-pass scan's
+    /// post-pick loop (everything older than an in-window pick is itself
+    /// in the window — the window is an arrival-order prefix).
+    pub fn age_prefix<W>(&mut self, buf: &mut WalkBuffer<W>, chosen_seq: u64, honors_aging: bool) {
+        let mut cur = buf.first();
+        while let Some(h) = cur {
+            if buf.get(h).seq >= chosen_seq {
+                break;
+            }
+            cur = buf.next(h);
+            buf.prefetch(cur);
+            if self.meta[h as usize].blocked {
+                continue;
+            }
+            let r = buf.get_mut(h);
+            r.bypassed += 1;
+            if honors_aging {
+                debug_assert!(
+                    r.bypassed <= self.threshold,
+                    "request seq {} bypassed {} times, past the aging threshold {}",
+                    r.seq,
+                    r.bypassed,
+                    self.threshold,
+                );
+            }
+            if r.bypassed >= self.threshold && self.meta[h as usize].starved_pos == NIL {
+                self.starved_push(h);
+            }
+        }
+    }
+
+    /// Folds entries whose bypass counters were advanced *outside*
+    /// [`age_prefix`](Self::age_prefix) (the legacy scan's aging loop)
+    /// into the starved set: every candidate older than `chosen_seq` that
+    /// now sits at or past the threshold joins.
+    pub fn refresh_starved_below<W>(&mut self, buf: &WalkBuffer<W>, chosen_seq: u64) {
+        let mut cur = buf.first();
+        while let Some(h) = cur {
+            let r = buf.get(h);
+            if r.seq >= chosen_seq {
+                break;
+            }
+            cur = buf.next(h);
+            if self.meta[h as usize].blocked {
+                continue;
+            }
+            if r.bypassed >= self.threshold && self.meta[h as usize].starved_pos == NIL {
+                self.starved_push(h);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The oldest starved candidate, if any (pre-empts aging-honoring
+    /// policies).
+    pub fn oldest_starved<W>(&self, buf: &WalkBuffer<W>) -> Option<u32> {
+        self.starved.iter().copied().min_by_key(|&h| buf.get(h).seq)
+    }
+
+    /// The FCFS pick: the oldest eligible entry, when it is inside the
+    /// window.
+    pub fn fcfs_pick(&self) -> Option<u32> {
+        (self.cursor != NIL && self.meta[self.cursor as usize].in_window).then_some(self.cursor)
+    }
+
+    /// The SJF pick: minimum `(score, seq)` over all candidates, via the
+    /// score buckets.
+    pub fn sjf_pick(&self) -> Option<u32> {
+        let s = self.buckets.min_score()?;
+        let best = self.buckets.lists[s as usize]
+            .iter()
+            .min_by_key(|&&raw| self.instr[raw as usize].min_seq)
+            .expect("occupied bucket is non-empty");
+        Some(self.instr[*best as usize].min_handle)
+    }
+
+    /// The heaviest-first pick: maximum score, oldest on ties, via a scan
+    /// of the active instructions' max keys.
+    pub fn heaviest_pick(&self) -> Option<u32> {
+        let mut best: Option<(u32, u64, u32)> = None;
+        for &raw in &self.active {
+            let a = &self.instr[raw as usize];
+            let better = match best {
+                None => true,
+                Some((s, q, _)) => a.max_score > s || (a.max_score == s && a.max_seq < q),
+            };
+            if better {
+                best = Some((a.max_score, a.max_seq, a.max_handle));
+            }
+        }
+        best.map(|(_, _, h)| h)
+    }
+
+    /// The oldest candidate of `instr`, if it has any (batching picks).
+    pub fn oldest_of_instr(&self, instr: InstrId) -> Option<u32> {
+        let a = self.instr.get(instr.raw() as usize)?;
+        (a.count > 0).then_some(a.oldest)
+    }
+
+    /// Round-robin rotation minima over the active instructions: the
+    /// smallest raw id overall and the smallest strictly above `last`.
+    /// Returns `None` when nothing is eligible.
+    pub fn rr_minima(&self, last: Option<u32>) -> Option<(u32, u32)> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let mut min_all = u32::MAX;
+        let mut min_above = u32::MAX;
+        for &raw in &self.active {
+            min_all = min_all.min(raw);
+            if last.is_some_and(|l| raw > l) {
+                min_above = min_above.min(raw);
+            }
+        }
+        Some((min_all, min_above))
+    }
+
+    /// The `r`-th candidate in arrival order (the Random pick). `r` must
+    /// be below [`eligible_in_window`](Self::eligible_in_window); every
+    /// candidate precedes every out-of-window entry, so the walk never
+    /// leaves the window.
+    pub fn nth_eligible<W>(&self, buf: &WalkBuffer<W>, r: usize) -> u32 {
+        debug_assert!(r < self.elig_count);
+        let mut seen = 0usize;
+        let mut cur = buf.first();
+        while let Some(h) = cur {
+            cur = buf.next(h);
+            buf.prefetch(cur);
+            if self.meta[h as usize].blocked {
+                continue;
+            }
+            if seen == r {
+                return h;
+            }
+            seen += 1;
+        }
+        unreachable!("r < eligible_in_window")
+    }
+
+    /// Head of `page`'s pending chain (arrival order), for piggyback
+    /// collection on walk completion.
+    pub fn page_first(&self, page: u64) -> Option<u32> {
+        self.pages.get(&page).map(|c| c.head)
+    }
+
+    /// `page`-chain successor of `handle`.
+    pub fn page_next(&self, handle: u32) -> Option<u32> {
+        let n = self.meta[handle as usize].page_next;
+        (n != NIL).then_some(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// `handle` (of `raw`/`seq`/`score`) became a candidate: newly pushed
+    /// in-window, or pulled into the window by a removal. In both cases it
+    /// is the *youngest* of its instruction's candidates.
+    fn agg_add(&mut self, handle: u32, raw: u32, seq: u64, score: u32, bypassed: u64) {
+        self.elig_count += 1;
+        let a = &mut self.instr[raw as usize];
+        if a.count == 0 {
+            *a = InstrAgg {
+                count: 1,
+                oldest: handle,
+                min_score: score,
+                min_seq: seq,
+                min_handle: handle,
+                max_score: score,
+                max_seq: seq,
+                max_handle: handle,
+                active_pos: self.active.len() as u32,
+                bucket_pos: NIL,
+            };
+            self.active.push(raw);
+            self.bucket_insert(raw, score);
+        } else {
+            a.count += 1;
+            debug_assert!(a.min_seq < seq && a.max_seq < seq);
+            if score < a.min_score {
+                let old = a.min_score;
+                a.min_score = score;
+                a.min_seq = seq;
+                a.min_handle = handle;
+                self.bucket_move(raw, old, score);
+            }
+            let a = &mut self.instr[raw as usize];
+            if score > a.max_score {
+                a.max_score = score;
+                a.max_seq = seq;
+                a.max_handle = handle;
+            }
+        }
+        if bypassed >= self.threshold {
+            self.starved_push(handle);
+        }
+    }
+
+    /// `handle` stops being a candidate: it is being removed, or its page
+    /// just went inflight (blocked). Call while it is still threaded on
+    /// its instruction chain (the chain walk skips it by handle).
+    fn agg_remove<W>(&mut self, buf: &WalkBuffer<W>, handle: u32, raw: u32) {
+        self.elig_count -= 1;
+        self.starved_remove(handle);
+        let a = &mut self.instr[raw as usize];
+        a.count -= 1;
+        if a.count == 0 {
+            let (pos, bucket, key) = (a.active_pos, a.bucket_pos, a.min_score);
+            *a = EMPTY_AGG;
+            let removed = self.active.swap_remove(pos as usize);
+            debug_assert_eq!(removed, raw);
+            if (pos as usize) < self.active.len() {
+                let m = self.active[pos as usize];
+                self.instr[m as usize].active_pos = pos;
+            }
+            self.bucket_remove_at(key, bucket);
+            return;
+        }
+        let a = self.instr[raw as usize];
+        if a.oldest == handle {
+            self.instr[raw as usize].oldest = self.advance_chain(buf, handle);
+        }
+        if a.min_handle == handle || a.max_handle == handle {
+            self.recompute_extrema(buf, handle, raw);
+        }
+    }
+
+    /// Finds the next eligible in-window entry on `handle`'s instruction
+    /// chain (guaranteed to exist: the aggregate count is non-zero).
+    fn advance_chain<W>(&self, buf: &WalkBuffer<W>, handle: u32) -> u32 {
+        let mut cur = buf.instr_next(handle);
+        while let Some(h) = cur {
+            let m = &self.meta[h as usize];
+            debug_assert!(m.in_window, "younger candidate implies in-window");
+            if !m.blocked {
+                return h;
+            }
+            cur = buf.instr_next(h);
+        }
+        unreachable!("aggregate count > 0 but no eligible chain entry")
+    }
+
+    /// Recomputes an instruction's min/max keys by walking its chain from
+    /// the (already updated) oldest candidate, skipping `exclude` and the
+    /// blocked, stopping at the first out-of-window entry (the chain is
+    /// arrival-ordered, so out-of-window entries form a suffix).
+    fn recompute_extrema<W>(&mut self, buf: &WalkBuffer<W>, exclude: u32, raw: u32) {
+        let a = &self.instr[raw as usize];
+        let old_key = a.min_score;
+        let mut min: Option<(u32, u64, u32)> = None;
+        let mut max: Option<(u32, u64, u32)> = None;
+        let mut cur = Some(a.oldest);
+        while let Some(h) = cur {
+            cur = buf.instr_next(h);
+            if h == exclude {
+                continue;
+            }
+            let m = &self.meta[h as usize];
+            if !m.in_window {
+                break;
+            }
+            if m.blocked {
+                continue;
+            }
+            let r = buf.get(h);
+            // Chain order is seq-ascending, so strict comparisons keep
+            // the oldest holder on score ties (both extrema break ties
+            // to the oldest).
+            if min.is_none_or(|(s, _, _)| r.score < s) {
+                min = Some((r.score, r.seq, h));
+            }
+            if max.is_none_or(|(s, _, _)| r.score > s) {
+                max = Some((r.score, r.seq, h));
+            }
+        }
+        let (ms, mq, mh) = min.expect("count > 0");
+        let (xs, xq, xh) = max.expect("count > 0");
+        let a = &mut self.instr[raw as usize];
+        a.min_score = ms;
+        a.min_seq = mq;
+        a.min_handle = mh;
+        a.max_score = xs;
+        a.max_seq = xq;
+        a.max_handle = xh;
+        if old_key != ms {
+            self.bucket_move(raw, old_key, ms);
+        }
+    }
+
+    fn advance_cursor_from<W>(&mut self, buf: &WalkBuffer<W>, mut cur: Option<u32>) {
+        while let Some(h) = cur {
+            if !self.meta[h as usize].blocked {
+                self.cursor = h;
+                return;
+            }
+            cur = buf.next(h);
+        }
+        self.cursor = NIL;
+    }
+
+    fn bucket_insert(&mut self, raw: u32, score: u32) {
+        self.buckets.ensure(score);
+        let list = &mut self.buckets.lists[score as usize];
+        self.instr[raw as usize].bucket_pos = list.len() as u32;
+        list.push(raw);
+        self.buckets.occ[score as usize / 64] |= 1u64 << (score % 64);
+    }
+
+    fn bucket_remove_at(&mut self, score: u32, pos: u32) {
+        let list = &mut self.buckets.lists[score as usize];
+        list.swap_remove(pos as usize);
+        if (pos as usize) < list.len() {
+            let moved = list[pos as usize];
+            self.instr[moved as usize].bucket_pos = pos;
+        }
+        if list.is_empty() {
+            self.buckets.occ[score as usize / 64] &= !(1u64 << (score % 64));
+        }
+    }
+
+    fn bucket_move(&mut self, raw: u32, from: u32, to: u32) {
+        let pos = self.instr[raw as usize].bucket_pos;
+        self.bucket_remove_at(from, pos);
+        self.bucket_insert(raw, to);
+    }
+
+    fn starved_push(&mut self, handle: u32) {
+        self.meta[handle as usize].starved_pos = self.starved.len() as u32;
+        self.starved.push(handle);
+    }
+
+    fn starved_remove(&mut self, handle: u32) {
+        let pos = self.meta[handle as usize].starved_pos;
+        if pos == NIL {
+            return;
+        }
+        self.meta[handle as usize].starved_pos = NIL;
+        self.starved.swap_remove(pos as usize);
+        if (pos as usize) < self.starved.len() {
+            let moved = self.starved[pos as usize];
+            self.meta[moved as usize].starved_pos = pos;
+        }
+    }
+
+    /// Exhaustively recomputes every derived structure from the buffer and
+    /// `inflight` pages and asserts it matches — the test-only consistency
+    /// oracle. O(buffer²); never call on a hot path.
+    #[doc(hidden)]
+    pub fn validate<W>(&self, buf: &WalkBuffer<W>, inflight: &[(u64, usize)]) {
+        let mut elig = 0usize;
+        let mut win = 0usize;
+        let mut first_eligible = None;
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for (pos, (h, r)) in buf.iter().enumerate() {
+            let m = &self.meta[h as usize];
+            let inflight_now = inflight.iter().any(|&(p, _)| p == r.page.raw());
+            assert_eq!(m.blocked, inflight_now, "blocked flag for seq {}", r.seq);
+            assert_eq!(
+                m.in_window,
+                pos < self.window_cap,
+                "window flag for seq {}",
+                r.seq
+            );
+            if m.in_window {
+                win += 1;
+            }
+            if !m.blocked && first_eligible.is_none() {
+                first_eligible = Some(h);
+            }
+            if m.in_window && !m.blocked {
+                elig += 1;
+                *counts.entry(r.instr.raw()).or_insert(0) += 1;
+                assert_eq!(
+                    m.starved_pos != NIL,
+                    r.bypassed >= self.threshold,
+                    "starved membership for seq {}",
+                    r.seq
+                );
+            } else {
+                assert_eq!(m.starved_pos, NIL, "non-candidate in starved set");
+            }
+        }
+        assert_eq!(self.elig_count, elig, "eligible count");
+        assert_eq!(self.win_count, win, "window count");
+        assert_eq!(
+            (self.cursor != NIL).then_some(self.cursor),
+            first_eligible,
+            "eligible-head cursor"
+        );
+        assert_eq!(self.active.len(), counts.len(), "active instruction set");
+        for &raw in &self.active {
+            let a = &self.instr[raw as usize];
+            assert_eq!(Some(&a.count), counts.get(&raw), "count of instr {raw}");
+            let entries: Vec<(u32, &crate::request::WalkRequest<W>)> = buf
+                .iter()
+                .filter(|(h, r)| {
+                    r.instr.raw() == raw
+                        && self.meta[*h as usize].in_window
+                        && !self.meta[*h as usize].blocked
+                })
+                .collect();
+            let oldest = entries.iter().min_by_key(|(_, r)| r.seq).unwrap();
+            assert_eq!(a.oldest, oldest.0, "oldest of instr {raw}");
+            let min = entries
+                .iter()
+                .min_by_key(|(_, r)| (r.score, r.seq))
+                .unwrap();
+            assert_eq!(
+                (a.min_score, a.min_seq, a.min_handle),
+                (min.1.score, min.1.seq, min.0),
+                "min key of instr {raw}"
+            );
+            let max = entries
+                .iter()
+                .max_by_key(|(_, r)| (r.score, u64::MAX - r.seq))
+                .unwrap();
+            assert_eq!(
+                (a.max_score, a.max_seq, a.max_handle),
+                (max.1.score, max.1.seq, max.0),
+                "max key of instr {raw}"
+            );
+            assert_eq!(
+                self.buckets.lists[a.min_score as usize][a.bucket_pos as usize], raw,
+                "bucket membership of instr {raw}"
+            );
+        }
+    }
+}

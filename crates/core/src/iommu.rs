@@ -22,8 +22,9 @@
 //! [`start_walkers`](Iommu::start_walkers) hands back the first read of
 //! each newly started walk as a [`MemRead`]; the caller submits it to the
 //! memory controller and reports the completion via
-//! [`memory_done`](Iommu::memory_done), which either returns the next read
-//! or the finished translations.
+//! [`memory_done_into`](Iommu::memory_done_into), which either returns the
+//! next read or appends the finished translations to the caller-owned
+//! completion buffer.
 
 #[cfg(debug_assertions)]
 use std::collections::HashMap;
@@ -36,8 +37,9 @@ use ptw_types::ids::{InstrId, WalkerId};
 use ptw_types::time::Cycle;
 
 use crate::buffer::WalkBuffer;
+use crate::index::CandidateIndex;
 use crate::request::WalkRequest;
-use crate::sched::{Scheduler, SchedulerKind};
+use crate::sched::{IndexedOutcome, Scheduler, SchedulerKind};
 
 /// Configuration of the IOMMU (Table I baseline in
 /// [`paper_baseline`](IommuConfig::paper_baseline)).
@@ -114,7 +116,8 @@ pub enum TranslationOutcome {
         large: bool,
     },
     /// Missed everywhere; a walk request was enqueued. The waiter token is
-    /// returned later through [`WalkerStep::Done`].
+    /// returned later through a completed-walk
+    /// [`memory_done_into`](Iommu::memory_done_into).
     WalkPending,
 }
 
@@ -154,16 +157,6 @@ pub struct CompletedTranslation<W> {
     pub large: bool,
     /// Caller token from [`Iommu::translate`].
     pub waiter: W,
-}
-
-/// Result of reporting a finished PTE read to a walker.
-#[derive(Clone, Debug)]
-pub enum WalkerStep<W> {
-    /// The walker needs another PTE read.
-    Read(MemRead),
-    /// The walk finished; these translations completed (the walker's own
-    /// request plus any same-page requests that piggybacked).
-    Done(Vec<CompletedTranslation<W>>),
 }
 
 /// Counters the experiment harness reads out.
@@ -378,6 +371,16 @@ pub struct Iommu<W> {
     pwc: PageWalkCache,
     scheduler: Scheduler,
     buffer: WalkBuffer<W>,
+    /// Incremental candidate state shadowing `buffer` (blocked flags,
+    /// window membership, per-instruction aggregates, same-page chains).
+    /// Maintained on every push/remove/walk-start regardless of the
+    /// selection mode, so the completion fan-out can always drain page
+    /// chains and [`set_indexed_selection`](Self::set_indexed_selection)
+    /// can flip modes mid-run.
+    index: CandidateIndex,
+    /// Whether selection is answered from `index` (the default) or by the
+    /// legacy one-pass window scan (the differential-test oracle path).
+    indexed: bool,
     walkers: Vec<WalkerState<W>>,
     /// Pages currently being walked → walker index, to stop a second
     /// walker from redundantly walking the same page. At most one entry
@@ -428,6 +431,8 @@ impl<W> Iommu<W> {
             pwc: PageWalkCache::new(cfg.pwc),
             scheduler: Scheduler::new(cfg.scheduler, cfg.aging_threshold, cfg.seed),
             buffer: WalkBuffer::new(),
+            index: CandidateIndex::new(cfg.buffer_entries, cfg.aging_threshold),
+            indexed: true,
             walkers,
             inflight_pages: Vec::new(),
             busy_count: 0,
@@ -491,6 +496,24 @@ impl<W> Iommu<W> {
         !self.start_blocked && self.has_free_walker() && !self.buffer.is_empty()
     }
 
+    /// Switches between index-answered selection (default, `true`) and the
+    /// legacy one-pass window scan (`false`).
+    ///
+    /// The two make bit-identical decisions for every built-in policy —
+    /// `tests/indexed_selection_oracle.rs` pins this differentially — so
+    /// the switch exists for that oracle and for debugging, not for
+    /// behavior. The candidate index is maintained either way.
+    pub fn set_indexed_selection(&mut self, on: bool) {
+        self.indexed = on;
+    }
+
+    /// Test-only: exhaustively recomputes the candidate index from the
+    /// buffer and inflight-page set and panics on any divergence.
+    #[doc(hidden)]
+    pub fn validate_candidate_index(&self) {
+        self.index.validate(&self.buffer, &self.inflight_pages);
+    }
+
     /// Captures a diagnostic freeze-frame of buffer and walker state for
     /// attachment to livelock / budget-exhaustion errors.
     pub fn snapshot(&self) -> IommuSnapshot {
@@ -550,7 +573,7 @@ impl<W> Iommu<W> {
     /// On an IOMMU TLB hit the frame is returned with its ready time. On a
     /// miss the request joins the walk buffer (scored per the paper when
     /// the policy needs it) and `waiter` will come back from a later
-    /// [`WalkerStep::Done`].
+    /// completed-walk [`memory_done_into`](Self::memory_done_into).
     pub fn translate(
         &mut self,
         page: VirtPage,
@@ -621,6 +644,7 @@ impl<W> Iommu<W> {
                 self.buffer.get_mut(h).score = score;
                 cursor = self.buffer.instr_next(h);
             }
+            self.index.on_rescore(&self.buffer, instr, score);
             #[cfg(debug_assertions)]
             {
                 // `prior == 0` means no scored contribution of this
@@ -637,7 +661,8 @@ impl<W> Iommu<W> {
             }
         }
 
-        self.buffer.push(WalkRequest {
+        let blocked = self.inflight_pages.iter().any(|&(p, _)| p == page.raw());
+        let handle = self.buffer.push(WalkRequest {
             page,
             instr,
             seq,
@@ -647,6 +672,7 @@ impl<W> Iommu<W> {
             bypassed: 0,
             waiter,
         });
+        self.index.on_push(&self.buffer, handle, blocked);
         self.start_blocked = false;
         self.stats.peak_pending = self.stats.peak_pending.max(self.buffer.len());
         TranslationOutcome::WalkPending
@@ -656,7 +682,7 @@ impl<W> Iommu<W> {
     /// returns the first PTE read of each started walk.
     ///
     /// Call after [`translate`](Self::translate) misses and after every
-    /// [`WalkerStep::Done`].
+    /// walk-completing [`memory_done_into`](Self::memory_done_into).
     ///
     /// # Panics
     ///
@@ -680,23 +706,36 @@ impl<W> Iommu<W> {
             return;
         }
         while self.has_free_walker() && !self.buffer.is_empty() {
-            let window_len = self.buffer.len().min(self.cfg.buffer_entries);
-            let inflight = &self.inflight_pages;
-            let Some(handle) = self
-                .scheduler
-                .select_in_buffer(&mut self.buffer, window_len, |r| {
-                    !inflight.iter().any(|&(p, _)| p == r.page.raw())
-                })
-            else {
-                // A fruitless scan over the *whole* buffer stays fruitless
-                // until an arrival or a completion perturbs its inputs;
-                // both of those paths clear the flag. (A window-limited
-                // scan is not memoised: entries beyond the window could
-                // become visible without either event firing.)
-                self.start_blocked = window_len == self.buffer.len();
-                break;
+            let handle = if self.indexed {
+                match self
+                    .scheduler
+                    .select_in_buffer_indexed(&mut self.buffer, &mut self.index)
+                {
+                    IndexedOutcome::Selected(h) => h,
+                    IndexedOutcome::NoneEligible => {
+                        // Unlike the window-limited scan, the index sees
+                        // window *membership* exactly (pull-ins included),
+                        // and eligibility is monotone — so "nothing
+                        // eligible" holds until an arrival or completion
+                        // perturbs it, and both of those clear the flag.
+                        self.start_blocked = true;
+                        break;
+                    }
+                    // Custom policy without an indexed form: scan path.
+                    IndexedOutcome::Unsupported => match self.select_by_scan() {
+                        Some(h) => h,
+                        None => break,
+                    },
+                }
+            } else {
+                match self.select_by_scan() {
+                    Some(h) => h,
+                    None => break,
+                }
             };
+            self.index.pre_remove(&self.buffer, handle);
             let request = self.buffer.remove(handle);
+            self.index.finish_remove(&self.buffer);
             let walker_idx = self
                 .walkers
                 .iter()
@@ -711,6 +750,7 @@ impl<W> Iommu<W> {
             self.stats.walks_performed += 1;
             self.stats.total_walk_accesses += plan.accesses() as u64;
             self.inflight_pages.push((request.page.raw(), walker_idx));
+            self.index.block_page(&self.buffer, request.page.raw());
             reads.push(MemRead {
                 walker: WalkerId(walker_idx as u8),
                 addr: plan.pte_reads()[0],
@@ -726,30 +766,48 @@ impl<W> Iommu<W> {
         }
     }
 
-    /// Reports that the outstanding PTE read of `walker` finished at `now`.
-    ///
-    /// Returns either the next read of the same walk or the completed
-    /// translations (the walker's own plus all piggybacked same-page
-    /// requests). After a [`WalkerStep::Done`], call
-    /// [`start_walkers`](Self::start_walkers) to refill the idle walker.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `walker` is idle (a protocol violation by the caller).
-    pub fn memory_done(&mut self, walker: WalkerId, now: Cycle) -> WalkerStep<W> {
-        let mut completions = Vec::new();
-        match self.memory_done_into(walker, now, &mut completions) {
-            Some(read) => WalkerStep::Read(read),
-            None => WalkerStep::Done(completions),
+    /// Legacy one-pass selection: scans the window and probes the
+    /// inflight-page set per entry. Used when indexed selection is off and
+    /// for custom policies without an indexed form. Manages the
+    /// `start_blocked` memo on a fruitless scan.
+    fn select_by_scan(&mut self) -> Option<u32> {
+        let window_len = self.buffer.len().min(self.cfg.buffer_entries);
+        let inflight = &self.inflight_pages;
+        let picked = self
+            .scheduler
+            .select_in_buffer(&mut self.buffer, window_len, |r| {
+                !inflight.iter().any(|&(p, _)| p == r.page.raw())
+            });
+        match picked {
+            Some(handle) => {
+                // The scan's aging loop bumped bypass counters behind the
+                // index's back; fold any newly starved entries into its
+                // starved set before the removal hooks run.
+                let chosen_seq = self.buffer.get(handle).seq;
+                self.index.refresh_starved_below(&self.buffer, chosen_seq);
+                Some(handle)
+            }
+            None => {
+                // A fruitless scan over the *whole* buffer stays fruitless
+                // until an arrival or a completion perturbs its inputs;
+                // both of those paths clear the flag. (A window-limited
+                // scan is not memoised: entries beyond the window could
+                // become visible without either event firing.)
+                self.start_blocked = window_len == self.buffer.len();
+                None
+            }
         }
     }
 
-    /// Buffer-reusing form of [`memory_done`](Self::memory_done): returns
-    /// `Some(read)` when the walk needs another PTE read, or `None` when
-    /// it finished — in which case the completed translations (the
-    /// walker's own plus all piggybacked same-page requests) have been
-    /// *appended* to `completions`. With a warmed buffer this path
-    /// performs no heap allocation.
+    /// Reports that the outstanding PTE read of `walker` finished at `now`.
+    ///
+    /// Returns `Some(read)` when the walk needs another PTE read, or
+    /// `None` when it finished — in which case the completed translations
+    /// (the walker's own plus all piggybacked same-page requests) have
+    /// been *appended* to `completions`; call
+    /// [`start_walkers`](Self::start_walkers) afterwards to refill the
+    /// idle walker. The caller owns (and reuses) the completion buffer:
+    /// with a warmed buffer this path performs no heap allocation.
     ///
     /// # Panics
     ///
@@ -827,16 +885,19 @@ impl<W> Iommu<W> {
             large,
             waiter: request.waiter,
         });
-        // Same-page requests piggyback on this walk's TLB fill, collected
-        // in arrival order (the order the old `Vec` scan produced).
-        let mut cursor = self.buffer.first();
+        // Same-page requests piggyback on this walk's TLB fill. The
+        // index's page chain lists exactly those entries in arrival order
+        // (the order the old whole-buffer scan produced), so the drain
+        // touches only the piggybacking requests — at paper scale the
+        // buffer holds thousands of entries and this scan dominated the
+        // completion path.
+        let mut cursor = self.index.page_first(page.raw());
         while let Some(h) = cursor {
-            cursor = self.buffer.next(h);
-            self.buffer.prefetch(cursor);
-            if self.buffer.get(h).page != page {
-                continue;
-            }
+            cursor = self.index.page_next(h);
+            self.index.pre_remove(&self.buffer, h);
             let r = self.buffer.remove(h);
+            self.index.finish_remove(&self.buffer);
+            debug_assert_eq!(r.page, page, "page chain entry on the wrong page");
             // A very young same-page entry may have a modelled enqueue
             // time (arrival + TLB lookup latency) slightly after the
             // walk finished; it completes as soon as it is enqueued.
@@ -901,11 +962,12 @@ mod tests {
         mem_latency: u64,
     ) -> (Vec<CompletedTranslation<u64>>, Cycle) {
         let mut t = read.issue_at;
+        let mut done = Vec::new();
         loop {
             t += mem_latency;
-            match f.iommu.memory_done(read.walker, t) {
-                WalkerStep::Read(next) => read = next,
-                WalkerStep::Done(done) => return (done, t),
+            match f.iommu.memory_done_into(read.walker, t, &mut done) {
+                Some(next) => read = next,
+                None => return (done, t),
             }
         }
     }
@@ -985,14 +1047,15 @@ mod tests {
         let mut count = 1;
         let mut read = reads[0];
         let mut t = read.issue_at;
+        let mut done = Vec::new();
         loop {
             t += 100;
-            match f.iommu.memory_done(read.walker, t) {
-                WalkerStep::Read(next) => {
+            match f.iommu.memory_done_into(read.walker, t, &mut done) {
+                Some(next) => {
                     count += 1;
                     read = next;
                 }
-                WalkerStep::Done(_) => break,
+                None => break,
             }
         }
         assert_eq!(count, 4);
@@ -1176,16 +1239,17 @@ mod tests {
         let mut count = 1;
         let mut read = reads[0];
         let mut t = read.issue_at;
-        let done = loop {
+        let mut done = Vec::new();
+        loop {
             t += 100;
-            match f.iommu.memory_done(read.walker, t) {
-                WalkerStep::Read(next) => {
+            match f.iommu.memory_done_into(read.walker, t, &mut done) {
+                Some(next) => {
                     count += 1;
                     read = next;
                 }
-                WalkerStep::Done(done) => break done,
+                None => break,
             }
-        };
+        }
         assert_eq!(count, 3);
         assert!(done[0].large);
         assert_eq!(done[0].walk_accesses, 3);
@@ -1246,6 +1310,7 @@ mod tests {
     #[should_panic]
     fn memory_done_on_idle_walker_panics() {
         let mut f = fixture(IommuConfig::paper_baseline());
-        f.iommu.memory_done(WalkerId(0), Cycle::ZERO);
+        f.iommu
+            .memory_done_into(WalkerId(0), Cycle::ZERO, &mut Vec::new());
     }
 }

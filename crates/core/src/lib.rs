@@ -29,7 +29,7 @@
 //! # Example
 //!
 //! ```
-//! use ptw_core::iommu::{Iommu, IommuConfig, TranslationOutcome, WalkerStep};
+//! use ptw_core::iommu::{Iommu, IommuConfig, TranslationOutcome};
 //! use ptw_core::sched::SchedulerKind;
 //! use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
 //! use ptw_pagetable::table::PageTable;
@@ -52,11 +52,12 @@
 //! assert_eq!(out, TranslationOutcome::WalkPending);
 //! let mut read = iommu.start_walkers(&table, Cycle::ZERO).remove(0);
 //! let mut t = read.issue_at;
+//! let mut done = Vec::new(); // caller-owned, reused across completions
 //! loop {
 //!     t = t + 100; // pretend DRAM takes 100 cycles
-//!     match iommu.memory_done(read.walker, t) {
-//!         WalkerStep::Read(next) => read = next,
-//!         WalkerStep::Done(done) => {
+//!     match iommu.memory_done_into(read.walker, t, &mut done) {
+//!         Some(next) => read = next,
+//!         None => {
 //!             assert_eq!(done[0].waiter, "req-0");
 //!             assert_eq!(done[0].frame, frame);
 //!             break;
@@ -69,15 +70,19 @@
 #![warn(missing_debug_implementations)]
 
 pub mod buffer;
+pub mod index;
 pub mod iommu;
 pub mod policy;
 pub mod request;
 pub mod sched;
 
 pub use buffer::WalkBuffer;
+pub use index::CandidateIndex;
 pub use iommu::{
-    CompletedTranslation, Iommu, IommuConfig, IommuStats, MemRead, TranslationOutcome, WalkerStep,
+    CompletedTranslation, Iommu, IommuConfig, IommuStats, MemRead, TranslationOutcome,
 };
-pub use policy::{Candidate, PolicyEntry, PolicyParams, PolicyRegistry, WalkPolicy};
+pub use policy::{
+    BatchFallback, Candidate, IndexedSelect, PolicyEntry, PolicyParams, PolicyRegistry, WalkPolicy,
+};
 pub use request::WalkRequest;
-pub use sched::{Scheduler, SchedulerKind};
+pub use sched::{IndexedOutcome, Scheduler, SchedulerKind};

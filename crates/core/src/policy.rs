@@ -52,6 +52,63 @@ pub struct Candidate {
     pub score: u32,
 }
 
+/// Declarative description of a policy's selection rule, for the
+/// incremental candidate index.
+///
+/// A policy that can express its [`WalkPolicy::select`] as one of these
+/// shapes returns it from [`WalkPolicy::indexed_select`], and the
+/// scheduler answers it straight from the
+/// [`CandidateIndex`](crate::index::CandidateIndex) without gathering
+/// candidates at all. The shapes carry exactly the state `select` would
+/// have read or written, so the pick — and every side effect on policy
+/// state or RNG streams — is bit-identical to the one-pass scan.
+#[derive(Debug)]
+pub enum IndexedSelect<'a> {
+    /// Pick the oldest candidate (FCFS).
+    Oldest,
+    /// Pick the minimum `(score, seq)` candidate (SJF).
+    LowestScore,
+    /// Pick the maximum-score candidate, oldest on ties (heaviest-first).
+    HighestScore,
+    /// Batch on `last`'s oldest candidate when it has one, otherwise fall
+    /// back to `fallback`.
+    Batch {
+        /// The batching target (the policy's `last_instr`).
+        last: Option<InstrId>,
+        /// Rule applied when the target has no candidate.
+        fallback: BatchFallback,
+    },
+    /// Rotate over eligible instructions: smallest instruction id strictly
+    /// above the cursor, wrapping to the smallest overall; then that
+    /// instruction's oldest candidate. The scheduler writes the granted
+    /// instruction back through `cursor` exactly when the rotation itself
+    /// picks (never on starvation pre-emption), matching
+    /// [`RoundRobinPolicy`].
+    RoundRobin {
+        /// The policy's rotation cursor, updated in place on a pick.
+        cursor: &'a mut Option<InstrId>,
+    },
+    /// Pick uniformly at random among the candidates, drawing exactly one
+    /// `rng.index(count)` per non-empty selection (the same stream
+    /// consumption as the scan path).
+    Random {
+        /// The policy's RNG, advanced in place on a pick.
+        rng: &'a mut SplitMix64,
+    },
+}
+
+/// Fallback rule for [`IndexedSelect::Batch`] when the batching target has
+/// no eligible request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchFallback {
+    /// Oldest candidate ([`BatchFcfsPolicy`]).
+    Oldest,
+    /// Minimum `(score, seq)` ([`SimtAwarePolicy`]).
+    LowestScore,
+    /// Maximum score, oldest on ties ([`HeaviestFirstPolicy`]).
+    HighestScore,
+}
+
 /// Construction parameters the registry hands to policy factories.
 #[derive(Clone, Copy, Debug)]
 pub struct PolicyParams {
@@ -114,6 +171,19 @@ pub trait WalkPolicy: std::fmt::Debug + Send {
     /// while `select` does anything else changes scheduling decisions.
     fn picks_oldest(&self) -> bool {
         false
+    }
+
+    /// Declarative form of [`select`](Self::select) for the incremental
+    /// candidate index, or `None` when the policy can only be driven
+    /// through the candidate-slice interface (the scheduler then falls
+    /// back to the one-pass window scan — custom registered policies work
+    /// unchanged, just without the fast path).
+    ///
+    /// Contract: the returned shape must describe *exactly* what `select`
+    /// computes, including tie-breaking and internal-state updates, or
+    /// scheduling decisions change between the two paths.
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        None
     }
 }
 
@@ -184,6 +254,10 @@ impl WalkPolicy for FcfsPolicy {
     fn picks_oldest(&self) -> bool {
         true
     }
+
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        Some(IndexedSelect::Oldest)
+    }
 }
 
 /// Uniformly random among pending requests: the paper's straw-man.
@@ -215,6 +289,10 @@ impl WalkPolicy for RandomPolicy {
     fn honors_aging(&self) -> bool {
         false
     }
+
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        Some(IndexedSelect::Random { rng: &mut self.rng })
+    }
 }
 
 /// Shortest-job-first on the per-instruction score alone (ablation of the
@@ -235,6 +313,10 @@ impl WalkPolicy for SjfPolicy {
 
     fn uses_scores(&self) -> bool {
         true
+    }
+
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        Some(IndexedSelect::LowestScore)
     }
 }
 
@@ -262,6 +344,13 @@ impl WalkPolicy for BatchFcfsPolicy {
 
     fn batches(&self) -> bool {
         true
+    }
+
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        Some(IndexedSelect::Batch {
+            last: self.last_instr,
+            fallback: BatchFallback::Oldest,
+        })
     }
 }
 
@@ -294,6 +383,13 @@ impl WalkPolicy for SimtAwarePolicy {
     fn batches(&self) -> bool {
         true
     }
+
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        Some(IndexedSelect::Batch {
+            last: self.last_instr,
+            fallback: BatchFallback::LowestScore,
+        })
+    }
 }
 
 /// Longest-job-first with batching: the exact inverse of the paper's key
@@ -324,6 +420,13 @@ impl WalkPolicy for HeaviestFirstPolicy {
 
     fn batches(&self) -> bool {
         true
+    }
+
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        Some(IndexedSelect::Batch {
+            last: self.last_instr,
+            fallback: BatchFallback::HighestScore,
+        })
     }
 }
 
@@ -376,6 +479,12 @@ impl WalkPolicy for RoundRobinPolicy {
     }
 
     fn on_dispatch(&mut self, _instr: InstrId) {}
+
+    fn indexed_select(&mut self) -> Option<IndexedSelect<'_>> {
+        Some(IndexedSelect::RoundRobin {
+            cursor: &mut self.rr_last,
+        })
+    }
 }
 
 /// Builds one boxed policy instance.

@@ -30,7 +30,10 @@
 use ptw_types::ids::InstrId;
 
 use crate::buffer::WalkBuffer;
-use crate::policy::{Candidate, PolicyParams, PolicyRegistry, WalkPolicy};
+use crate::index::CandidateIndex;
+use crate::policy::{
+    BatchFallback, Candidate, IndexedSelect, PolicyParams, PolicyRegistry, WalkPolicy,
+};
 use crate::request::WalkRequest;
 
 /// Which built-in scheduling policy the IOMMU uses.
@@ -415,6 +418,109 @@ impl Scheduler {
         self.policy.on_dispatch(instr);
         Some(choice)
     }
+
+    /// [`select_in_buffer`](Self::select_in_buffer) answered from the
+    /// incremental [`CandidateIndex`] instead of a window scan.
+    ///
+    /// The index must shadow `buf` exactly (same pushes/removes/blocks, see
+    /// the [`index`](crate::index) module docs for the update contract);
+    /// eligibility is the index's blocked flag, i.e. "no walk in flight for
+    /// the page". Decisions — pick, policy-state updates, RNG stream
+    /// consumption, bypass counters — are bit-identical to the scan path;
+    /// `tests/indexed_selection_oracle.rs` pins this differentially.
+    ///
+    /// Returns [`IndexedOutcome::Unsupported`] (before any side effect)
+    /// when the active policy has no [`WalkPolicy::indexed_select`] form;
+    /// the caller then falls back to the scan path for this call.
+    pub fn select_in_buffer_indexed<W>(
+        &mut self,
+        buf: &mut WalkBuffer<W>,
+        index: &mut CandidateIndex,
+    ) -> IndexedOutcome {
+        if self.policy.indexed_select().is_none() {
+            return IndexedOutcome::Unsupported;
+        }
+        if index.eligible_in_window() == 0 {
+            return IndexedOutcome::NoneEligible;
+        }
+        let honors = self.policy.honors_aging();
+
+        // Starved requests pre-empt the policy's choice (same gate as the
+        // scan path). When one wins, the policy's own selection machinery
+        // is never consulted: no RNG draw, no rotation-cursor move.
+        let starved = if honors {
+            index.oldest_starved(buf)
+        } else {
+            None
+        };
+        let choice = match starved {
+            Some(h) => h,
+            None => {
+                let shape = self.policy.indexed_select().expect("checked above");
+                match shape {
+                    IndexedSelect::Oldest => index.fcfs_pick().expect("candidates nonempty"),
+                    IndexedSelect::LowestScore => index.sjf_pick().expect("candidates nonempty"),
+                    IndexedSelect::HighestScore => {
+                        index.heaviest_pick().expect("candidates nonempty")
+                    }
+                    IndexedSelect::Batch { last, fallback } => last
+                        .and_then(|l| index.oldest_of_instr(l))
+                        .unwrap_or_else(|| {
+                            match fallback {
+                                BatchFallback::Oldest => index.fcfs_pick(),
+                                BatchFallback::LowestScore => index.sjf_pick(),
+                                BatchFallback::HighestScore => index.heaviest_pick(),
+                            }
+                            .expect("candidates nonempty")
+                        }),
+                    IndexedSelect::RoundRobin { cursor } => {
+                        let last = cursor.map(InstrId::raw);
+                        let (min_all, min_above) =
+                            index.rr_minima(last).expect("candidates nonempty");
+                        let next = if min_above != u32::MAX {
+                            min_above
+                        } else {
+                            min_all
+                        };
+                        *cursor = Some(InstrId::new(next));
+                        index
+                            .oldest_of_instr(InstrId::new(next))
+                            .expect("chosen instruction has a candidate")
+                    }
+                    IndexedSelect::Random { rng } => {
+                        let r = rng.index(index.eligible_in_window());
+                        index.nth_eligible(buf, r)
+                    }
+                }
+            }
+        };
+
+        // Aging: every eligible request older than the choice was bypassed.
+        // An oldest-first policy without aging pre-emption picks the oldest
+        // eligible, so nothing eligible is older — skip the walk entirely
+        // (mirrors the scan path's FCFS early-exit, which skips aging too).
+        if !self.policy.picks_oldest() || honors {
+            let chosen_seq = buf.get(choice).seq;
+            index.age_prefix(buf, chosen_seq, honors);
+        }
+        let instr = buf.get(choice).instr;
+        self.last_instr = Some(instr);
+        self.policy.on_dispatch(instr);
+        IndexedOutcome::Selected(choice)
+    }
+}
+
+/// Result of [`Scheduler::select_in_buffer_indexed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexedOutcome {
+    /// A request was chosen (buffer handle); aging bookkeeping and dispatch
+    /// notification have been applied, exactly as the scan path would.
+    Selected(u32),
+    /// No pending request is eligible inside the window. No side effects.
+    NoneEligible,
+    /// The active policy has no indexed form — fall back to the scan path.
+    /// No side effects.
+    Unsupported,
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! configuration — is the reproduction target. EXPERIMENTS.md records
 //! paper-vs-measured for each entry.
 
-use ptw_core::iommu::{Iommu, IommuConfig, WalkerStep};
+use ptw_core::iommu::{Iommu, IommuConfig};
 use ptw_core::sched::SchedulerKind;
 use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
 use ptw_pagetable::table::PageTable;
@@ -357,12 +357,13 @@ fn interleaving_scenario(kind: SchedulerKind) -> (u64, u64) {
             r.remove(0)
         };
         let mut cur = read;
+        let mut done = Vec::new();
         loop {
             t = cur.issue_at.max(t) + 100;
-            match iommu.memory_done(cur.walker, t) {
-                WalkerStep::Read(next) => cur = next,
-                WalkerStep::Done(done) => {
-                    for c in done {
+            match iommu.memory_done_into(cur.walker, t, &mut done) {
+                Some(next) => cur = next,
+                None => {
+                    for c in done.drain(..) {
                         match c.waiter {
                             0 => {
                                 a_left -= 1;

@@ -92,6 +92,16 @@ enum Event {
     MemTick,
 }
 
+/// [`EventQueue::pop_bucket_into`] drains whole buckets by copying events,
+/// so every byte of `Event` is hot-loop memcpy traffic. Keep the payload
+/// within one 16-byte slot: tag + the widest field (`PhysAddr`/`VirtPage`,
+/// 8 bytes) pack into two words. Growing a variant past this budget is a
+/// deliberate perf decision, not an accident — this assert makes it one.
+const _: () = assert!(
+    std::mem::size_of::<Event>() <= 16,
+    "Event grew past its 16-byte copy budget"
+);
+
 /// Everything a finished run reports.
 ///
 /// `PartialEq` is exact (f64 fields included): two runs of the same spec
@@ -1005,6 +1015,14 @@ mod tests {
         let cfg = SystemConfig::paper_baseline().with_scheduler(sched);
         let w = build(id, Scale::Small, 1);
         System::new(cfg, w).run()
+    }
+
+    #[test]
+    fn event_stays_within_its_copy_budget() {
+        // Mirrors the const assert above so the budget shows up in test
+        // output; the exact size today is 16 bytes (tag word + payload).
+        assert_eq!(std::mem::size_of::<Event>(), 16);
+        assert_eq!(std::mem::align_of::<Event>(), 8);
     }
 
     #[test]

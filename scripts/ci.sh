@@ -67,7 +67,7 @@ if ./target/release/figures fig2 --scale small --quiet --isolation process \
   exit 1
 fi
 
-echo "== bench smoke (events/sec vs committed BENCH_5.json, >20% regress fails)"
+echo "== bench smoke (events/sec vs committed BENCH_8.json, >20% regress fails)"
 # CI_BENCH_JOBS fans smoke cells across threads (0 = one per hardware
 # thread). Default stays 1: parallel cells contend for cache/bandwidth and
 # eat into the regression headroom, so only raise this where the smoke's
@@ -78,7 +78,7 @@ if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (CI_SKIP_BENCH=1)"
 else
   timeout "${CI_BENCH_BUDGET_SECS:-300}" \
-    ./target/release/ptw-bench --check BENCH_5.json \
+    ./target/release/ptw-bench --check BENCH_8.json \
     --jobs "${CI_BENCH_JOBS:-1}" --quiet
 fi
 

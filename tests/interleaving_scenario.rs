@@ -4,7 +4,7 @@
 //! so it completes much earlier — without delaying the other load's last
 //! walk.
 
-use ptw_core::iommu::{Iommu, IommuConfig, WalkerStep};
+use ptw_core::iommu::{Iommu, IommuConfig};
 use ptw_core::sched::SchedulerKind;
 use ptw_pagetable::frames::{FrameAllocator, FrameLayout};
 use ptw_pagetable::table::PageTable;
@@ -64,12 +64,13 @@ fn scenario(kind: SchedulerKind) -> (u64, u64, String) {
             reads.remove(0)
         };
         let mut cur = read;
+        let mut done = Vec::new();
         loop {
             now = cur.issue_at.max(now) + MEM_LATENCY;
-            match iommu.memory_done(cur.walker, now) {
-                WalkerStep::Read(next) => cur = next,
-                WalkerStep::Done(done) => {
-                    for c in done {
+            match iommu.memory_done_into(cur.walker, now, &mut done) {
+                Some(next) => cur = next,
+                None => {
+                    for c in done.drain(..) {
                         match c.waiter {
                             'A' => {
                                 a_left -= 1;

@@ -179,4 +179,37 @@ fn hot_paths_do_not_allocate() {
         assert_eq!(done.len(), 1);
         done.clear();
     });
+
+    // --- Full completion fan-out: several same-page requests piggyback on
+    // one walk and drain through the candidate index's page chain. ---
+    // Warm: three same-page requests size the buffer slab (3 live slots),
+    // the index's per-handle metadata and page map, and the completions
+    // vector; the walk then exercises the whole chain drain once.
+    let warm_page = VirtPage::new(12 << 9);
+    for w in 0..3u32 {
+        let out = iommu.translate(warm_page, InstrId::new(w % 2), 20 + w, Cycle::new(400));
+        assert!(matches!(out, TranslationOutcome::WalkPending));
+    }
+    iommu.start_walkers_into(&table, Cycle::new(500), &mut reads);
+    drive(&mut iommu, &mut reads, &mut done);
+    assert_eq!(done.len(), 3);
+    done.clear();
+    // Measured: the same shape on a fresh page touches translate (buffer
+    // push + index update), walker start (indexed selection + page-chain
+    // blocking), and the multi-entry piggyback drain — zero allocations.
+    let hot_page = VirtPage::new(13 << 9);
+    assert_no_alloc(
+        "completion fan-out (translate, select, piggyback drain)",
+        || {
+            for w in 0..3u32 {
+                let out = iommu.translate(hot_page, InstrId::new(w % 2), 30 + w, Cycle::new(600));
+                assert!(matches!(out, TranslationOutcome::WalkPending));
+            }
+            iommu.start_walkers_into(&table, Cycle::new(700), &mut reads);
+            drive(&mut iommu, &mut reads, &mut done);
+            assert_eq!(done.len(), 3, "one own walk + two piggybacks");
+            assert_eq!(done.iter().filter(|c| !c.via_walk).count(), 2);
+            done.clear();
+        },
+    );
 }

@@ -3,7 +3,7 @@
 //! "life of a GPU address translation request" walk-through in Section
 //! II-B of the paper.
 
-use ptw_core::iommu::{Iommu, IommuConfig, TranslationOutcome, WalkerStep};
+use ptw_core::iommu::{Iommu, IommuConfig, TranslationOutcome};
 use ptw_core::sched::SchedulerKind;
 use ptw_mem::controller::{MemSchedPolicy, MemSource, MemoryController};
 use ptw_mem::dram::DramConfig;
@@ -54,13 +54,14 @@ impl Rig {
             outstanding.insert(id, read.walker);
         }
         let mut guard = 0;
+        let mut completions = Vec::new();
         while let Some(t) = self.mem.next_event_time() {
             guard += 1;
             assert!(guard < 1_000_000, "translation path did not quiesce");
             for c in self.mem.advance(t) {
                 let walker = outstanding.remove(&c.id).expect("unknown mem completion");
-                match self.iommu.memory_done(walker, c.at) {
-                    WalkerStep::Read(next) => {
+                match self.iommu.memory_done_into(walker, c.at, &mut completions) {
+                    Some(next) => {
                         let id = self.mem.submit(
                             next.addr.line(),
                             MemSource::PageWalk,
@@ -68,8 +69,8 @@ impl Rig {
                         );
                         outstanding.insert(id, next.walker);
                     }
-                    WalkerStep::Done(completions) => {
-                        for ct in completions {
+                    None => {
+                        for ct in completions.drain(..) {
                             done.push((ct.waiter, ct.completed_at));
                         }
                         for read in self.iommu.start_walkers(&self.table, c.at) {
