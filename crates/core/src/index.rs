@@ -63,7 +63,6 @@
 //!   `buffer.remove`, whatever the reason for the removal.
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 
 use ptw_types::ids::InstrId;
 
@@ -72,37 +71,152 @@ use crate::buffer::WalkBuffer;
 /// Sentinel for "no slot / no position".
 const NIL: u32 = u32::MAX;
 
-/// Multiply-xor hasher for page-number keys. The page map is touched on
-/// every buffer push and remove, so it sits on the simulator's hottest
-/// path; the keys are trusted simulator state (virtual page numbers, not
-/// attacker-controlled input), so SipHash's DoS resistance buys nothing
-/// here and costs several times the whole map operation.
-#[derive(Default)]
-struct PageHasher(u64);
+/// One slot of the open-addressed [`PageMap`]. A slot is empty iff
+/// `chain.head == NIL` — live chains always have a head, so no separate
+/// occupancy marker (or tombstone) is needed.
+#[derive(Clone, Copy, Debug)]
+struct PageSlot {
+    key: u64,
+    chain: PageChain,
+}
 
-impl Hasher for PageHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
+const EMPTY_SLOT: PageSlot = PageSlot {
+    key: 0,
+    chain: PageChain {
+        head: NIL,
+        tail: NIL,
+    },
+};
+
+/// Open-addressed page-number → chain table: linear probing, power-of-two
+/// capacity, backward-shift deletion (no tombstones, so probe sequences
+/// never degrade under the steady insert/remove churn of the completion
+/// fan-out path). The map is touched on every buffer push and remove, so
+/// it sits on the simulator's hottest path; the keys are trusted simulator
+/// state (virtual page numbers, not attacker-controlled input), so a
+/// hardened hash buys nothing here — one splitmix-style multiply-xor round
+/// spreads the low-bit-heavy page numbers across the power-of-two mask.
+/// Replaces the last `HashMap` on the hot path; the load factor is kept at
+/// or below 1/2 so `no_alloc_hot_paths`'s warmed working set never grows
+/// the table inside the measured region.
+#[derive(Debug)]
+struct PageMap {
+    slots: Vec<PageSlot>,
+    mask: usize,
+    len: usize,
+}
+
+impl PageMap {
+    /// A map pre-sized for `cap` chains without growing.
+    fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(2) * 2).next_power_of_two();
+        PageMap {
+            slots: vec![EMPTY_SLOT; slots],
+            mask: slots - 1,
+            len: 0,
+        }
     }
 
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    /// Home slot of `key`: multiply by an odd constant, fold the high bits
+    /// down, mask.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        let x = key.wrapping_mul(0xf135_7aea_2e62_a9c5);
+        ((x ^ (x >> 29)) as usize) & self.mask
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<&PageChain> {
+        let mut i = self.home(key);
+        loop {
+            let s = &self.slots[i];
+            if s.chain.head == NIL {
+                return None;
+            }
+            if s.key == key {
+                return Some(&s.chain);
+            }
+            i = (i + 1) & self.mask;
         }
     }
 
     #[inline]
-    fn write_u64(&mut self, n: u64) {
-        // One round of splitmix-style mixing: multiply by an odd constant,
-        // then fold the high bits down so low-bit-heavy page numbers
-        // spread across HashMap's power-of-two bucket mask.
-        let x = (self.0 ^ n).wrapping_mul(0xf135_7aea_2e62_a9c5);
-        self.0 = x ^ (x >> 29);
+    fn get_mut(&mut self, key: u64) -> Option<&mut PageChain> {
+        let mut i = self.home(key);
+        loop {
+            if self.slots[i].chain.head == NIL {
+                return None;
+            }
+            if self.slots[i].key == key {
+                return Some(&mut self.slots[i].chain);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `key` (must be absent) with `chain`.
+    fn insert(&mut self, key: u64, chain: PageChain) {
+        debug_assert!(chain.head != NIL, "cannot store an empty chain");
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        while self.slots[i].chain.head != NIL {
+            debug_assert_ne!(self.slots[i].key, key, "duplicate page key");
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = PageSlot { key, chain };
+        self.len += 1;
+    }
+
+    /// Removes `key` (no-op if absent), closing the probe gap by shifting
+    /// displaced successors back so no tombstone is left behind.
+    fn remove(&mut self, key: u64) {
+        let mut i = self.home(key);
+        loop {
+            if self.slots[i].chain.head == NIL {
+                return;
+            }
+            if self.slots[i].key == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.len -= 1;
+        let mut gap = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let s = self.slots[j];
+            if s.chain.head == NIL {
+                break;
+            }
+            // `s` may move into the gap iff its home slot is cyclically at
+            // or before the gap — i.e. its probe distance reaches past it.
+            let home = self.home(s.key);
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(gap) & self.mask) {
+                self.slots[gap] = s;
+                gap = j;
+            }
+        }
+        self.slots[gap] = EMPTY_SLOT;
+    }
+
+    fn grow(&mut self) {
+        let doubled = vec![EMPTY_SLOT; self.slots.len() * 2];
+        let old = std::mem::replace(&mut self.slots, doubled);
+        self.mask = self.slots.len() - 1;
+        for s in old {
+            if s.chain.head != NIL {
+                let mut i = self.home(s.key);
+                while self.slots[i].chain.head != NIL {
+                    i = (i + 1) & self.mask;
+                }
+                self.slots[i] = s;
+            }
+        }
     }
 }
-
-type PageMap = HashMap<u64, PageChain, BuildHasherDefault<PageHasher>>;
 
 /// Per-handle shadow state (parallel to the buffer's slab).
 #[derive(Clone, Copy, Debug)]
@@ -255,7 +369,7 @@ impl CandidateIndex {
             active: Vec::new(),
             buckets: ScoreBuckets::default(),
             starved: Vec::new(),
-            pages: PageMap::with_capacity_and_hasher(1024, BuildHasherDefault::default()),
+            pages: PageMap::with_capacity(1024),
             pending_remove: None,
         }
     }
@@ -290,7 +404,7 @@ impl CandidateIndex {
 
         // Page chain: append (arrival order).
         let key = r.page.raw();
-        match self.pages.get_mut(&key) {
+        match self.pages.get_mut(key) {
             Some(chain) => {
                 self.meta[h].page_prev = chain.tail;
                 self.meta[chain.tail as usize].page_next = handle;
@@ -348,7 +462,7 @@ impl CandidateIndex {
     /// started, so they will complete by piggyback, never by selection.
     /// Call after removing the started entry itself from the buffer.
     pub fn block_page<W>(&mut self, buf: &WalkBuffer<W>, page: u64) {
-        let Some(chain) = self.pages.get(&page) else {
+        let Some(chain) = self.pages.get(page) else {
             return;
         };
         let mut cur = chain.head;
@@ -387,15 +501,19 @@ impl CandidateIndex {
         if pn != NIL {
             self.meta[pn as usize].page_prev = pp;
         }
-        let chain = self.pages.get_mut(&key).expect("entry has a page chain");
-        if chain.head == handle {
-            chain.head = pn;
-        }
-        if chain.tail == handle {
-            chain.tail = pp;
-        }
-        if chain.head == NIL {
-            self.pages.remove(&key);
+        let chain = self.pages.get_mut(key).expect("entry has a page chain");
+        if chain.head == handle && chain.tail == handle {
+            // Last entry of the page: drop the chain while its slot is
+            // still live (a stored chain must never have `head == NIL`,
+            // which the probe loops read as "empty slot").
+            self.pages.remove(key);
+        } else {
+            if chain.head == handle {
+                chain.head = pn;
+            }
+            if chain.tail == handle {
+                chain.tail = pp;
+            }
         }
 
         if self.meta[h].in_window && !self.meta[h].blocked {
@@ -591,7 +709,7 @@ impl CandidateIndex {
     /// Head of `page`'s pending chain (arrival order), for piggyback
     /// collection on walk completion.
     pub fn page_first(&self, page: u64) -> Option<u32> {
-        self.pages.get(&page).map(|c| c.head)
+        self.pages.get(page).map(|c| c.head)
     }
 
     /// `page`-chain successor of `handle`.
@@ -875,5 +993,96 @@ impl CandidateIndex {
                 "bucket membership of instr {raw}"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod page_map_tests {
+    use super::{PageChain, PageMap, NIL};
+    use ptw_types::rng::SplitMix64;
+    use std::collections::HashMap;
+
+    fn chain(head: u32, tail: u32) -> PageChain {
+        PageChain { head, tail }
+    }
+
+    /// Random insert/remove/update churn against a std `HashMap` oracle,
+    /// with a key range small enough to force dense collisions, backward
+    /// shifts across wrapped probe runs, and several growth steps.
+    #[test]
+    fn open_addressing_matches_hashmap_oracle() {
+        let mut rng = SplitMix64::new(0x9A6E);
+        for keyspace in [16u64, 64, 4096] {
+            let mut map = PageMap::with_capacity(2);
+            let mut oracle: HashMap<u64, PageChain> = HashMap::new();
+            for op in 0..20_000u32 {
+                let key = rng.next_below(keyspace);
+                match rng.next_below(4) {
+                    0 | 1 => {
+                        // Upsert through the same path the index uses.
+                        let h = (rng.next_below(1 << 20)) as u32;
+                        match map.get_mut(key) {
+                            Some(c) => c.tail = h,
+                            None => map.insert(key, chain(h, h)),
+                        }
+                        oracle
+                            .entry(key)
+                            .and_modify(|c| c.tail = h)
+                            .or_insert_with(|| chain(h, h));
+                    }
+                    2 => {
+                        if oracle.remove(&key).is_some() {
+                            map.remove(key);
+                        }
+                    }
+                    _ => {
+                        let got = map.get(key).map(|c| (c.head, c.tail));
+                        let want = oracle.get(&key).map(|c| (c.head, c.tail));
+                        assert_eq!(got, want, "lookup diverged at op {op} key {key}");
+                    }
+                }
+                assert_eq!(map.len, oracle.len(), "length diverged at op {op}");
+            }
+            // Exhaustive sweep: every oracle entry present, nothing extra.
+            for (&k, c) in &oracle {
+                assert_eq!(map.get(k).map(|v| v.head), Some(c.head), "key {k} lost");
+            }
+            let live = map.slots.iter().filter(|s| s.chain.head != NIL).count();
+            assert_eq!(live, oracle.len(), "ghost slots after churn");
+        }
+    }
+
+    /// Deletion in the middle of a colliding probe run must shift the
+    /// displaced successors back so they stay reachable (the classic
+    /// open-addressing tombstone bug).
+    #[test]
+    fn backward_shift_keeps_colliders_reachable() {
+        let mut map = PageMap::with_capacity(8);
+        // Find keys sharing one home slot.
+        let mut colliders = Vec::new();
+        let target = map.home(0);
+        for k in 0..100_000u64 {
+            if map.home(k) == target {
+                colliders.push(k);
+            }
+            if colliders.len() == 4 {
+                break;
+            }
+        }
+        assert_eq!(colliders.len(), 4, "keyspace yields colliding homes");
+        for (i, &k) in colliders.iter().enumerate() {
+            map.insert(k, chain(i as u32, i as u32));
+        }
+        // Remove the first inserted (home-slot resident); the rest must
+        // remain findable.
+        map.remove(colliders[0]);
+        for (i, &k) in colliders.iter().enumerate().skip(1) {
+            assert_eq!(
+                map.get(k).map(|c| c.head),
+                Some(i as u32),
+                "collider {k} unreachable after backward shift"
+            );
+        }
+        assert!(map.get(colliders[0]).is_none());
     }
 }

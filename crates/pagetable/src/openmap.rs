@@ -1,0 +1,229 @@
+//! An insertion-only open-addressed `u64 → PhysFrame` map.
+//!
+//! The page table's hot lookups — `translate` on every data-line access,
+//! `is_large` on every IOMMU arrival, `walk_path` per walk — all key on a
+//! page number. `std::collections::HashMap`'s SipHash costs more than the
+//! probe it guards for these integer keys, so [`FrameMap`] replaces it on
+//! those paths: a power-of-two slot array, a SplitMix64-style finalizer
+//! for the hash, and linear probing. Address spaces only ever *add*
+//! mappings (double-maps are rejected at the [`PageTable`] layer), so the
+//! map supports no deletion and stays tombstone-free.
+//!
+//! Lookup results are exact key→value matches, identical to any other map
+//! implementation — swapping the container cannot change simulation
+//! output, only the cycles spent finding entries.
+//!
+//! [`PageTable`]: crate::table::PageTable
+
+use ptw_types::addr::PhysFrame;
+
+/// Slot key marking an empty slot. Page numbers are addresses shifted
+/// right by at least 12 and large-region indices shifted by 21, so no
+/// real key reaches `u64::MAX`; [`FrameMap::insert`] enforces this.
+const EMPTY: u64 = u64::MAX;
+
+/// SplitMix64 finalizer: a full-avalanche mix so nearby page numbers
+/// (sequential buffer pages) scatter across the table.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Insertion-only open-addressed map from page numbers to frames.
+#[derive(Debug, Clone)]
+pub struct FrameMap {
+    /// `(key, frame)` slots; a key of [`EMPTY`] marks a free slot.
+    slots: Box<[(u64, PhysFrame)]>,
+    /// `slots.len() - 1`; the slot count is a power of two.
+    mask: usize,
+    len: usize,
+}
+
+impl Default for FrameMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameMap {
+    /// Minimum slot count of a non-empty map.
+    const MIN_SLOTS: usize = 16;
+
+    /// Creates an empty map without allocating.
+    pub fn new() -> Self {
+        FrameMap {
+            slots: Box::new([]),
+            mask: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of mappings stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The frame mapped under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<PhysFrame> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let (k, frame) = self.slots[i];
+            if k == key {
+                return Some(frame);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether `key` has a mapping.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → frame`, returning the previous frame if the key was
+    /// already present (in which case the stored value is replaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is `u64::MAX` (the free-slot sentinel; no real page
+    /// number reaches it).
+    pub fn insert(&mut self, key: u64, frame: PhysFrame) -> Option<PhysFrame> {
+        assert!(key != EMPTY, "page key clashes with the free-slot sentinel");
+        // Grow at 50% load: probes stay short and the doubling cost is
+        // build-time only (address spaces are constructed once per run).
+        if self.slots.is_empty() || self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let (k, _) = self.slots[i];
+            if k == key {
+                let old = self.slots[i].1;
+                self.slots[i].1 = frame;
+                return Some(old);
+            }
+            if k == EMPTY {
+                self.slots[i] = (key, frame);
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Doubles the slot array (or allocates the first one) and re-probes
+    /// every live entry into it.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(Self::MIN_SLOTS);
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![(EMPTY, PhysFrame::new(0)); new_cap].into_boxed_slice(),
+        );
+        self.mask = new_cap - 1;
+        for &(k, frame) in old.iter() {
+            if k == EMPTY {
+                continue;
+            }
+            let mut i = (mix(k) as usize) & self.mask;
+            while self.slots[i].0 != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = (k, frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_misses_without_allocating() {
+        let m = FrameMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.get(u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = FrameMap::new();
+        assert_eq!(m.insert(7, PhysFrame::new(70)), None);
+        assert_eq!(m.get(7), Some(PhysFrame::new(70)));
+        assert_eq!(m.get(8), None);
+        assert!(m.contains_key(7));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_reports_old() {
+        let mut m = FrameMap::new();
+        m.insert(7, PhysFrame::new(70));
+        assert_eq!(m.insert(7, PhysFrame::new(71)), Some(PhysFrame::new(70)));
+        assert_eq!(m.get(7), Some(PhysFrame::new(71)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn zero_key_is_a_real_key() {
+        let mut m = FrameMap::new();
+        m.insert(0, PhysFrame::new(1));
+        assert_eq!(m.get(0), Some(PhysFrame::new(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sentinel_key_is_rejected() {
+        FrameMap::new().insert(u64::MAX, PhysFrame::new(1));
+    }
+
+    #[test]
+    fn survives_growth_with_dense_sequential_keys() {
+        // Sequential page numbers are the common shape (eagerly mapped
+        // buffers); every key must survive several doublings.
+        let mut m = FrameMap::new();
+        let base = 0x7f00_0000_0000u64 >> 12;
+        for i in 0..10_000u64 {
+            m.insert(base + i, PhysFrame::new(i));
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(base + i), Some(PhysFrame::new(i)), "key {i}");
+        }
+        assert_eq!(m.get(base + 10_000), None);
+        assert_eq!(m.get(base - 1), None);
+    }
+
+    #[test]
+    fn matches_std_hashmap_under_random_churn() {
+        use ptw_types::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0xfa57_3a95);
+        let mut ours = FrameMap::new();
+        let mut std_map = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let key = rng.next_u64() % 5_000;
+            let frame = PhysFrame::new(rng.next_u64());
+            assert_eq!(ours.insert(key, frame), std_map.insert(key, frame));
+        }
+        assert_eq!(ours.len(), std_map.len());
+        for key in 0..5_000 {
+            assert_eq!(ours.get(key), std_map.get(&key).copied(), "key {key}");
+        }
+    }
+}

@@ -11,11 +11,10 @@
 //! 2 = PD, 1 = PT (leaf). The entry read at level *L* lives in the node of
 //! level *L* and points to the node (or final frame) of level *L − 1*.
 
-use std::collections::HashMap;
-
 use ptw_types::addr::{PageSize, PhysAddr, PhysFrame, VirtPage, PAGES_PER_LARGE_PAGE};
 
 use crate::frames::FrameAllocator;
+use crate::openmap::FrameMap;
 
 /// Size of one page-table entry in bytes.
 pub const PTE_BYTES: u64 = 8;
@@ -134,10 +133,10 @@ pub struct PageTable {
     nodes: Vec<Node>,
     /// Root node index (always 0).
     root: usize,
-    mapped: HashMap<u64, PhysFrame>,
+    mapped: FrameMap,
     /// 2 MiB large-page leaves: large-region index → base frame of the
     /// 512-frame contiguous physical run backing the region.
-    large: HashMap<u64, PhysFrame>,
+    large: FrameMap,
 }
 
 impl PageTable {
@@ -147,8 +146,8 @@ impl PageTable {
         PageTable {
             nodes: vec![Node::new(root_frame)],
             root: 0,
-            mapped: HashMap::new(),
-            large: HashMap::new(),
+            mapped: FrameMap::new(),
+            large: FrameMap::new(),
         }
     }
 
@@ -176,7 +175,7 @@ impl PageTable {
 
     /// Whether `page` is backed by a 2 MiB large-page leaf.
     pub fn is_large(&self, page: VirtPage) -> bool {
-        self.large.contains_key(&page.large_index())
+        self.large.contains_key(page.large_index())
     }
 
     /// Page size backing `page` (meaningful only for mapped pages;
@@ -201,7 +200,7 @@ impl PageTable {
         frame: PhysFrame,
         alloc: &mut FrameAllocator,
     ) -> Result<(), MapError> {
-        if self.mapped.contains_key(&page.raw()) || self.is_large(page) {
+        if self.mapped.contains_key(page.raw()) || self.is_large(page) {
             return Err(MapError::AlreadyMapped(page));
         }
         let mut node = self.root;
@@ -257,7 +256,7 @@ impl PageTable {
             return Err(MapError::AlreadyMapped(page));
         }
         for i in 0..PAGES_PER_LARGE_PAGE {
-            if self.mapped.contains_key(&(page.raw() + i)) {
+            if self.mapped.contains_key(page.raw() + i) {
                 return Err(MapError::AlreadyMapped(VirtPage::new(page.raw() + i)));
             }
         }
@@ -295,14 +294,14 @@ impl PageTable {
 
     /// Looks up the translation for `page` without modelling the walk.
     pub fn translate(&self, page: VirtPage) -> Option<PhysFrame> {
-        self.mapped.get(&page.raw()).copied()
+        self.mapped.get(page.raw())
     }
 
     /// Returns the full hardware walk path for `page`, or `None` if the
     /// page is unmapped. A page inside a large-page region yields a
     /// three-read path terminating at the level-2 leaf.
     pub fn walk_path(&self, page: VirtPage) -> Option<WalkPath> {
-        let large_base = self.large.get(&page.large_index()).copied();
+        let large_base = self.large.get(page.large_index());
         let mut node = self.root;
         let mut pte_addrs = [PhysAddr::new(0); 4];
         let mut node_frames = [PhysFrame::new(0); 4];

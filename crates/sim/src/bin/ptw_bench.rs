@@ -15,6 +15,7 @@
 //!           [--large-page-frac F]   # 2 MiB promotion fraction in permille
 //!           [--isolation MODE]      # thread (default) or process
 //!           [--cell-timeout SECS]   # per-attempt wall bound (process mode)
+//!           [--pin]                 # pin workers to CPUs (process mode)
 //!           [--out FILE]            # write/refresh a BENCH_*.json baseline
 //!           [--label TEXT]          # history label recorded with --out
 //!           [--check FILE]          # CI smoke: compare against a baseline
@@ -69,6 +70,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use ptw_core::sched::SchedulerKind;
+use ptw_mem::controller::MemStats;
 use ptw_sim::json::{escape, Value};
 use ptw_sim::runner::{run_benchmark, RunSpec};
 use ptw_sim::sweep::SweepExecutor;
@@ -95,6 +97,9 @@ struct Cell {
     per_iommu_walks: Vec<u64>,
     /// Busiest IOMMU's walks over the mean (1.0 = balanced).
     imbalance: f64,
+    /// DRAM counters (row locality + queue occupancy), from the first
+    /// repetition — deterministic, like the event count.
+    mem: MemStats,
 }
 
 impl Cell {
@@ -179,6 +184,7 @@ fn time_cell(
     let mut large_walks = 0u64;
     let mut per_iommu_walks = Vec::new();
     let mut imbalance = 1.0f64;
+    let mut mem = MemStats::default();
     for rep in 0..reps {
         let started = Instant::now();
         let result = match supervisor {
@@ -192,6 +198,7 @@ fn time_cell(
             large_walks = result.iommu.large_walks_performed;
             per_iommu_walks = result.per_iommu_walks;
             imbalance = result.iommu_imbalance;
+            mem = result.mem;
         } else {
             debug_assert_eq!(events, result.events, "simulation must be deterministic");
         }
@@ -206,6 +213,7 @@ fn time_cell(
         large_walks,
         per_iommu_walks,
         imbalance,
+        mem,
     })
 }
 
@@ -250,6 +258,15 @@ fn sweep(
                 cell.wall_ms,
                 cell.wall_ms_median,
                 cell.events_per_sec()
+            );
+            eprintln!(
+                "[ptw-bench]   dram: hit_rate {:.3}, depth peak {} / mean {:.2}, \
+                 busy banks peak {} / mean {:.2}",
+                cell.mem.row_hit_rate(),
+                cell.mem.peak_queue_depth,
+                cell.mem.mean_queue_depth(),
+                cell.mem.peak_busy_banks,
+                cell.mem.mean_busy_banks()
             );
         }
         cells.push(cell);
@@ -311,13 +328,17 @@ fn today_utc() -> String {
 fn cell_json(c: &Cell) -> String {
     format!(
         "{{\"bench\": \"{}\", \"sched\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \
-         \"wall_ms_median\": {:.3}, \"events_per_sec\": {:.1}}}",
+         \"wall_ms_median\": {:.3}, \"events_per_sec\": {:.1}, \"dram_hit_rate\": {:.4}, \
+         \"dram_peak_depth\": {}, \"dram_mean_depth\": {:.2}}}",
         c.bench,
         escape(c.sched.label()),
         c.events,
         c.wall_ms,
         c.wall_ms_median,
-        c.events_per_sec()
+        c.events_per_sec(),
+        c.mem.row_hit_rate(),
+        c.mem.peak_queue_depth,
+        c.mem.mean_queue_depth()
     )
 }
 
@@ -448,6 +469,7 @@ fn main() -> ExitCode {
     let mut policies: Vec<SchedulerKind> = SchedulerKind::EXTENDED.to_vec();
     let mut process_isolation = false;
     let mut cell_timeout: Option<Duration> = None;
+    let mut pin = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut label = String::from("measurement");
@@ -560,13 +582,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--pin" => pin = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ptw-bench [--scale small|medium|paper] [--seed N] [--reps N] \
                      [--jobs N] [--policies LIST] [--isolation thread|process] \
-                     [--cell-timeout SECS] [--out FILE] [--label TEXT] [--check FILE] \
-                     [--max-regress PCT] [--quiet]\n\
+                     [--cell-timeout SECS] [--pin] [--out FILE] [--label TEXT] \
+                     [--check FILE] [--max-regress PCT] [--quiet]\n\
                      \n\
                      --jobs N fans cells across N threads (0 = one per hardware thread, \
                      matching figures); reps stay serial within each cell and output is in \
@@ -580,7 +603,8 @@ fn main() -> ExitCode {
                      regions; either flag adds a greppable topology-smoke summary line.\n\
                      --isolation process runs each repetition in a fresh supervised child \
                      process (timing the full round-trip); --cell-timeout SECS bounds one \
-                     attempt's wall clock in that mode."
+                     attempt's wall clock and --pin pins each worker to one CPU \
+                     (round-robin, Linux-only) in that mode."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -597,9 +621,13 @@ fn main() -> ExitCode {
         eprintln!("--cell-timeout requires --isolation process");
         return ExitCode::FAILURE;
     }
+    if pin && !process_isolation {
+        eprintln!("--pin requires --isolation process");
+        return ExitCode::FAILURE;
+    }
     let supervisor = if process_isolation {
         match Supervisor::self_exec(&["worker"], jobs) {
-            Ok(sup) => Some(sup.with_cell_timeout(cell_timeout)),
+            Ok(sup) => Some(sup.with_cell_timeout(cell_timeout).with_pin(pin)),
             Err(e) => {
                 eprintln!("cannot locate own executable for --isolation process: {e}");
                 return ExitCode::FAILURE;
@@ -671,6 +699,41 @@ fn main() -> ExitCode {
         total.events_per_sec(),
         started.elapsed().as_secs_f64()
     );
+    // Aggregate DRAM counters: summed locality and integrals, max peaks.
+    // Deterministic for a given spec, so `scripts/ci.sh` asserts this line
+    // is identical with and without PTW_DRAM_ORACLE (indexed FR-FCFS
+    // selection vs the legacy full-queue scan).
+    {
+        let hits: u64 = cells.iter().map(|c| c.mem.row_hits).sum();
+        let conflicts: u64 = cells.iter().map(|c| c.mem.row_conflicts).sum();
+        let agg = MemStats {
+            row_hits: hits,
+            row_conflicts: conflicts,
+            peak_queue_depth: cells
+                .iter()
+                .map(|c| c.mem.peak_queue_depth)
+                .max()
+                .unwrap_or(0),
+            peak_busy_banks: cells
+                .iter()
+                .map(|c| c.mem.peak_busy_banks)
+                .max()
+                .unwrap_or(0),
+            queue_depth_cycles: cells.iter().map(|c| c.mem.queue_depth_cycles).sum(),
+            busy_bank_cycles: cells.iter().map(|c| c.mem.busy_bank_cycles).sum(),
+            observed_cycles: cells.iter().map(|c| c.mem.observed_cycles).sum(),
+            ..MemStats::default()
+        };
+        println!(
+            "[ptw-bench] dram-smoke: row_hits={hits} row_conflicts={conflicts} \
+             hit_rate={:.4} peak_depth={} peak_banks={} mean_depth={:.3} mean_banks={:.3}",
+            agg.row_hit_rate(),
+            agg.peak_queue_depth,
+            agg.peak_busy_banks,
+            agg.mean_queue_depth(),
+            agg.mean_busy_banks()
+        );
+    }
     if !shape.is_baseline() {
         // Aggregate across cells: elementwise per-IOMMU sums, total 2 MiB
         // walks, and the worst per-cell imbalance. One greppable line for

@@ -42,7 +42,9 @@ use crate::system::RunResult;
 ///
 /// v2 added the topology fields: per-IOMMU walk counts, the imbalance
 /// ratio, the per-page-size IOMMU counters, and GPU large-page TLB hits.
-const VERSION: u64 = 2;
+/// v3 added the DRAM occupancy counters: peak/time-weighted queue depth
+/// and busy-bank occupancy plus the observed-cycle integral base.
+const VERSION: u64 = 3;
 
 /// One sweep cell's identity.
 pub type CellKey = (BenchmarkId, SchedulerKind, ConfigVariant);
@@ -182,6 +184,9 @@ pub(crate) fn encode_result_fields(r: &RunResult) -> String {
             "\"mem_data\":{mem_d},\"mem_walk\":{mem_w},",
             "\"mem_row_hits\":{mem_rh},\"mem_row_conflicts\":{mem_rc},",
             "\"mem_latency\":{mem_l},\"mem_completed\":{mem_c},",
+            "\"mem_peak_depth\":{mem_pd},\"mem_peak_banks\":{mem_pb},",
+            "\"mem_depth_cycles\":{mem_dc},\"mem_bank_cycles\":{mem_bc},",
+            "\"mem_obs_cycles\":{mem_oc},",
             "\"l1_tlb_bits\":{l1t},\"l2_tlb_bits\":{l2t},",
             "\"l1_cache_bits\":{l1c},\"l2_cache_bits\":{l2c},",
             "\"events\":{events},\"spread_bits\":{spread}"
@@ -222,6 +227,11 @@ pub(crate) fn encode_result_fields(r: &RunResult) -> String {
         mem_rc = mem.row_conflicts,
         mem_l = mem.total_latency,
         mem_c = mem.completed,
+        mem_pd = mem.peak_queue_depth,
+        mem_pb = mem.peak_busy_banks,
+        mem_dc = mem.queue_depth_cycles,
+        mem_bc = mem.busy_bank_cycles,
+        mem_oc = mem.observed_cycles,
         l1t = r.gpu_l1_tlb_hit_rate.to_bits(),
         l2t = r.gpu_l2_tlb_hit_rate.to_bits(),
         l1c = r.l1_cache_hit_rate.to_bits(),
@@ -284,6 +294,11 @@ pub(crate) fn decode_result_fields(fields: &HashMap<String, Value>) -> Option<Ru
         row_conflicts: u("mem_row_conflicts")?,
         total_latency: u("mem_latency")?,
         completed: u("mem_completed")?,
+        peak_queue_depth: u("mem_peak_depth")?,
+        peak_busy_banks: u("mem_peak_banks")?,
+        queue_depth_cycles: u("mem_depth_cycles")?,
+        busy_bank_cycles: u("mem_bank_cycles")?,
+        observed_cycles: u("mem_obs_cycles")?,
     };
     Some(RunResult {
         metrics,
@@ -536,6 +551,11 @@ mod tests {
                 row_conflicts: rng.next_below(1 << 22),
                 total_latency: rng.next_u64() >> 24,
                 completed: rng.next_below(1 << 24),
+                peak_queue_depth: rng.next_below(1 << 10),
+                peak_busy_banks: rng.next_below(64),
+                queue_depth_cycles: rng.next_u64() >> 20,
+                busy_bank_cycles: rng.next_u64() >> 24,
+                observed_cycles: rng.next_u64() >> 32,
             },
             per_iommu_walks: vec![rng.next_below(1 << 14), rng.next_below(1 << 14)],
             iommu_imbalance: 1.0 + rng.next_f64(),
@@ -619,9 +639,9 @@ mod tests {
 
     #[test]
     fn v1_header_is_truncated_and_rerun() {
-        // Pins the v2 codec behavior: a file written by the v1 codec (no
-        // topology fields) must be discarded wholesale under --resume, not
-        // mis-decoded record by record.
+        // Pins the current codec behavior: a file written by the v1 codec
+        // (no topology fields) must be discarded wholesale under --resume,
+        // not mis-decoded record by record.
         let path = temp_path("v1-header");
         let _ = std::fs::remove_file(&path);
         let mut rng = SplitMix64::new(11);
@@ -652,8 +672,8 @@ mod tests {
         assert_eq!(loaded[0].1, result);
         let content = std::fs::read_to_string(&path).expect("read");
         assert!(
-            content.starts_with("{\"v\":2,"),
-            "header rewritten to v2: {content:?}"
+            content.starts_with("{\"v\":3,"),
+            "header rewritten to the current version: {content:?}"
         );
         let _ = std::fs::remove_file(&path);
     }

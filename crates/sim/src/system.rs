@@ -92,11 +92,13 @@ enum Event {
     MemTick,
 }
 
-/// [`EventQueue::pop_bucket_into`] drains whole buckets by copying events,
-/// so every byte of `Event` is hot-loop memcpy traffic. Keep the payload
-/// within one 16-byte slot: tag + the widest field (`PhysAddr`/`VirtPage`,
-/// 8 bytes) pack into two words. Growing a variant past this budget is a
-/// deliberate perf decision, not an accident — this assert makes it one.
+/// [`EventQueue::pop_bucket_into`] swaps whole bucket buffers into the
+/// drain batch, but events are still copied on `schedule` and iterated in
+/// the dispatch loop, so `Event`'s size is hot-loop traffic either way.
+/// Keep the payload within one 16-byte slot: tag + the widest field
+/// (`PhysAddr`/`VirtPage`, 8 bytes) pack into two words. Growing a variant
+/// past this budget is a deliberate perf decision, not an accident — this
+/// assert makes it one.
 const _: () = assert!(
     std::mem::size_of::<Event>() <= 16,
     "Event grew past its 16-byte copy budget"

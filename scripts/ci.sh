@@ -67,7 +67,7 @@ if ./target/release/figures fig2 --scale small --quiet --isolation process \
   exit 1
 fi
 
-echo "== bench smoke (events/sec vs committed BENCH_8.json, >20% regress fails)"
+echo "== bench smoke (events/sec vs committed BENCH_9.json, >20% regress fails)"
 # CI_BENCH_JOBS fans smoke cells across threads (0 = one per hardware
 # thread). Default stays 1: parallel cells contend for cache/bandwidth and
 # eat into the regression headroom, so only raise this where the smoke's
@@ -78,7 +78,7 @@ if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (CI_SKIP_BENCH=1)"
 else
   timeout "${CI_BENCH_BUDGET_SECS:-300}" \
-    ./target/release/ptw-bench --check BENCH_8.json \
+    ./target/release/ptw-bench --check BENCH_9.json \
     --jobs "${CI_BENCH_JOBS:-1}" --quiet
 fi
 
@@ -106,5 +106,39 @@ if [[ -z "$min_iommu" || "$min_iommu" -eq 0 ]]; then
   exit 1
 fi
 echo "$topo_line"
+
+echo "== dram scheduler smoke (indexed FR-FCFS selection vs legacy-scan oracle)"
+# The per-bank indexed DRAM controller must produce exactly the row
+# locality and queue occupancy the legacy full-queue scan produces.
+# Run the same small cell twice — indexed (default) and with
+# PTW_DRAM_ORACLE=1 — and assert the greppable dram-smoke lines match.
+dram_a="$(mktemp)"
+dram_b="$(mktemp)"
+trap 'rm -f "$smoke_out" "$proc_out" "$topo_out" "$dram_a" "$dram_b"' EXIT
+./target/release/ptw-bench --scale small --reps 1 --policies fcfs \
+  --quiet >"$dram_a" 2>&1
+PTW_DRAM_ORACLE=1 ./target/release/ptw-bench --scale small --reps 1 \
+  --policies fcfs --quiet >"$dram_b" 2>&1
+line_a="$(grep 'dram-smoke:' "$dram_a")" || {
+  echo "FAIL: no dram-smoke summary line"
+  cat "$dram_a"
+  exit 1
+}
+line_b="$(grep 'dram-smoke:' "$dram_b")" || {
+  echo "FAIL: no dram-smoke summary line under PTW_DRAM_ORACLE=1"
+  cat "$dram_b"
+  exit 1
+}
+if [[ "$line_a" != "$line_b" ]]; then
+  echo "FAIL: indexed DRAM stats diverge from the legacy-scan oracle"
+  echo "indexed: $line_a"
+  echo "oracle:  $line_b"
+  exit 1
+fi
+grep -q "row_hits=[1-9]" <<<"$line_a" || {
+  echo "FAIL: dram smoke cell produced no row hits: $line_a"
+  exit 1
+}
+echo "$line_a"
 
 echo "CI OK"

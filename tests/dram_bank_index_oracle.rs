@@ -1,0 +1,162 @@
+//! Randomized differential oracle for the per-bank indexed DRAM
+//! controller.
+//!
+//! Two [`MemoryController`]s with identical configuration — one on the
+//! per-bank indexed `next_issue` path (the default), one forced onto the
+//! legacy full-queue two-phase scan via `force_oracle(true)` — are driven
+//! through thousands of identical operations: bursts of same-cycle
+//! submits over a deliberately dense bank/row pool (so row hits, row
+//! conflicts, and cross-bank arrival ties all occur constantly),
+//! interleaved with partial and full time advances (so picks happen both
+//! behind and ahead of the shared bus gate, exercising `next_issue_at`
+//! displacement).
+//!
+//! After every operation the two controllers must agree on every
+//! externally visible bit: the drained completions (order included), the
+//! next event time, the outstanding count, and the full statistics block.
+//! On top of the twin comparison, the indexed controller's own
+//! `debug_next_issue` is checked against `debug_oracle_next_issue` on
+//! **the same state** after every step, per channel — the direct
+//! (time, index) bit-for-bit claim of DESIGN.md §13. Both scheduling
+//! policies run under two seeds each.
+
+use ptw_mem::controller::{MemSchedPolicy, MemSource, MemoryController};
+use ptw_mem::dram::DramConfig;
+use ptw_types::addr::LineAddr;
+use ptw_types::rng::SplitMix64;
+use ptw_types::time::Cycle;
+
+const STEPS: usize = 3_000;
+
+/// Paper-baseline address math: with 2 channels, 32 banks/channel, and
+/// 2 KiB rows, consecutive 64-byte lines alternate channels, banks stride
+/// by 128 bytes, and rows by `row_bytes × channels × banks_per_channel`.
+fn line_for(cfg: &DramConfig, channel: u64, bank: u64, row: u64) -> LineAddr {
+    let row_stride = cfg.row_bytes * (cfg.channels * cfg.banks_per_channel()) as u64;
+    LineAddr::new(channel * 64 + bank * 128 + row * row_stride)
+}
+
+/// Asserts every externally visible bit of the two controllers matches,
+/// and that the indexed controller's pick equals its own legacy-scan pick
+/// per channel.
+fn assert_in_lockstep(indexed: &mut MemoryController, oracle: &mut MemoryController, step: usize) {
+    let channels = indexed.config().channels;
+    for ch in 0..channels {
+        assert_eq!(
+            indexed.debug_next_issue(ch),
+            indexed.debug_oracle_next_issue(ch),
+            "step {step}: indexed pick diverged from the legacy scan on channel {ch}"
+        );
+        assert_eq!(
+            indexed.debug_next_issue(ch),
+            oracle.debug_oracle_next_issue(ch),
+            "step {step}: twin controllers diverged on channel {ch}"
+        );
+    }
+    assert_eq!(
+        indexed.outstanding(),
+        oracle.outstanding(),
+        "step {step}: outstanding counts diverged"
+    );
+    assert_eq!(
+        indexed.stats(),
+        oracle.stats(),
+        "step {step}: statistics diverged"
+    );
+    assert_eq!(
+        indexed.next_event_time(),
+        oracle.next_event_time(),
+        "step {step}: next event times diverged"
+    );
+}
+
+/// One churn run: `policy` under `seed`, indexed vs oracle in lockstep.
+fn churn(policy: MemSchedPolicy, seed: u64) {
+    let cfg = DramConfig::paper_baseline();
+    let mut indexed = MemoryController::new(cfg.clone(), policy);
+    let mut oracle = MemoryController::new(cfg.clone(), policy);
+    oracle.force_oracle(true);
+
+    let mut rng = SplitMix64::new(seed);
+    let mut now = Cycle::ZERO;
+    let mut done_a = Vec::new();
+    let mut done_b = Vec::new();
+
+    // A small pool keeps bank collisions and same-row reuse frequent: 6
+    // banks × 3 rows across both channels.
+    for step in 0..STEPS {
+        match rng.next_u64() % 10 {
+            // Burst of same-cycle submits: arrival ties within and across
+            // banks, all behind whatever bus gate the last issue set.
+            0..=4 => {
+                let burst = 1 + (rng.next_u64() % 4);
+                for _ in 0..burst {
+                    let channel = rng.next_u64() % cfg.channels as u64;
+                    let bank = rng.next_u64() % 6;
+                    let row = rng.next_u64() % 3;
+                    let line = line_for(&cfg, channel, bank, row);
+                    let source = if rng.next_u64().is_multiple_of(2) {
+                        MemSource::Data
+                    } else {
+                        MemSource::PageWalk
+                    };
+                    let ida = indexed.submit(line, source, now);
+                    let idb = oracle.submit(line, source, now);
+                    assert_eq!(ida, idb, "step {step}: request ids diverged");
+                }
+            }
+            // Partial advance: a small step that usually lands between
+            // issue and completion, so later submits arrive while the bus
+            // gate is ahead of `now` (the displacement case).
+            5..=7 => {
+                now += 1 + rng.next_u64() % 25;
+                done_a.clear();
+                done_b.clear();
+                indexed.advance_into(now, &mut done_a);
+                oracle.advance_into(now, &mut done_b);
+                assert_eq!(done_a, done_b, "step {step}: completions diverged");
+            }
+            // Full drain to the next event, when there is one.
+            _ => {
+                if let Some(t) = indexed.next_event_time() {
+                    now = now.max(t);
+                    done_a.clear();
+                    done_b.clear();
+                    indexed.advance_into(now, &mut done_a);
+                    oracle.advance_into(now, &mut done_b);
+                    assert_eq!(done_a, done_b, "step {step}: completions diverged");
+                }
+            }
+        }
+        assert_in_lockstep(&mut indexed, &mut oracle, step);
+    }
+
+    // Drain everything so end-of-run stats compare over completed work.
+    while let Some(t) = indexed.next_event_time() {
+        now = now.max(t);
+        done_a.clear();
+        done_b.clear();
+        indexed.advance_into(now, &mut done_a);
+        oracle.advance_into(now, &mut done_b);
+        assert_eq!(done_a, done_b, "final drain: completions diverged");
+    }
+    assert_eq!(oracle.next_event_time(), None, "oracle twin not drained");
+    assert_eq!(indexed.stats(), oracle.stats(), "final statistics diverged");
+    assert!(
+        indexed.stats().completed > 0,
+        "churn must complete work for the comparison to mean anything"
+    );
+    assert!(
+        indexed.stats().row_hits > 0 && indexed.stats().row_conflicts > 0,
+        "pool must generate both row hits and conflicts"
+    );
+}
+
+#[test]
+fn indexed_controller_matches_oracle_under_churn() {
+    for policy in [MemSchedPolicy::FrFcfs, MemSchedPolicy::Fcfs] {
+        for seed in [0x5eed_0002u64, 0xdead_f00d] {
+            churn(policy, seed);
+        }
+    }
+}
