@@ -567,6 +567,16 @@ impl<W> Iommu<W> {
         }
     }
 
+    /// Hints the host CPU to pull the IOMMU TLB set lines a
+    /// [`translate_sized`](Self::translate_sized) for `page` will probe
+    /// into cache. Purely a performance hint — never observable in
+    /// simulated behavior.
+    #[inline(always)]
+    pub fn prefetch_translate(&self, page: VirtPage) {
+        self.l1_tlb.prefetch(page);
+        self.l2_tlb.prefetch(page);
+    }
+
     /// A translation request (one coalesced page of one SIMD instruction)
     /// arrives from the GPU at cycle `now`.
     ///
@@ -733,6 +743,12 @@ impl<W> Iommu<W> {
                     None => break,
                 }
             };
+            // Pull the structures the walk is about to probe — the PWC set
+            // lines and the page table's map slots — into host cache while
+            // the index removal bookkeeping below runs.
+            let next_page = self.buffer.get(handle).page;
+            self.pwc.prefetch(next_page);
+            table.prefetch_translate(next_page);
             self.index.pre_remove(&self.buffer, handle);
             let request = self.buffer.remove(handle);
             self.index.finish_remove(&self.buffer);
@@ -849,6 +865,9 @@ impl<W> Iommu<W> {
         let page = request.page;
         let frame = plan.frame;
         let large = plan.is_large();
+        // The TLB fills below land while the PWC fill is still in flight.
+        self.l2_tlb.prefetch(page);
+        self.l1_tlb.prefetch(page);
         self.pwc.complete_walk(&plan);
         if large {
             let base = plan.base_frame();
@@ -894,6 +913,8 @@ impl<W> Iommu<W> {
         let mut cursor = self.index.page_first(page.raw());
         while let Some(h) = cursor {
             cursor = self.index.page_next(h);
+            // Stream the next piggybacking slot in while this one drains.
+            self.buffer.prefetch(cursor);
             self.index.pre_remove(&self.buffer, h);
             let r = self.buffer.remove(h);
             self.index.finish_remove(&self.buffer);

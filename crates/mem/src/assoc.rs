@@ -19,23 +19,28 @@
 //! # Storage layout
 //!
 //! Every lookup in the simulator funnels through this type, so the layout
-//! is optimized for the probe path (DESIGN.md §10):
+//! is optimized for the probe path (DESIGN.md §10, §14):
 //!
-//! * keys and values live in two dense arrays (no `Option` per way) —
-//!   the tag scan walks a contiguous run of `ways` keys;
+//! * each set owns one contiguous, 64-byte-aligned **packed line**: word 0
+//!   is the valid bitmask, word 1 the tree-PLRU direction bits, words 2..
+//!   the tags (one 8-byte word per way), followed — only under
+//!   [`Replacement::Lru`] — by the per-way access stamps. A probe loads the
+//!   mask, the replacement state, and the first tags with a single cache
+//!   line instead of touching three separate arrays;
 //! * validity is one `u64` bitmask per set (way counts are capped at 64;
 //!   the largest real geometry is 32), so tag scans visit only live ways
 //!   and "first free way" is a single `trailing_zeros`;
-//! * tree-PLRU direction bits pack into one word per set; LRU stamps are a
-//!   dense parallel array allocated only under [`Replacement::Lru`] (exact
-//!   LRU order over up to 64 ways cannot fit one word — the per-set stamp
-//!   run is still contiguous, one or two cache lines for 16 ways).
+//! * values stay in a parallel dense array — they are only read on a hit,
+//!   so keeping them out of the packed line keeps the tag scan dense.
 //!
-//! Invalid slots are never read: every access to `keys`/`values` is guarded
-//! by the set's valid bitmask, which is the safety invariant behind the
-//! `MaybeUninit` storage. `K` and `V` are `Copy`, so slots need no drops.
+//! Invalid tag words are never read as `K`: every tag access is guarded by
+//! the set's valid bitmask, which is the safety invariant behind the raw
+//! word storage (`K` is `Copy`, at most 8 bytes, and word-alignable, so a
+//! tag word round-trips it losslessly). Values use the same invariant over
+//! `MaybeUninit` storage.
 
 use core::fmt;
+use core::marker::PhantomData;
 use core::mem::MaybeUninit;
 
 /// Replacement policy for an [`AssocArray`].
@@ -122,24 +127,42 @@ impl Iterator for BitIter {
 pub struct AssocArray<K, V> {
     sets: usize,
     ways: usize,
-    /// Tags, `ways` per set; slot `set * ways + way` is initialized iff
-    /// bit `way` of `valid[set]` is set.
-    keys: Box<[MaybeUninit<K>]>,
-    /// Values, parallel to `keys` under the same validity invariant.
+    /// Packed per-set lines, [`stride`](Self::stride) blocks per set.
+    /// Word layout within a set: `[valid mask][plru bits][tags × ways]`
+    /// followed, under [`Replacement::Lru`] only, by `[stamps × ways]`.
+    /// Tag word `w` holds a `K` (written in place, at most 8 bytes) and is
+    /// initialized iff bit `w` of the valid word is set.
+    lines: Box<[LineBlock]>,
+    /// [`LineBlock`]s per set.
+    stride: usize,
+    /// Values, `ways` per set; slot `set * ways + way` is initialized iff
+    /// bit `way` of the set's valid word is set. Kept out of the packed
+    /// line: values are only read on a hit, after the tag scan resolves.
     values: Box<[MaybeUninit<V>]>,
-    /// One validity word per set; bit `way` = slot holds a live entry.
-    valid: Box<[u64]>,
-    /// LRU access stamps, parallel to `keys`; empty unless the policy is
-    /// [`Replacement::Lru`].
-    stamps: Box<[u64]>,
     /// Live-entry count (so `len` is O(1)).
     live: usize,
     policy: Replacement,
-    /// Tree-PLRU direction bits, `ways - 1` bits per set (bit 0 = root).
-    plru_bits: Box<[u64]>,
     tick: u64,
     rng: ptw_types::rng::SplitMix64,
+    /// Ties `K`'s auto traits to the array (tags live in raw words).
+    _tag: PhantomData<K>,
 }
+
+/// One 64-byte-aligned, 64-byte chunk of the packed per-set region; a
+/// set's line is `stride` consecutive blocks, so every set starts on a
+/// host cache-line boundary.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct LineBlock([u64; 8]);
+
+// The whole point of the packed layout: one block IS one host cache line.
+const _: () = assert!(core::mem::size_of::<LineBlock>() == 64);
+const _: () = assert!(core::mem::align_of::<LineBlock>() == 64);
+
+/// Word offsets inside a packed set line.
+const VALID_WORD: usize = 0;
+const META_WORD: usize = 1;
+const TAGS_WORD: usize = 2;
 
 impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
     /// Creates an empty array of `sets` sets with `ways` ways each.
@@ -174,28 +197,24 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
                 "TreePlru requires power-of-two ways"
             );
         }
+        assert!(
+            core::mem::size_of::<K>() <= 8 && core::mem::align_of::<K>() <= 8,
+            "AssocArray tags must fit one 8-byte word"
+        );
         let slots = sets * ways;
+        let stride_words = TAGS_WORD + ways + if policy == Replacement::Lru { ways } else { 0 };
+        let stride = stride_words.div_ceil(8);
         AssocArray {
             sets,
             ways,
-            keys: vec![MaybeUninit::uninit(); slots].into_boxed_slice(),
+            lines: vec![LineBlock([0; 8]); sets * stride].into_boxed_slice(),
+            stride,
             values: vec![MaybeUninit::uninit(); slots].into_boxed_slice(),
-            valid: vec![0u64; sets].into_boxed_slice(),
-            stamps: vec![0u64; if policy == Replacement::Lru { slots } else { 0 }]
-                .into_boxed_slice(),
             live: 0,
             policy,
-            plru_bits: vec![
-                0;
-                if policy == Replacement::TreePlru {
-                    sets
-                } else {
-                    0
-                }
-            ]
-            .into_boxed_slice(),
             tick: 0,
             rng: ptw_types::rng::SplitMix64::new(seed),
+            _tag: PhantomData,
         }
     }
 
@@ -226,7 +245,7 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
 
     /// Number of valid entries in `set`.
     pub fn set_len(&self, set: usize) -> usize {
-        self.valid[set].count_ones() as usize
+        self.valid(set).count_ones() as usize
     }
 
     #[inline]
@@ -241,18 +260,130 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
         u64::MAX >> (64 - self.ways)
     }
 
+    /// First word of `set`'s packed line. The slice index bounds-checks
+    /// `set` (the remaining `stride - 1` blocks are in bounds by
+    /// construction), so the returned pointer covers the whole line.
+    #[inline]
+    fn words(&self, set: usize) -> *const u64 {
+        let block: *const LineBlock = &self.lines[set * self.stride];
+        block as *const u64
+    }
+
+    #[inline]
+    fn words_mut(&mut self, set: usize) -> *mut u64 {
+        let block: *mut LineBlock = &mut self.lines[set * self.stride];
+        block as *mut u64
+    }
+
+    #[inline]
+    fn valid(&self, set: usize) -> u64 {
+        // SAFETY: `words` bounds-checks `set`; word 0 is the valid mask.
+        unsafe { *self.words(set).add(VALID_WORD) }
+    }
+
+    #[inline]
+    fn set_valid(&mut self, set: usize, mask: u64) {
+        // SAFETY: as in `valid`.
+        unsafe { *self.words_mut(set).add(VALID_WORD) = mask }
+    }
+
+    #[inline]
+    fn meta(&self, set: usize) -> u64 {
+        // SAFETY: `words` bounds-checks `set`; word 1 is the PLRU word.
+        unsafe { *self.words(set).add(META_WORD) }
+    }
+
+    #[inline]
+    fn set_meta(&mut self, set: usize, bits: u64) {
+        // SAFETY: as in `meta`.
+        unsafe { *self.words_mut(set).add(META_WORD) = bits }
+    }
+
+    /// Reads way `way`'s tag by value.
+    ///
+    /// # Safety
+    ///
+    /// Bit `way` of the set's valid word must be set: only then does the
+    /// tag word hold a `K` written by [`set_tag`](Self::set_tag).
+    #[inline]
+    unsafe fn tag(&self, set: usize, way: usize) -> K {
+        debug_assert!(way < self.ways);
+        unsafe { (self.words(set).add(TAGS_WORD + way) as *const K).read() }
+    }
+
+    /// Borrows way `way`'s tag in place (tag words are 8-aligned, which
+    /// satisfies any `K` the constructor admits).
+    ///
+    /// # Safety
+    ///
+    /// As for [`tag`](Self::tag).
+    #[inline]
+    unsafe fn tag_ref(&self, set: usize, way: usize) -> &K {
+        debug_assert!(way < self.ways);
+        unsafe { &*(self.words(set).add(TAGS_WORD + way) as *const K) }
+    }
+
+    #[inline]
+    fn set_tag(&mut self, set: usize, way: usize, key: K) {
+        debug_assert!(way < self.ways);
+        // SAFETY: the tag word is in bounds and writing a `K` (≤ 8 bytes,
+        // 8-aligned word) never overruns it.
+        unsafe { (self.words_mut(set).add(TAGS_WORD + way) as *mut K).write(key) }
+    }
+
+    /// LRU access stamp of `way`; stamp words exist only under
+    /// [`Replacement::Lru`] and are zero until first touched.
+    #[inline]
+    fn stamp(&self, set: usize, way: usize) -> u64 {
+        debug_assert!(self.policy == Replacement::Lru && way < self.ways);
+        // SAFETY: under Lru the stride includes the stamp run.
+        unsafe { *self.words(set).add(TAGS_WORD + self.ways + way) }
+    }
+
+    #[inline]
+    fn set_stamp(&mut self, set: usize, way: usize, stamp: u64) {
+        debug_assert!(self.policy == Replacement::Lru && way < self.ways);
+        let ways = self.ways;
+        // SAFETY: as in `stamp`.
+        unsafe { *self.words_mut(set).add(TAGS_WORD + ways + way) = stamp }
+    }
+
+    /// Hints the host CPU to pull `set`'s packed line (and its value run)
+    /// into cache ahead of a probe. Purely a performance hint — a no-op
+    /// off x86_64 and for out-of-range sets, never observable in
+    /// simulated behavior.
+    #[inline(always)]
+    pub fn prefetch_set(&self, set: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if set < self.sets {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            unsafe {
+                _mm_prefetch::<{ _MM_HINT_T0 }>(
+                    self.lines.as_ptr().add(set * self.stride) as *const i8
+                );
+                _mm_prefetch::<{ _MM_HINT_T0 }>(
+                    self.values.as_ptr().add(set * self.ways) as *const i8
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = set;
+    }
+
     #[inline]
     fn find_way(&self, set: usize, key: K) -> Option<usize> {
-        let base = set * self.ways;
-        let mut mask = self.valid[set];
-        while mask != 0 {
-            let w = mask.trailing_zeros() as usize;
-            // SAFETY: bit `w` of `valid[set]` is set, so the slot is
-            // initialized.
-            if unsafe { self.keys[base + w].assume_init_read() } == key {
-                return Some(w);
+        let words = self.words(set);
+        // SAFETY: word 0 is the valid mask; tag words are only read for
+        // ways whose valid bit is set.
+        unsafe {
+            let mut mask = *words.add(VALID_WORD);
+            while mask != 0 {
+                let w = mask.trailing_zeros() as usize;
+                if (words.add(TAGS_WORD + w) as *const K).read() == key {
+                    return Some(w);
+                }
+                mask &= mask - 1;
             }
-            mask &= mask - 1;
         }
         None
     }
@@ -261,8 +392,8 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
         self.tick += 1;
         match self.policy {
             Replacement::Lru => {
-                let slot = self.slot(set, way);
-                self.stamps[slot] = self.tick;
+                let tick = self.tick;
+                self.set_stamp(set, way, tick);
             }
             Replacement::TreePlru => self.plru_touch(set, way),
             Replacement::Random => {}
@@ -274,17 +405,18 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
     fn plru_touch(&mut self, set: usize, way: usize) {
         let mut node = 0usize; // root at index 0, children 2i+1 / 2i+2
         let levels = self.ways.trailing_zeros();
+        let mut bits = self.meta(set);
         for level in (0..levels).rev() {
             let bit = (way >> level) & 1;
-            let bits = &mut self.plru_bits[set];
             // Point away from the accessed half: store the opposite bit.
             if bit == 0 {
-                *bits |= 1 << node;
+                bits |= 1 << node;
             } else {
-                *bits &= !(1 << node);
+                bits &= !(1 << node);
             }
             node = 2 * node + 1 + bit;
         }
+        self.set_meta(set, bits);
     }
 
     /// Follow the tree bits to the pseudo-LRU victim way.
@@ -292,8 +424,9 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
         let mut node = 0usize;
         let mut way = 0usize;
         let levels = self.ways.trailing_zeros();
+        let bits = self.meta(set);
         for _ in 0..levels {
-            let bit = ((self.plru_bits[set] >> node) & 1) as usize;
+            let bit = ((bits >> node) & 1) as usize;
             way = (way << 1) | bit;
             node = 2 * node + 1 + bit;
         }
@@ -360,13 +493,14 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
             return None;
         }
         // Prefer an invalid way (lowest index, as the Option scan did).
-        let free = !self.valid[set] & self.full_mask();
+        let free = !self.valid(set) & self.full_mask();
         if free != 0 {
             let way = free.trailing_zeros() as usize;
             let slot = self.slot(set, way);
-            self.keys[slot].write(key);
+            self.set_tag(set, way, key);
             self.values[slot].write(value);
-            self.valid[set] |= 1 << way;
+            let mask = self.valid(set) | (1 << way);
+            self.set_valid(set, mask);
             self.live += 1;
             self.touch(set, way);
             return None;
@@ -375,13 +509,8 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
         let slot = self.slot(set, way);
         // SAFETY: the set is full (no free way above), so the victim slot
         // is initialized.
-        let old = unsafe {
-            (
-                self.keys[slot].assume_init_read(),
-                self.values[slot].assume_init_read(),
-            )
-        };
-        self.keys[slot].write(key);
+        let old = unsafe { (self.tag(set, way), self.values[slot].assume_init_read()) };
+        self.set_tag(set, way, key);
         self.values[slot].write(value);
         self.touch(set, way);
         Some(old)
@@ -390,7 +519,7 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
     /// The way the policy would evict next (pinning-aware); only called on
     /// a full set.
     fn victim_way(&mut self, set: usize, pinned: &impl Fn(&K, &V) -> bool) -> usize {
-        debug_assert_eq!(self.valid[set], self.full_mask(), "victim of non-full set");
+        debug_assert_eq!(self.valid(set), self.full_mask(), "victim of non-full set");
         // The PRNG draw happens unconditionally under Random — before any
         // pinned check — to keep the stream identical to the original
         // implementation.
@@ -404,7 +533,7 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
             // SAFETY: the set is full, so every way is initialized.
             unsafe {
                 pinned(
-                    self.keys[base + w].assume_init_ref(),
+                    self.tag_ref(set, w),
                     self.values[base + w].assume_init_ref(),
                 )
             }
@@ -419,7 +548,7 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
                     if is_pinned(w) {
                         continue;
                     }
-                    let s = self.stamps[base + w];
+                    let s = self.stamp(set, w);
                     if best.is_none_or(|(bs, _)| s < bs) {
                         best = Some((s, w));
                     }
@@ -428,9 +557,9 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
                     return w;
                 }
                 // Every way pinned: plain LRU over the whole set.
-                let mut best = (self.stamps[base], 0);
+                let mut best = (self.stamp(set, 0), 0);
                 for w in 1..self.ways {
-                    let s = self.stamps[base + w];
+                    let s = self.stamp(set, w);
                     if s < best.0 {
                         best = (s, w);
                     }
@@ -460,7 +589,8 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
     /// Removes `key` from `set`, returning its value if present.
     pub fn invalidate(&mut self, set: usize, key: K) -> Option<V> {
         let way = self.find_way(set, key)?;
-        self.valid[set] &= !(1 << way);
+        let mask = self.valid(set) & !(1 << way);
+        self.set_valid(set, mask);
         self.live -= 1;
         // SAFETY: `find_way` only returns ways that were marked valid.
         Some(unsafe { self.values[self.slot(set, way)].assume_init_read() })
@@ -468,11 +598,9 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
 
     /// Clears every entry.
     pub fn clear(&mut self) {
-        for v in self.valid.iter_mut() {
-            *v = 0;
-        }
-        for b in self.plru_bits.iter_mut() {
-            *b = 0;
+        for set in 0..self.sets {
+            self.set_valid(set, 0);
+            self.set_meta(set, 0);
         }
         self.live = 0;
     }
@@ -486,11 +614,11 @@ impl<K: Eq + Copy, V: Copy> AssocArray<K, V> {
     /// Iterates the valid `(key, value)` pairs of one set, way-ascending.
     pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (&K, &V)> + '_ {
         let base = set * self.ways;
-        BitIter(self.valid[set]).map(move |w| {
+        BitIter(self.valid(set)).map(move |w| {
             // SAFETY: `BitIter` yields only ways whose valid bit is set.
             unsafe {
                 (
-                    self.keys[base + w].assume_init_ref(),
+                    self.tag_ref(set, w),
                     self.values[base + w].assume_init_ref(),
                 )
             }
@@ -940,6 +1068,37 @@ mod tests {
         a.fill(0, 1, 10);
         a.clear();
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn packed_line_block_is_one_cache_line() {
+        // Mirror of the const asserts next to `LineBlock`.
+        assert_eq!(core::mem::size_of::<LineBlock>(), 64);
+        assert_eq!(core::mem::align_of::<LineBlock>(), 64);
+        // Every set's packed line starts on a host cache-line boundary,
+        // and a 16-way LRU set (2 meta + 16 tags + 16 stamps words) packs
+        // into 5 blocks.
+        let a: AssocArray<u64, u32> = AssocArray::new(4, 16, Replacement::Lru);
+        assert_eq!(a.lines.as_ptr() as usize % 64, 0);
+        assert_eq!(a.stride, 5);
+        // Without stamps the same geometry needs only 3 blocks.
+        let b: AssocArray<u64, u32> = AssocArray::new(4, 16, Replacement::Random);
+        assert_eq!(b.stride, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_tag_type_panics() {
+        let _ = AssocArray::<[u64; 2], ()>::new(1, 2, Replacement::Lru);
+    }
+
+    #[test]
+    fn prefetch_set_is_inert() {
+        let mut a: AssocArray<u64, u32> = AssocArray::new(2, 2, Replacement::Lru);
+        a.fill(0, 1, 10);
+        a.prefetch_set(0);
+        a.prefetch_set(999); // out of range: must not panic
+        assert_eq!(a.probe(0, 1), Some(&10));
     }
 
     #[test]

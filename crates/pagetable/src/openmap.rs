@@ -96,6 +96,24 @@ impl FrameMap {
         self.get(key).is_some()
     }
 
+    /// Hints the host CPU to pull `key`'s home slot (the start of its
+    /// linear-probe run) into cache ahead of a `get`. Purely a
+    /// performance hint — never observable in simulated behavior.
+    #[inline(always)]
+    pub fn prefetch(&self, key: u64) {
+        #[cfg(target_arch = "x86_64")]
+        if self.len != 0 {
+            let i = (mix(key) as usize) & self.mask;
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    self.slots.as_ptr().add(i) as *const i8,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = key;
+    }
+
     /// Inserts `key → frame`, returning the previous frame if the key was
     /// already present (in which case the stored value is replaced).
     ///

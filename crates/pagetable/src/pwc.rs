@@ -209,6 +209,17 @@ impl PageWalkCache {
         self.set_ix.of(key)
     }
 
+    /// Hints the host CPU to pull the set lines an estimate or walk for
+    /// `page` would probe — one per cached level — into cache. Purely a
+    /// performance hint — never observable in simulated behavior.
+    #[inline(always)]
+    pub fn prefetch(&self, page: VirtPage) {
+        for level in PWC_LEVELS {
+            let key = page.prefix(level);
+            self.levels[level_slot(level)].prefetch_set(self.set_of(key));
+        }
+    }
+
     /// Finds the deepest cached level strictly above `leaf_level` for
     /// `page` without touching recency. (Levels at or below the leaf are
     /// the TLB's job: a large page's level-2 entry is its leaf, so only

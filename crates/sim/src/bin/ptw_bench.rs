@@ -20,9 +20,24 @@
 //!           [--label TEXT]          # history label recorded with --out
 //!           [--check FILE]          # CI smoke: compare against a baseline
 //!           [--max-regress PCT]     # allowed events/sec regression (default 20)
+//!           [--ab BASELINE_BIN]     # interleaved A/B against an older binary
 //!           [--quiet]
 //! ptw-bench worker                  # internal: one-cell stdin/stdout worker
 //! ```
+//!
+//! `--ab OLD_BIN` measures a perf PR the way the box's ±4% day-to-day
+//! drift demands: instead of comparing today's sweep against a JSON
+//! recorded last week, it runs every cell through *both* binaries in the
+//! same session — baseline rep, candidate rep, alternating which side
+//! goes first — and reports the **median of paired wall-time ratios**
+//! per cell plus a geometric mean across cells. Both sides run as
+//! supervised one-cell child processes (the `worker` entry both binaries
+//! expose), so spawn and hand-off overhead cancel out of the ratio. Wall
+//! time, not events/s, is the compared quantity: event fusion means the
+//! two binaries legitimately pop different event counts for the same
+//! simulated run, and the ratio of simulated-events-per-second would
+//! conflate that with host speed. The greppable `ab-summary:` /
+//! `ab-xsb:` lines carry the headline numbers (EXPERIMENTS.md §PR 10).
 //!
 //! `--topology` and `--large-page-frac` override the Table I baseline's
 //! single-IOMMU all-4K configuration for every cell; when either is given,
@@ -455,6 +470,123 @@ fn load_smoke_baseline(path: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{path} has no ci_smoke.events_per_sec"))
 }
 
+/// One cell of an interleaved A/B comparison.
+struct AbCell {
+    bench: BenchmarkId,
+    sched: SchedulerKind,
+    /// Events popped by each binary (deterministic per side; they differ
+    /// when the candidate fuses events the baseline does not).
+    base_events: u64,
+    cand_events: u64,
+    /// Minimum wall time across repetitions, per side.
+    base_wall_ms: f64,
+    cand_wall_ms: f64,
+    /// Median of the per-repetition paired `baseline / candidate` wall
+    /// ratios (> 1 means the candidate is faster).
+    ratio: f64,
+}
+
+/// Times one supervised single-cell child run, returning `(wall_ms,
+/// events)`.
+fn timed_child(sup: &Supervisor, spec: &RunSpec, side: &str) -> Result<(f64, u64), String> {
+    let started = Instant::now();
+    let result = sup
+        .run_spec(spec)
+        .map_err(|e| format!("{side} run of {} failed: {e}", spec.label()))?;
+    Ok((started.elapsed().as_secs_f64() * 1000.0, result.events))
+}
+
+/// Interleaved A/B sweep: every `(benchmark, policy)` cell is repeated
+/// `reps` times on both binaries, alternating which side runs first, and
+/// scored by the median of the paired wall-time ratios. Serial by design
+/// — paired timing is the contention control, parallel cells would
+/// reintroduce the noise the interleaving removes.
+fn ab_sweep(
+    baseline_bin: &str,
+    scale: Scale,
+    seed: u64,
+    reps: usize,
+    policies: &[SchedulerKind],
+    shape: TopologyShape,
+) -> Result<Vec<AbCell>, String> {
+    if !std::path::Path::new(baseline_bin).is_file() {
+        return Err(format!("--ab baseline binary {baseline_bin:?} not found"));
+    }
+    let base_sup = Supervisor::new(vec![baseline_bin.to_string(), "worker".to_string()], 1);
+    let cand_sup = Supervisor::self_exec(&["worker"], 1)
+        .map_err(|e| format!("cannot locate own executable for --ab: {e}"))?;
+    let mut cells = Vec::new();
+    for bench in BenchmarkId::ALL {
+        for &sched in policies {
+            let mut spec = RunSpec::new(bench, sched, scale);
+            spec.seed = seed;
+            if let Some((shards, iommus)) = shape.topology {
+                spec.config = spec.config.with_topology(shards, iommus);
+            }
+            spec.config = spec
+                .config
+                .with_large_page_permille(shape.large_page_permille);
+            let mut base_walls = Vec::with_capacity(reps);
+            let mut cand_walls = Vec::with_capacity(reps);
+            let mut base_events = 0u64;
+            let mut cand_events = 0u64;
+            for rep in 0..reps {
+                // Alternate the order within each pair so slow host drift
+                // (thermal, background load) debits both sides equally.
+                let (b, c) = if rep % 2 == 0 {
+                    let b = timed_child(&base_sup, &spec, "baseline")?;
+                    let c = timed_child(&cand_sup, &spec, "candidate")?;
+                    (b, c)
+                } else {
+                    let c = timed_child(&cand_sup, &spec, "candidate")?;
+                    let b = timed_child(&base_sup, &spec, "baseline")?;
+                    (b, c)
+                };
+                base_events = b.1;
+                cand_events = c.1;
+                base_walls.push(b.0);
+                cand_walls.push(c.0);
+            }
+            let mut ratios: Vec<f64> = base_walls
+                .iter()
+                .zip(&cand_walls)
+                .map(|(b, c)| b / c)
+                .collect();
+            ratios.sort_by(f64::total_cmp);
+            let cell = AbCell {
+                bench,
+                sched,
+                base_events,
+                cand_events,
+                base_wall_ms: base_walls.iter().copied().fold(f64::INFINITY, f64::min),
+                cand_wall_ms: cand_walls.iter().copied().fold(f64::INFINITY, f64::min),
+                ratio: ratios[ratios.len() / 2],
+            };
+            eprintln!(
+                "[ptw-bench] ab: {} / {} — baseline {:.1} ms ({} events) vs candidate \
+                 {:.1} ms ({} events), paired speedup x{:.3}",
+                cell.bench,
+                cell.sched.label(),
+                cell.base_wall_ms,
+                cell.base_events,
+                cell.cand_wall_ms,
+                cell.cand_events,
+                cell.ratio
+            );
+            cells.push(cell);
+        }
+    }
+    Ok(cells)
+}
+
+/// Geometric mean of the cells' paired ratios.
+fn ab_geomean(cells: &[AbCell]) -> f64 {
+    if cells.is_empty() {
+        return 1.0;
+    }
+    (cells.iter().map(|c| c.ratio.ln()).sum::<f64>() / cells.len() as f64).exp()
+}
+
 fn main() -> ExitCode {
     // `ptw-bench worker` is the internal entry the process-isolation
     // supervisor spawns: one spec in on stdin, one result line on stdout.
@@ -472,6 +604,7 @@ fn main() -> ExitCode {
     let mut pin = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut ab: Option<String> = None;
     let mut label = String::from("measurement");
     let mut max_regress_pct = 20.0f64;
     let mut quiet = false;
@@ -533,6 +666,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--ab" => match args.next() {
+                Some(p) => ab = Some(p),
+                None => {
+                    eprintln!("--ab needs a path to a baseline ptw-bench binary");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--label" => match args.next() {
                 Some(l) => label = l,
                 None => {
@@ -589,7 +729,7 @@ fn main() -> ExitCode {
                     "usage: ptw-bench [--scale small|medium|paper] [--seed N] [--reps N] \
                      [--jobs N] [--policies LIST] [--isolation thread|process] \
                      [--cell-timeout SECS] [--pin] [--out FILE] [--label TEXT] \
-                     [--check FILE] [--max-regress PCT] [--quiet]\n\
+                     [--check FILE] [--max-regress PCT] [--ab BASELINE_BIN] [--quiet]\n\
                      \n\
                      --jobs N fans cells across N threads (0 = one per hardware thread, \
                      matching figures); reps stay serial within each cell and output is in \
@@ -604,7 +744,11 @@ fn main() -> ExitCode {
                      --isolation process runs each repetition in a fresh supervised child \
                      process (timing the full round-trip); --cell-timeout SECS bounds one \
                      attempt's wall clock and --pin pins each worker to one CPU \
-                     (round-robin, Linux-only) in that mode."
+                     (round-robin, Linux-only) in that mode.\n\
+                     --ab BASELINE_BIN interleaves every cell between an older ptw-bench \
+                     binary and this one (both as one-cell child processes, alternating \
+                     order) and reports median paired wall-time ratios — the drift-immune \
+                     way to score a perf PR."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -637,6 +781,48 @@ fn main() -> ExitCode {
         None
     };
     let supervisor = supervisor.as_ref();
+
+    // Interleaved A/B mode: both sides already run as supervised child
+    // processes, so the other execution modes don't compose with it.
+    if let Some(baseline_bin) = ab {
+        if out.is_some() || check.is_some() || process_isolation {
+            eprintln!("--ab cannot be combined with --out, --check, or --isolation process");
+            return ExitCode::FAILURE;
+        }
+        let cells = match ab_sweep(&baseline_bin, scale, seed, reps, &policies, shape) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[ptw-bench] {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The scattered-footprint benchmark gets its own line: XSB is the
+        // cell whose per-walk piggyback fan-out the paper's scheduling
+        // problem (and this repo's perf work) cares most about.
+        let mut xsb: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.bench == BenchmarkId::Xsb)
+            .map(|c| c.ratio)
+            .collect();
+        xsb.sort_by(f64::total_cmp);
+        if !xsb.is_empty() {
+            println!(
+                "[ptw-bench] ab-xsb: median paired speedup x{:.3} over {} XSB cells",
+                xsb[xsb.len() / 2],
+                xsb.len()
+            );
+        }
+        println!(
+            "[ptw-bench] ab-summary: geomean paired speedup x{:.3} over {} cells \
+             (scale {}, {} paired reps, baseline {})",
+            ab_geomean(&cells),
+            cells.len(),
+            scale.label(),
+            reps,
+            baseline_bin
+        );
+        return ExitCode::SUCCESS;
+    }
 
     // CI smoke mode: small-scale sweep against the committed baseline.
     if let Some(path) = check {

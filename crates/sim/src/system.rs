@@ -84,10 +84,22 @@ enum Event {
         walker: u8,
         addr: PhysAddr,
     },
+    /// Fused form of a same-cycle run of `WalkerIssue` events: every
+    /// first PTE read started by one walker kick. The payload lives in
+    /// [`System::walk_batch_slots`] under `slot`; the handler replays the
+    /// per-read submits in order, so the run is indistinguishable from
+    /// the plain events it replaces (DESIGN.md §14).
+    WalkerIssueBatch { iommu: u8, slot: u32 },
     /// A data-cache miss is submitted to the memory controller.
     DataSubmit { line: LineAddr },
     /// One cache-line fetch of the wavefront's instruction finished.
     LineDone { wf: u32 },
+    /// Fused form of a same-cycle run of `TranslationDone` events: the
+    /// fan-out of one finished walk (the walker's own request plus its
+    /// piggybacked merges, when their completion times coincide). The
+    /// waiting wavefronts live in [`System::done_batch_slots`] under
+    /// `slot`; the handler replays them in push order.
+    TranslationDoneBatch { slot: u32 },
     /// Wake the memory controller.
     MemTick,
 }
@@ -195,6 +207,23 @@ pub struct System {
     walk_completions: Vec<CompletedTranslation<Token>>,
     /// Recycled line buffers for [`InflightInstr::lines`].
     line_pool: Vec<Vec<VirtAddr>>,
+    /// Payloads of pending [`Event::WalkerIssueBatch`] events, indexed by
+    /// the event's `slot`: the `(walker, first PTE address)` pairs of one
+    /// walker kick. Slots are recycled through `walk_batch_free`, so the
+    /// steady state allocates nothing.
+    walk_batch_slots: Vec<Vec<(u8, PhysAddr)>>,
+    /// Free slots in `walk_batch_slots`.
+    walk_batch_free: Vec<u32>,
+    /// Payloads of pending [`Event::TranslationDoneBatch`] events: the
+    /// wavefronts awoken by one walk's completion fan-out.
+    done_batch_slots: Vec<Vec<u32>>,
+    /// Free slots in `done_batch_slots`.
+    done_batch_free: Vec<u32>,
+    /// Emit fused batch events for same-cycle walk-start and completion
+    /// fan-out runs (the default). Cleared by `PTW_UNFUSED_EVENTS` — the
+    /// differential-oracle mode CI runs to pin the fused and unfused
+    /// event streams to identical simulated results.
+    fuse_events: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -279,8 +308,41 @@ impl System {
             walker_reads: Vec::new(),
             walk_completions: Vec::new(),
             line_pool: Vec::new(),
+            walk_batch_slots: Vec::new(),
+            walk_batch_free: Vec::new(),
+            done_batch_slots: Vec::new(),
+            done_batch_free: Vec::new(),
+            // Mirrors the DRAM controller's `PTW_DRAM_ORACLE` hook: any
+            // non-empty value other than `0` disables event fusion so CI
+            // can assert the fused and unfused streams agree end to end.
+            fuse_events: !std::env::var_os("PTW_UNFUSED_EVENTS")
+                .is_some_and(|v| !v.is_empty() && v != "0"),
             workload,
             cfg,
+        })
+    }
+
+    /// Forces fused batch events on or off, overriding the
+    /// `PTW_UNFUSED_EVENTS` environment variable. Differential-test hook;
+    /// not part of the stable API.
+    #[doc(hidden)]
+    pub fn force_unfused(&mut self, on: bool) {
+        self.fuse_events = !on;
+    }
+
+    /// Claims a recycled slot for a walker-kick batch payload.
+    fn alloc_walk_batch(&mut self) -> u32 {
+        self.walk_batch_free.pop().unwrap_or_else(|| {
+            self.walk_batch_slots.push(Vec::new());
+            (self.walk_batch_slots.len() - 1) as u32
+        })
+    }
+
+    /// Claims a recycled slot for a completion fan-out batch payload.
+    fn alloc_done_batch(&mut self) -> u32 {
+        self.done_batch_free.pop().unwrap_or_else(|| {
+            self.done_batch_slots.push(Vec::new());
+            (self.done_batch_slots.len() - 1) as u32
         })
     }
 
@@ -318,15 +380,36 @@ impl System {
         let mut reads = std::mem::take(&mut self.walker_reads);
         let table = self.workload.space().table();
         self.iommus[io].start_walkers_into(table, now, &mut reads);
-        for &r in &reads {
+        if self.fuse_events && reads.len() > 1 {
+            // Every first read of a kick is issued one PWC latency after
+            // `now` (`start_walkers_into`), so the run shares one cycle
+            // and its plain events would carry consecutive sequence
+            // numbers — exactly the shape a single batch event replayed
+            // in push order reproduces (DESIGN.md §14).
+            debug_assert!(
+                reads.iter().all(|r| r.issue_at == reads[0].issue_at),
+                "walker kick produced mixed issue times"
+            );
+            let slot = self.alloc_walk_batch();
+            self.walk_batch_slots[slot as usize].extend(reads.iter().map(|r| (r.walker.0, r.addr)));
             self.queue.schedule(
-                r.issue_at.max(now),
-                Event::WalkerIssue {
+                reads[0].issue_at.max(now),
+                Event::WalkerIssueBatch {
                     iommu: io as u8,
-                    walker: r.walker.0,
-                    addr: r.addr,
+                    slot,
                 },
             );
+        } else {
+            for &r in &reads {
+                self.queue.schedule(
+                    r.issue_at.max(now),
+                    Event::WalkerIssue {
+                        iommu: io as u8,
+                        walker: r.walker.0,
+                        addr: r.addr,
+                    },
+                );
+            }
         }
         reads.clear();
         self.walker_reads = reads;
@@ -466,6 +549,35 @@ impl System {
         self.touch_mem(now);
     }
 
+    /// Replays one fused walker kick: the exact per-read submit /
+    /// bookkeeping / re-arm sequence the plain `WalkerIssue` handlers
+    /// would have run back-to-back (they are adjacent in their calendar
+    /// bucket, so nothing could have dispatched between them).
+    fn handle_walker_issue_batch(&mut self, iommu: u8, slot: u32, now: Cycle) {
+        let mut batch = std::mem::take(&mut self.walk_batch_slots[slot as usize]);
+        for &(walker, addr) in &batch {
+            let id = self.mem.submit(addr.line(), MemSource::PageWalk, now);
+            self.walk_reads
+                .push((id, iommu, ptw_types::ids::WalkerId(walker)));
+            self.touch_mem(now);
+        }
+        batch.clear();
+        self.walk_batch_slots[slot as usize] = batch;
+        self.walk_batch_free.push(slot);
+    }
+
+    /// Replays one fused completion fan-out: wakes each waiting wavefront
+    /// in the order its plain `TranslationDone` event would have fired.
+    fn handle_translation_done_batch(&mut self, slot: u32, now: Cycle) {
+        let mut batch = std::mem::take(&mut self.done_batch_slots[slot as usize]);
+        for &wf in &batch {
+            self.handle_translation_done(wf, now);
+        }
+        batch.clear();
+        self.done_batch_slots[slot as usize] = batch;
+        self.done_batch_free.push(slot);
+    }
+
     fn handle_data_submit(&mut self, line: LineAddr, now: Cycle) {
         self.mem.submit(line, MemSource::Data, now);
         self.touch_mem(now);
@@ -506,25 +618,54 @@ impl System {
                         }
                         None => {
                             walker_finished = true;
-                            for ct in &done {
-                                let wf = ct.waiter.wf;
-                                let cu = self.cu_of(wf);
-                                self.fill_gpu_tlbs(cu, ct.page, ct.frame, ct.large);
-                                self.inflight[wf as usize]
-                                    .as_mut()
-                                    .expect("completion for idle wavefront")
-                                    .walk_log
-                                    .record(WalkObservation {
-                                        latency: ct.completed_at - ct.enqueued_at,
-                                        completed_at: ct.completed_at,
-                                        service_seq: ct.service_seq,
-                                        via_walk: ct.via_walk,
-                                        accesses: ct.walk_accesses,
-                                    });
-                                self.queue.schedule(
-                                    ct.completed_at + self.cfg.gpu.iommu_hop_cycles,
-                                    Event::TranslationDone { wf },
-                                );
+                            let hop = self.cfg.gpu.iommu_hop_cycles;
+                            // One finished walk fans out to its own waiter
+                            // plus every piggybacked merge. The plain
+                            // events of one equal-completion-time run
+                            // would carry consecutive sequence numbers, so
+                            // a single batch event replayed in push order
+                            // is indistinguishable; a straggler whose
+                            // merge was enqueued after the walk finished
+                            // completes later and starts a new run at its
+                            // own time (DESIGN.md §14).
+                            let mut i = 0;
+                            while i < done.len() {
+                                let at = done[i].completed_at;
+                                let mut j = i + 1;
+                                while j < done.len() && done[j].completed_at == at {
+                                    j += 1;
+                                }
+                                for ct in &done[i..j] {
+                                    let wf = ct.waiter.wf;
+                                    let cu = self.cu_of(wf);
+                                    self.fill_gpu_tlbs(cu, ct.page, ct.frame, ct.large);
+                                    self.inflight[wf as usize]
+                                        .as_mut()
+                                        .expect("completion for idle wavefront")
+                                        .walk_log
+                                        .record(WalkObservation {
+                                            latency: ct.completed_at - ct.enqueued_at,
+                                            completed_at: ct.completed_at,
+                                            service_seq: ct.service_seq,
+                                            via_walk: ct.via_walk,
+                                            accesses: ct.walk_accesses,
+                                        });
+                                }
+                                if self.fuse_events && j - i > 1 {
+                                    let slot = self.alloc_done_batch();
+                                    self.done_batch_slots[slot as usize]
+                                        .extend(done[i..j].iter().map(|ct| ct.waiter.wf));
+                                    self.queue
+                                        .schedule(at + hop, Event::TranslationDoneBatch { slot });
+                                } else {
+                                    for ct in &done[i..j] {
+                                        self.queue.schedule(
+                                            at + hop,
+                                            Event::TranslationDone { wf: ct.waiter.wf },
+                                        );
+                                    }
+                                }
+                                i = j;
                             }
                         }
                     }
@@ -635,9 +776,34 @@ impl System {
                 walker,
                 addr,
             } => self.handle_walker_issue(iommu, walker, addr, now),
+            Event::WalkerIssueBatch { iommu, slot } => {
+                self.handle_walker_issue_batch(iommu, slot, now)
+            }
             Event::DataSubmit { line } => self.handle_data_submit(line, now),
             Event::LineDone { wf } => self.handle_line_done(wf, now),
+            Event::TranslationDoneBatch { slot } => self.handle_translation_done_batch(slot, now),
             Event::MemTick => self.handle_mem_tick(now),
+        }
+    }
+
+    /// Host-cache hint issued one event ahead of dispatch: pulls the set
+    /// lines the *next* event's handler will probe while the current one
+    /// runs. Purely a performance hint — prefetches never change
+    /// simulated behavior, so the unbatched oracle loop skips them
+    /// without diverging.
+    #[inline]
+    fn prefetch_for(&self, event: &Event) {
+        match *event {
+            Event::L2TlbLookup { wf, page } => {
+                let shard = self.cu_shards[self.cu_of(wf)];
+                self.gpu_l2_tlbs[shard].prefetch(page);
+            }
+            Event::IommuArrival { wf: _, page } => {
+                let io = self.cfg.topology.iommu_of_page(page);
+                self.iommus[io].prefetch_translate(page);
+                self.workload.space().table().prefetch_translate(page);
+            }
+            _ => {}
         }
     }
 
@@ -701,6 +867,9 @@ impl System {
                     i += 1;
                 }
                 event => {
+                    if let Some(next) = batch.get(i + 1) {
+                        self.prefetch_for(next);
+                    }
                     self.handle_event(event, now);
                     i += 1;
                 }
@@ -1025,6 +1194,33 @@ mod tests {
         // output; the exact size today is 16 bytes (tag word + payload).
         assert_eq!(std::mem::size_of::<Event>(), 16);
         assert_eq!(std::mem::align_of::<Event>(), 8);
+    }
+
+    #[test]
+    fn event_fusion_changes_only_the_event_count() {
+        // Scattered XSB piggybacks heavily, so both fusion shapes (walker
+        // kicks and completion fan-outs) fire. The fused run must pop
+        // strictly fewer events yet report the same simulated outcome in
+        // every other field — f64s included, bit for bit.
+        for sched in [SchedulerKind::Fcfs, SchedulerKind::SimtAware] {
+            let cfg = SystemConfig::paper_baseline().with_scheduler(sched);
+            let fused = System::new(cfg.clone(), build(BenchmarkId::Xsb, Scale::Small, 7)).run();
+            let mut sys = System::new(cfg, build(BenchmarkId::Xsb, Scale::Small, 7));
+            sys.force_unfused(true);
+            let unfused = sys.run();
+            assert!(
+                fused.events < unfused.events,
+                "fusion saved no events: {} vs {}",
+                fused.events,
+                unfused.events
+            );
+            let mut normalized = unfused.clone();
+            normalized.events = fused.events;
+            assert_eq!(
+                fused, normalized,
+                "fusion changed simulated behavior under {sched:?}"
+            );
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ if ./target/release/figures fig2 --scale small --quiet --isolation process \
   exit 1
 fi
 
-echo "== bench smoke (events/sec vs committed BENCH_9.json, >20% regress fails)"
+echo "== bench smoke (events/sec vs committed BENCH_10.json, >20% regress fails)"
 # CI_BENCH_JOBS fans smoke cells across threads (0 = one per hardware
 # thread). Default stays 1: parallel cells contend for cache/bandwidth and
 # eat into the regression headroom, so only raise this where the smoke's
@@ -78,7 +78,7 @@ if [[ "${CI_SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (CI_SKIP_BENCH=1)"
 else
   timeout "${CI_BENCH_BUDGET_SECS:-300}" \
-    ./target/release/ptw-bench --check BENCH_9.json \
+    ./target/release/ptw-bench --check BENCH_10.json \
     --jobs "${CI_BENCH_JOBS:-1}" --quiet
 fi
 
@@ -140,5 +140,43 @@ grep -q "row_hits=[1-9]" <<<"$line_a" || {
   exit 1
 }
 echo "$line_a"
+
+echo "== packed set-line smoke (packed AssocArray vs split-SoA differential oracle)"
+# The packed LineBlock layout (DESIGN.md §14) must match the pre-packing
+# split-SoA implementation bit for bit. The randomized differential
+# oracle lives in ptw-mem's unit tests, which tier-1 (root integration
+# tests only) does not run — so CI runs it explicitly.
+cargo test -q -p ptw-mem differential
+
+echo "== event-fusion smoke (fused walk events vs plain-event oracle)"
+# Fused WalkerIssueBatch / TranslationDoneBatch events (DESIGN.md §14)
+# must not change anything the simulation observes. Run the same small
+# cell twice — fused (default) and with PTW_UNFUSED_EVENTS=1 — and
+# assert the greppable dram-smoke lines match. (Do NOT compare the
+# total/events lines: the event count legitimately drops under fusion.)
+fuse_a="$(mktemp)"
+fuse_b="$(mktemp)"
+trap 'rm -f "$smoke_out" "$proc_out" "$topo_out" "$dram_a" "$dram_b" "$fuse_a" "$fuse_b"' EXIT
+./target/release/ptw-bench --scale small --reps 1 --policies fcfs,simt-aware \
+  --quiet >"$fuse_a" 2>&1
+PTW_UNFUSED_EVENTS=1 ./target/release/ptw-bench --scale small --reps 1 \
+  --policies fcfs,simt-aware --quiet >"$fuse_b" 2>&1
+fline_a="$(grep 'dram-smoke:' "$fuse_a")" || {
+  echo "FAIL: no dram-smoke summary line in fused run"
+  cat "$fuse_a"
+  exit 1
+}
+fline_b="$(grep 'dram-smoke:' "$fuse_b")" || {
+  echo "FAIL: no dram-smoke summary line under PTW_UNFUSED_EVENTS=1"
+  cat "$fuse_b"
+  exit 1
+}
+if [[ "$fline_a" != "$fline_b" ]]; then
+  echo "FAIL: fused event stream diverges from the plain-event oracle"
+  echo "fused:   $fline_a"
+  echo "unfused: $fline_b"
+  exit 1
+fi
+echo "$fline_a"
 
 echo "CI OK"

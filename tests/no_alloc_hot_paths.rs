@@ -9,7 +9,10 @@
 //! * MSHR `register` (allocate and merge) and `complete_into`,
 //! * the coalescer's buffer-reusing `coalesce_split` form,
 //! * a full IOMMU walk stepped through `memory_done_into` with a
-//!   caller-owned completions buffer.
+//!   caller-owned completions buffer,
+//! * every host-cache `prefetch` hint on the translate path (TLB sets,
+//!   PWC sets, page-table map slots, IOMMU TLBs) — hints must stay pure
+//!   address arithmetic, never heap work.
 //!
 //! Everything runs in a single `#[test]` so no concurrent test can disturb
 //! the allocation counter between the before/after reads.
@@ -76,6 +79,8 @@ fn hot_paths_do_not_allocate() {
         tlb.fill(VirtPage::new(vpn), PhysFrame::new(vpn + 0x1000));
     }
     assert_no_alloc("tlb lookup/fill", || {
+        // The prefetch hint runs ahead of every lookup on the hot path.
+        tlb.prefetch(VirtPage::new(3));
         assert!(tlb.lookup(VirtPage::new(3)).is_some());
         assert!(tlb.lookup(VirtPage::new(entries + 7)).is_none());
         // The TLB is full, so this fill must evict — still without heap work.
@@ -107,6 +112,10 @@ fn hot_paths_do_not_allocate() {
     assert_no_alloc("pwc estimate/begin_walk/complete_walk", || {
         for vpn in 0..64u64 {
             let page = VirtPage::new(vpn << 9);
+            // The walk-start path prefetches the PWC set lines and the
+            // page table's map slots before probing either.
+            pwc.prefetch(page);
+            table.prefetch_translate(page);
             let _ = pwc.estimate(page);
             let plan = pwc.begin_walk(&table, page).expect("mapped page");
             assert!(plan.accesses() >= 1);
@@ -197,11 +206,17 @@ fn hot_paths_do_not_allocate() {
     // Measured: the same shape on a fresh page touches translate (buffer
     // push + index update), walker start (indexed selection + page-chain
     // blocking), and the multi-entry piggyback drain — zero allocations.
+    // This shape is exactly what `System` packs into one fused
+    // `TranslationDoneBatch` event: the walker's own completion plus its
+    // piggybacked merges, all sharing a completion time.
     let hot_page = VirtPage::new(13 << 9);
     assert_no_alloc(
         "completion fan-out (translate, select, piggyback drain)",
         || {
             for w in 0..3u32 {
+                // The dispatch loop issues this hint one event ahead of
+                // each IOMMU arrival.
+                iommu.prefetch_translate(hot_page);
                 let out = iommu.translate(hot_page, InstrId::new(w % 2), 30 + w, Cycle::new(600));
                 assert!(matches!(out, TranslationOutcome::WalkPending));
             }
